@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared plumbing for the experiment benches: deterministic seeds, default
+/// flow options, and a tiny helper to run google-benchmark registrations
+/// after the experiment tables have been printed.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "designs/design.hpp"
+#include "flow/cex_repair_flow.hpp"
+#include "flow/helper_gen_flow.hpp"
+#include "genai/simulated_llm.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace genfv::bench {
+
+/// Every bench prints its seed so results are reproducible by construction.
+inline constexpr std::uint64_t kSeed = 42;
+
+inline flow::FlowOptions default_flow_options() {
+  flow::FlowOptions options;
+  options.engine.max_k = 8;
+  return options;
+}
+
+inline void print_header(const char* experiment, const char* paper_source,
+                         const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s  (reproduces: %s)\n", experiment, paper_source);
+  std::printf("%s\n", claim);
+  std::printf("seed = %llu\n", static_cast<unsigned long long>(kSeed));
+  std::printf("==============================================================\n");
+}
+
+/// Print the experiment tables, then hand over to google-benchmark for the
+/// micro-timing registrations (if any).
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace genfv::bench

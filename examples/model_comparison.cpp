@@ -1,0 +1,52 @@
+/// model_comparison — the Results-section observation, interactively: run
+/// the same repair task against all four model profiles and watch the
+/// quality gap (insight depth, hallucinations, syntax junk) play out.
+///
+/// Build & run:  ./build/examples/model_comparison [design]
+/// (default design: hamming74 — the XOR-insight stress case)
+
+#include <cstdio>
+#include <string>
+
+#include "designs/design.hpp"
+#include "flow/cex_repair_flow.hpp"
+#include "genai/simulated_llm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace genfv;
+
+  const std::string design = argc > 1 ? argv[1] : "hamming74";
+  const auto& info = designs::design_by_name(design);
+  std::printf("design: %s — %s\n\n", info.name.c_str(), info.description.c_str());
+
+  for (const auto& model : genai::known_models()) {
+    auto task = designs::make_task(info);
+    genai::SimulatedLlm llm(genai::profile_by_name(model), /*seed=*/11);
+    flow::FlowOptions options;
+    options.engine.max_k = 8;
+    flow::CexRepairFlow flow(llm, options);
+    const flow::FlowReport report = flow.run(task);
+
+    std::printf("--- %s ---\n", model.c_str());
+    std::printf("  verdict:            %s\n",
+                report.all_targets_proven() ? "proven" : "NOT proven");
+    std::printf("  repair iterations:  %zu\n", report.iterations.size());
+    std::printf("  candidates:         %zu\n", report.candidates_total());
+    std::printf("  proven lemmas:      %zu\n",
+                report.candidates_with(flow::CandidateStatus::Proven));
+    std::printf("  hallucinations*:    %zu   (*caught by the simulation screen)\n",
+                report.candidates_with(flow::CandidateStatus::SimFalsified));
+    std::printf("  proof rejects:      %zu\n",
+                report.candidates_with(flow::CandidateStatus::ProofFailed));
+    std::printf("  syntax/compile:     %zu\n",
+                report.candidates_with(flow::CandidateStatus::SyntaxRejected) +
+                    report.candidates_with(flow::CandidateStatus::CompileRejected));
+    std::printf("  model latency:      %.1f s (simulated)\n\n", report.llm_seconds);
+  }
+
+  std::printf("The paper's observation — OpenAI-profile models produce markedly "
+              "better assertions than the Llama/Gemini profiles — comes from the "
+              "insight gap (XOR/parity analyses) plus lower noise rates. See "
+              "bench_results_models for the full sweep.\n");
+  return 0;
+}

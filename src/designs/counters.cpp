@@ -1,0 +1,193 @@
+/// \file counters.cpp
+/// Counter designs — including the paper's Listing 1 verbatim, which is the
+/// worked example for Fig. 3 (induction-step failure on `&count1 |-> &count2`
+/// repaired by the Listing 3 helper `count1 == count2`).
+
+#include "designs/design.hpp"
+
+namespace genfv::designs {
+
+void register_counter_designs(std::vector<DesignInfo>& out) {
+  // --- sync_counters: the paper's Listing 1 -----------------------------------
+  out.push_back(DesignInfo{
+      .name = "sync_counters",
+      .category = "counters",
+      .description = "two synchronized 32-bit counters (paper Listing 1)",
+      .spec =
+          "The module contains two 32-bit counters, count1 and count2. Both "
+          "counters reset to zero when rst is asserted and increment by one "
+          "every clock cycle otherwise. The counters are always synchronized: "
+          "they hold the same value in every cycle.",
+      .rtl = R"(module sync_counters (input clk, rst, output logic [31:0] count1, count2);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count1 <= 32'b0;
+      count2 <= 32'b0;
+    end else begin
+      count1++;
+      count2++;
+    end
+  end
+endmodule
+)",
+      .targets = {{"equal_count",
+                   "property equal_count; &count1 |-> &count2; endproperty"}},
+      .inductive_without_lemmas = false,
+      .key_insight = "equality",
+  });
+
+  // --- triple_counters: three-way lockstep -------------------------------------
+  out.push_back(DesignInfo{
+      .name = "triple_counters",
+      .category = "counters",
+      .description = "three lockstep 16-bit counters (two helper lemmas needed)",
+      .spec =
+          "Three 16-bit counters run in lockstep: all reset to zero and all "
+          "increment together every cycle. Whenever the first counter is "
+          "saturated (all ones), the other two are saturated as well.",
+      .rtl = R"(module triple_counters (input clk, rst, output logic [15:0] c1, c2, c3);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      c1 <= 16'h0;
+      c2 <= 16'h0;
+      c3 <= 16'h0;
+    end else begin
+      c1 <= c1 + 16'h1;
+      c2 <= c2 + 16'h1;
+      c3 <= c3 + 16'h1;
+    end
+  end
+endmodule
+)",
+      .targets = {{"all_saturate",
+                   "property all_saturate; &c1 |-> (&c2 && &c3); endproperty"}},
+      .inductive_without_lemmas = false,
+      .key_insight = "equality",
+  });
+
+  // --- gray_counter: binary counter with incrementally-updated Gray shadow ---------
+  // The Gray register is updated by toggling a single bit (the MSB of
+  // bin ^ (bin+1)) instead of being recomputed from bin, so a corrupted
+  // gray register stays corrupted forever: the decode-back target cannot be
+  // proven by k-induction without the gray == bin ^ (bin >> 1) lemma.
+  out.push_back(DesignInfo{
+      .name = "gray_counter",
+      .category = "counters",
+      .description = "4-bit counter with incrementally-maintained Gray shadow register",
+      .spec =
+          "A 4-bit binary counter increments every cycle. A Gray-code shadow "
+          "register tracks it incrementally: each cycle exactly one bit of "
+          "the shadow is toggled, keeping the invariant gray = bin ^ (bin >> "
+          "1). A combinational decoder converts the Gray value back to "
+          "binary; the decoded value always equals the binary counter.",
+      .rtl = R"(module gray_counter (input clk, rst, output logic [3:0] bin, gray,
+                     output logic err, output [3:0] dec);
+  wire [3:0] flip;
+  assign flip = bin ^ (bin + 4'h1);
+  assign dec = { gray[3],
+                 gray[3] ^ gray[2],
+                 gray[3] ^ gray[2] ^ gray[1],
+                 gray[3] ^ gray[2] ^ gray[1] ^ gray[0] };
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      bin  <= 4'h0;
+      gray <= 4'h0;
+      err  <= 1'b0;
+    end else begin
+      bin  <= bin + 4'h1;
+      gray <= gray ^ (flip ^ (flip >> 1));
+      err  <= err | ((bin == 4'h0) && (dec != bin));
+    end
+  end
+endmodule
+)",
+      .targets = {{"audit_never_fires",
+                   "property audit_never_fires; !err; endproperty"}},
+      .inductive_without_lemmas = false,
+      .key_insight = "xor_linear",
+  });
+
+  // --- updown_pair: lockstep up/down counters with a constant skew -----------------
+  out.push_back(DesignInfo{
+      .name = "updown_pair",
+      .category = "counters",
+      .description = "two up/down counters in lockstep with constant offset 5",
+      .spec =
+          "Two 12-bit counters move in lockstep: both increment when dir is "
+          "high and decrement when dir is low. They reset to 5 and 0 "
+          "respectively, so their difference is always exactly 5 — in "
+          "particular, they are never simultaneously saturated.",
+      .rtl = R"(module updown_pair (input clk, rst, input dir,
+                    output logic [11:0] lead, lag);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      lead <= 12'd5;
+      lag  <= 12'd0;
+    end else if (dir) begin
+      lead <= lead + 12'd1;
+      lag  <= lag + 12'd1;
+    end else begin
+      lead <= lead - 12'd1;
+      lag  <= lag - 12'd1;
+    end
+  end
+endmodule
+)",
+      .targets = {{"never_both_saturated",
+                   "property never_both_saturated; &lead |-> !(&lag); endproperty"}},
+      .inductive_without_lemmas = false,
+      .key_insight = "difference",
+  });
+
+  // --- lfsr_pair: redundant scramblers ----------------------------------------------
+  out.push_back(DesignInfo{
+      .name = "lfsr_pair",
+      .category = "counters",
+      .description = "two identical LFSRs seeded together (equality lemma)",
+      .spec =
+          "A scrambler LFSR is duplicated for safety: both 16-bit registers "
+          "are seeded with 1 on reset and advance with identical feedback "
+          "every cycle, so the redundant copies always agree — whenever the "
+          "primary is saturated, so is the shadow.",
+      .rtl = R"(module lfsr_pair (input clk, rst, output logic [15:0] l1, l2);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      l1 <= 16'h1;
+      l2 <= 16'h1;
+    end else begin
+      l1 <= {l1[14:0], l1[15] ^ l1[13] ^ l1[12] ^ l1[10]};
+      l2 <= {l2[14:0], l2[15] ^ l2[13] ^ l2[12] ^ l2[10]};
+    end
+  end
+endmodule
+)",
+      .targets = {{"shadow_agrees",
+                   "property shadow_agrees; &l1 |-> &l2; endproperty"}},
+      .inductive_without_lemmas = false,
+      .key_insight = "equality",
+  });
+
+  // --- lfsr16: easy case, inductive on its own -----------------------------------
+  out.push_back(DesignInfo{
+      .name = "lfsr16",
+      .category = "counters",
+      .description = "16-bit Fibonacci LFSR (inductive without lemmas)",
+      .spec =
+          "A 16-bit linear-feedback shift register seeded with 1 on reset. "
+          "Feedback taps are chosen so the register never reaches the all-"
+          "zero lockup state.",
+      .rtl = R"(module lfsr16 (input clk, rst, output logic [15:0] state);
+  always_ff @(posedge clk) begin
+    if (rst) state <= 16'h1;
+    else state <= {state[14:0], state[15] ^ state[13] ^ state[12] ^ state[10]};
+  end
+endmodule
+)",
+      .targets = {{"never_locks_up",
+                   "property never_locks_up; state != 16'h0; endproperty"}},
+      .inductive_without_lemmas = true,
+      .key_insight = "",
+  });
+}
+
+}  // namespace genfv::designs

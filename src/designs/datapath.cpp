@@ -1,0 +1,84 @@
+/// \file datapath.cpp
+/// Datapath designs: a dual-redundant pipeline (chained equality lemmas) and
+/// a FIFO occupancy controller (pointer-difference lemma).
+
+#include "designs/design.hpp"
+
+namespace genfv::designs {
+
+void register_datapath_designs(std::vector<DesignInfo>& out) {
+  // --- dual_accumulator: lockstep duplicated integrator chain ----------------------
+  // Both stages accumulate (carry state forward), so a divergence between
+  // the redundant halves persists forever: the output-equality target is
+  // not k-inductive for any k without the stage-1 equality lemma.
+  out.push_back(DesignInfo{
+      .name = "dual_accumulator",
+      .category = "datapath",
+      .description = "dual-redundant two-stage accumulator (chained equality lemmas)",
+      .spec =
+          "A safety-critical integrator is duplicated: two identical "
+          "two-stage accumulators process the same 16-bit input stream (first "
+          "stage integrates the input, second stage integrates the first), "
+          "and a checker compares the outputs. The two second-stage "
+          "accumulators are equal in every cycle.",
+      .rtl = R"(module dual_accumulator (input clk, rst, input [15:0] din,
+                         output logic [15:0] sum_a, sum_b);
+  logic [15:0] acc_a, acc_b;
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      acc_a <= 16'h0; acc_b <= 16'h0;
+      sum_a <= 16'h0; sum_b <= 16'h0;
+    end else begin
+      acc_a <= acc_a + din;
+      acc_b <= acc_b + din;
+      sum_a <= sum_a + acc_a;
+      sum_b <= sum_b + acc_b;
+    end
+  end
+endmodule
+)",
+      .targets = {{"lockstep_saturation",
+                   "property lockstep_saturation; &sum_a |-> &sum_b; endproperty"}},
+      .inductive_without_lemmas = false,
+      .key_insight = "equality",
+  });
+
+  // --- fifo_ctrl: occupancy tracking --------------------------------------------
+  out.push_back(DesignInfo{
+      .name = "fifo_ctrl",
+      .category = "datapath",
+      .description = "depth-8 FIFO controller (pointer-difference lemma)",
+      .spec =
+          "A FIFO controller for a depth-8 buffer. Write and read pointers "
+          "are 4 bits wide; full is flagged when the pointers are 8 apart and "
+          "empty when they are equal. Writes are ignored when full, reads "
+          "when empty. A separate occupancy counter tracks the number of "
+          "stored entries and never exceeds the buffer depth of 8.",
+      .rtl = R"(module fifo_ctrl (input clk, rst, input wr_en, rd_en,
+                 output logic [3:0] wptr, rptr, count,
+                 output full, empty);
+  assign full  = ((wptr - rptr) == 4'd8);
+  assign empty = (wptr == rptr);
+  wire do_wr;
+  wire do_rd;
+  assign do_wr = wr_en && !full;
+  assign do_rd = rd_en && !empty;
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      wptr <= 4'h0; rptr <= 4'h0; count <= 4'h0;
+    end else begin
+      if (do_wr) wptr <= wptr + 4'h1;
+      if (do_rd) rptr <= rptr + 4'h1;
+      count <= (count + (do_wr ? 4'h1 : 4'h0)) - (do_rd ? 4'h1 : 4'h0);
+    end
+  end
+endmodule
+)",
+      .targets = {{"occupancy_bounded",
+                   "property occupancy_bounded; count <= 4'd8; endproperty"}},
+      .inductive_without_lemmas = false,
+      .key_insight = "difference",
+  });
+}
+
+}  // namespace genfv::designs

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file design.hpp
+/// The built-in design zoo: the paper's evaluation designs (synchronized
+/// counters, ECC codecs) plus the supporting families a formal-verification
+/// team actually runs this flow on (FSMs, arbiters, FIFOs, pipelines). Each
+/// entry carries RTL source, a natural-language spec (prompt input) and the
+/// target SVA properties, together with metadata the benches use.
+
+#include <string>
+#include <vector>
+
+#include "flow/session.hpp"
+
+namespace genfv::designs {
+
+struct DesignInfo {
+  std::string name;
+  std::string category;     ///< "counters", "fsm", "datapath", "ecc"
+  std::string description;  ///< one line, for tables
+  std::string spec;         ///< natural-language specification (prompt input)
+  std::string rtl;          ///< SystemVerilog source
+  std::vector<flow::TargetSpec> targets;
+  /// True when plain k-induction (no lemmas, small k) already proves every
+  /// target — i.e. the design does NOT need the GenAI flow. Used by benches
+  /// to show the flow does not hurt easy cases.
+  bool inductive_without_lemmas = false;
+  /// Mining pass expected to produce the key lemma ("" when none needed).
+  std::string key_insight;
+};
+
+/// All registered designs, stable order.
+const std::vector<DesignInfo>& all_designs();
+
+/// Lookup by name; throws UsageError when absent.
+const DesignInfo& design_by_name(const std::string& name);
+
+/// Elaborate + compile a design into a runnable verification task.
+flow::VerificationTask make_task(const DesignInfo& info);
+flow::VerificationTask make_task(const std::string& name);
+
+}  // namespace genfv::designs

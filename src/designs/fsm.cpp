@@ -1,0 +1,79 @@
+/// \file fsm.cpp
+/// Control designs: a rotating-token arbiter (one-hot lemma) and a sequencer
+/// whose safety hinges on a range lemma for its phase counter.
+
+#include "designs/design.hpp"
+
+namespace genfv::designs {
+
+void register_fsm_designs(std::vector<DesignInfo>& out) {
+  // --- token_ring: rotating one-hot token arbiter ---------------------------------
+  out.push_back(DesignInfo{
+      .name = "token_ring",
+      .category = "fsm",
+      .description = "4-station rotating-token arbiter (one-hot lemma)",
+      .spec =
+          "Four stations share a bus. A single token rotates between the "
+          "stations, one position per cycle. A station's grant is asserted "
+          "when it holds the token and raises a request. At most one station "
+          "may be granted in any cycle.",
+      .rtl = R"(module token_ring (input clk, rst, input [3:0] req,
+                  output logic [3:0] token, gnt);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      token <= 4'b0001;
+      gnt   <= 4'b0000;
+    end else begin
+      token <= {token[2:0], token[3]};
+      gnt   <= token & req;
+    end
+  end
+endmodule
+)",
+      .targets = {{"mutex_grant",
+                   "property mutex_grant; $onehot0(gnt); endproperty"}},
+      .inductive_without_lemmas = false,
+      .key_insight = "onehot",
+  });
+
+  // --- sequencer: mod-6 phase counter driving a lookup --------------------------
+  out.push_back(DesignInfo{
+      .name = "sequencer",
+      .category = "fsm",
+      .description = "mod-6 sequencer with a phase-decoded pattern register (bound lemma)",
+      .spec =
+          "A phase counter cycles through the values 0 to 5 and wraps back to "
+          "0, advancing only on an external tick. On each tick a pattern "
+          "register is loaded from a table indexed by the phase; the table "
+          "has entries for phases 0 to 5 only, and the reserved value 0xFF "
+          "must never be loaded.",
+      .rtl = R"(module sequencer (input clk, rst, input tick,
+                 output logic [3:0] phase, output logic [7:0] pattern);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      phase   <= 4'd0;
+      pattern <= 8'h11;
+    end else if (tick) begin
+      if (phase == 4'd5) phase <= 4'd0;
+      else phase <= phase + 4'd1;
+      case (phase)
+        4'd0: pattern <= 8'h22;
+        4'd1: pattern <= 8'h33;
+        4'd2: pattern <= 8'h44;
+        4'd3: pattern <= 8'h55;
+        4'd4: pattern <= 8'h66;
+        4'd5: pattern <= 8'h11;
+        default: pattern <= 8'hFF;
+      endcase
+    end
+  end
+endmodule
+)",
+      .targets = {{"no_reserved_pattern",
+                   "property no_reserved_pattern; pattern != 8'hFF; endproperty"}},
+      .inductive_without_lemmas = false,
+      .key_insight = "bounds",
+  });
+}
+
+}  // namespace genfv::designs

@@ -1,0 +1,40 @@
+#include "designs/design.hpp"
+
+#include "util/status.hpp"
+
+namespace genfv::designs {
+
+// Each family file contributes its designs.
+void register_counter_designs(std::vector<DesignInfo>& out);
+void register_fsm_designs(std::vector<DesignInfo>& out);
+void register_datapath_designs(std::vector<DesignInfo>& out);
+void register_ecc_designs(std::vector<DesignInfo>& out);
+
+const std::vector<DesignInfo>& all_designs() {
+  static const std::vector<DesignInfo> designs = [] {
+    std::vector<DesignInfo> out;
+    register_counter_designs(out);
+    register_fsm_designs(out);
+    register_datapath_designs(out);
+    register_ecc_designs(out);
+    return out;
+  }();
+  return designs;
+}
+
+const DesignInfo& design_by_name(const std::string& name) {
+  for (const auto& d : all_designs()) {
+    if (d.name == name) return d;
+  }
+  throw UsageError("unknown design '" + name + "'");
+}
+
+flow::VerificationTask make_task(const DesignInfo& info) {
+  return flow::VerificationTask::from_rtl(info.name, info.spec, info.rtl, info.targets);
+}
+
+flow::VerificationTask make_task(const std::string& name) {
+  return make_task(design_by_name(name));
+}
+
+}  // namespace genfv::designs

@@ -1,0 +1,97 @@
+#include "flow/cex_repair_flow.hpp"
+
+#include "genai/prompt.hpp"
+#include "genai/response_parser.hpp"
+#include "sim/waveform.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace genfv::flow {
+
+CexRepairFlow::CexRepairFlow(genai::LlmClient& llm, FlowOptions options)
+    : llm_(llm), options_(std::move(options)) {}
+
+FlowReport CexRepairFlow::run(VerificationTask& task) {
+  util::Stopwatch watch;
+  FlowReport report;
+  report.flow = "cex_repair";
+  report.design = task.name;
+  report.model = llm_.model_name();
+
+  LemmaManager lemmas(task, {options_.engine, options_.review, options_.joint_induction});
+
+  mc::InductionResult last_result;
+  for (std::size_t iter = 1; iter <= options_.max_iterations + 1; ++iter) {
+    // Attempt the proof with everything admitted so far.
+    mc::KInductionOptions opts = options_.engine;
+    opts.lemmas.insert(opts.lemmas.end(), lemmas.lemma_exprs().begin(),
+                       lemmas.lemma_exprs().end());
+    mc::KInductionEngine engine(task.ts, opts);
+    last_result = engine.prove_all(task.target_exprs());
+    report.prove_seconds += last_result.stats.seconds;
+
+    if (last_result.verdict != mc::Verdict::Unknown || !last_result.step_cex.has_value() ||
+        iter > options_.max_iterations) {
+      break;  // proven, falsified, budget, or out of repair iterations
+    }
+
+    // Induction-step failure: render the artefacts the paper feeds the LLM.
+    const sim::Trace& cex = *last_result.step_cex;
+    sim::WaveformOptions wave_opts;
+    wave_opts.failure_frame = cex.size() - 1;
+    const std::string waveform =
+        sim::render_waveform(cex, sim::default_signals(task.ts), wave_opts);
+
+    genai::PromptInputs inputs;
+    inputs.design_name = task.name;
+    inputs.spec = task.spec;
+    inputs.rtl = task.rtl;
+    if (options_.targets_in_prompt) inputs.target_properties = task.target_svas();
+    inputs.proven_lemmas = lemmas.lemma_svas();
+    inputs.failed_property = util::join(task.target_svas(), " && ");
+    inputs.cex_waveform = waveform;
+    inputs.induction_depth = last_result.k;
+    const genai::Prompt prompt = genai::render_cex_repair_prompt(inputs);
+
+    const genai::Completion completion = llm_.complete(prompt);
+    report.llm_seconds += completion.latency_seconds;
+
+    IterationReport iteration;
+    iteration.index = iter;
+    iteration.prompt_tokens = completion.prompt_tokens;
+    iteration.completion_tokens = completion.completion_tokens;
+    iteration.llm_latency_seconds = completion.latency_seconds;
+    const auto extracted = genai::extract_assertions(completion.text);
+    iteration.candidates = lemmas.process(extracted);
+    for (const auto& c : iteration.candidates) {
+      if (c.status == CandidateStatus::Proven) ++iteration.lemmas_admitted;
+    }
+    report.iterations.push_back(std::move(iteration));
+
+    // An unproductive round (candidates rejected) is worth retrying with the
+    // next counterexample; an *empty* answer means the model is out of
+    // ideas, so further round trips would only repeat it.
+    if (extracted.empty()) {
+      GENFV_LOG(Info, "flow") << "cex_repair: model produced no candidates in iteration "
+                              << iter << ", stopping";
+      break;
+    }
+  }
+
+  report.admitted_lemmas = lemmas.lemma_svas();
+  report.prove_seconds += lemmas.prove_seconds();
+  for (const std::size_t i : task.target_indices) {
+    TargetReport tr;
+    tr.name = task.ts.property(i).name;
+    tr.result = last_result;  // joint verdict applies to every target
+    report.targets.push_back(std::move(tr));
+  }
+  report.total_seconds = watch.seconds() + report.llm_seconds;
+  GENFV_LOG(Info, "flow") << "cex_repair on " << task.name << ": verdict="
+                          << mc::to_string(last_result.verdict) << " after "
+                          << report.iterations.size() << " repair iteration(s)";
+  return report;
+}
+
+}  // namespace genfv::flow

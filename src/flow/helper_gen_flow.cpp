@@ -1,0 +1,69 @@
+#include "flow/helper_gen_flow.hpp"
+
+#include "genai/prompt.hpp"
+#include "genai/response_parser.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace genfv::flow {
+
+HelperGenFlow::HelperGenFlow(genai::LlmClient& llm, FlowOptions options)
+    : llm_(llm), options_(std::move(options)) {}
+
+FlowReport HelperGenFlow::run(VerificationTask& task) {
+  util::Stopwatch watch;
+  FlowReport report;
+  report.flow = "helper_generation";
+  report.design = task.name;
+  report.model = llm_.model_name();
+
+  // 1. Render the Fig. 1 prompt: specification + RTL (+ targets).
+  genai::PromptInputs inputs;
+  inputs.design_name = task.name;
+  inputs.spec = task.spec;
+  inputs.rtl = task.rtl;
+  if (options_.targets_in_prompt) inputs.target_properties = task.target_svas();
+  const genai::Prompt prompt = genai::render_helper_generation_prompt(inputs);
+
+  // 2. One model round trip.
+  const genai::Completion completion = llm_.complete(prompt);
+  report.llm_seconds += completion.latency_seconds;
+
+  IterationReport iteration;
+  iteration.index = 1;
+  iteration.prompt_tokens = completion.prompt_tokens;
+  iteration.completion_tokens = completion.completion_tokens;
+  iteration.llm_latency_seconds = completion.latency_seconds;
+
+  // 3. Candidate pipeline: parse -> screen -> prove -> admit.
+  LemmaManager lemmas(task, {options_.engine, options_.review, options_.joint_induction});
+  iteration.candidates = lemmas.process(genai::extract_assertions(completion.text));
+  for (const auto& c : iteration.candidates) {
+    if (c.status == CandidateStatus::Proven) ++iteration.lemmas_admitted;
+  }
+  report.iterations.push_back(std::move(iteration));
+  report.admitted_lemmas = lemmas.lemma_svas();
+  report.prove_seconds += lemmas.prove_seconds();
+
+  // 4. Prove every target with the admitted lemmas as assumptions.
+  mc::KInductionOptions target_opts = options_.engine;
+  target_opts.lemmas.insert(target_opts.lemmas.end(), lemmas.lemma_exprs().begin(),
+                            lemmas.lemma_exprs().end());
+  for (const std::size_t i : task.target_indices) {
+    const auto& prop = task.ts.property(i);
+    mc::KInductionEngine engine(task.ts, target_opts);
+    TargetReport tr;
+    tr.name = prop.name;
+    tr.result = engine.prove(prop.expr);
+    report.prove_seconds += tr.result.stats.seconds;
+    report.targets.push_back(std::move(tr));
+  }
+
+  report.total_seconds = watch.seconds() + report.llm_seconds;
+  GENFV_LOG(Info, "flow") << "helper_generation on " << task.name << ": "
+                          << report.admitted_lemmas.size() << " lemmas, targets proven="
+                          << report.all_targets_proven();
+  return report;
+}
+
+}  // namespace genfv::flow

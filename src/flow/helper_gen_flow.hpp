@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file helper_gen_flow.hpp
+/// Fig. 1 flow: specification + RTL -> LLM -> helper assertions -> formal
+/// proof -> proven helpers become assumptions -> targets proven with them.
+
+#include "flow/lemma_manager.hpp"
+#include "genai/llm_client.hpp"
+
+namespace genfv::flow {
+
+struct FlowOptions {
+  mc::KInductionOptions engine;  ///< per-proof bounds (targets and candidates)
+  ReviewPolicy review;
+  bool joint_induction = true;
+  /// Fig. 2 flow: maximum LLM round trips.
+  std::size_t max_iterations = 4;
+  /// Include target SVA in the prompt (paper's flows do).
+  bool targets_in_prompt = true;
+};
+
+class HelperGenFlow {
+ public:
+  HelperGenFlow(genai::LlmClient& llm, FlowOptions options = {});
+
+  /// Run the one-shot Fig. 1 pipeline on `task`.
+  FlowReport run(VerificationTask& task);
+
+ private:
+  genai::LlmClient& llm_;
+  FlowOptions options_;
+};
+
+}  // namespace genfv::flow

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file lemma_manager.hpp
+/// Candidate-to-lemma lifecycle shared by both flows: parse -> compile ->
+/// dedupe -> simulation screen -> k-induction proof -> admit. Proven helpers
+/// become assumptions for subsequent proofs ("once proven, these assertions
+/// would be used as assumptions", paper §III). A joint (mutual-induction)
+/// pass rescues candidate sets that are only inductive together with each
+/// other or with the targets.
+
+#include <vector>
+
+#include "flow/report.hpp"
+#include "flow/review_policy.hpp"
+#include "flow/session.hpp"
+#include "mc/kinduction.hpp"
+
+namespace genfv::flow {
+
+struct LemmaManagerOptions {
+  mc::KInductionOptions engine;   ///< bounds for candidate/lemma proofs
+  ReviewPolicy review;
+  bool joint_induction = true;    ///< attempt the mutual-induction rescue pass
+};
+
+class LemmaManager {
+ public:
+  LemmaManager(VerificationTask& task, LemmaManagerOptions options);
+
+  /// Run every candidate text through the gate. Admitted lemmas accumulate
+  /// across calls. `targets` participate in the joint-induction rescue pass
+  /// (and are treated as known facts for dedupe purposes).
+  std::vector<CandidateOutcome> process(const std::vector<std::string>& candidate_texts);
+
+  const std::vector<ir::NodeRef>& lemma_exprs() const noexcept { return lemma_exprs_; }
+  const std::vector<std::string>& lemma_svas() const noexcept { return lemma_svas_; }
+
+  /// True when the joint pass incidentally proved the targets as well.
+  bool targets_proven_jointly() const noexcept { return targets_proven_jointly_; }
+
+  /// Cumulative prover time spent on candidates.
+  double prove_seconds() const noexcept { return prove_seconds_; }
+
+ private:
+  bool known_fact(ir::NodeRef expr) const;
+  mc::KInductionOptions engine_with_lemmas() const;
+
+  VerificationTask& task_;
+  LemmaManagerOptions options_;
+  ReviewGate gate_;
+  std::vector<ir::NodeRef> lemma_exprs_;
+  std::vector<std::string> lemma_svas_;
+  bool targets_proven_jointly_ = false;
+  double prove_seconds_ = 0.0;
+};
+
+}  // namespace genfv::flow

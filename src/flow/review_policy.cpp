@@ -1,0 +1,13 @@
+#include "flow/review_policy.hpp"
+
+namespace genfv::flow {
+
+std::optional<sim::Trace> ReviewGate::screen(ir::NodeRef expr) {
+  if (!policy_.sim_screen) return std::nullopt;
+  // Fresh deterministic stream per call so screening one candidate does not
+  // change the verdict for the next.
+  sim::RandomSimulator simulator(ts_, policy_.seed + 0x9E37 * (++counter_));
+  return simulator.falsify(expr, policy_.sim_steps, policy_.sim_restarts);
+}
+
+}  // namespace genfv::flow

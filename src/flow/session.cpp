@@ -1,0 +1,38 @@
+#include "flow/session.hpp"
+
+#include "hdl/elaborator.hpp"
+#include "sva/compiler.hpp"
+
+namespace genfv::flow {
+
+VerificationTask VerificationTask::from_rtl(const std::string& name, const std::string& spec,
+                                            const std::string& rtl,
+                                            const std::vector<TargetSpec>& targets) {
+  VerificationTask task;
+  task.name = name;
+  task.spec = spec;
+  task.rtl = rtl;
+  auto elab = hdl::elaborate_source(rtl);
+  task.ts = std::move(elab.ts);
+  for (const auto& t : targets) {
+    task.target_indices.push_back(
+        sva::add_property(task.ts, t.sva, ir::PropertyRole::Target, t.name));
+  }
+  return task;
+}
+
+std::vector<ir::NodeRef> VerificationTask::target_exprs() const {
+  std::vector<ir::NodeRef> exprs;
+  exprs.reserve(target_indices.size());
+  for (const std::size_t i : target_indices) exprs.push_back(ts.property(i).expr);
+  return exprs;
+}
+
+std::vector<std::string> VerificationTask::target_svas() const {
+  std::vector<std::string> svas;
+  svas.reserve(target_indices.size());
+  for (const std::size_t i : target_indices) svas.push_back(ts.property(i).source_text);
+  return svas;
+}
+
+}  // namespace genfv::flow

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file llm_client.hpp
+/// The LLM integration boundary. Flows talk to models exclusively through
+/// this text-in/text-out interface, exactly as the paper's flows talk to a
+/// hosted LLM: nothing structural crosses it. Swapping the offline
+/// `SimulatedLlm` for an HTTP client against a real API changes no flow
+/// code.
+
+#include <cstdint>
+#include <string>
+
+namespace genfv::genai {
+
+/// A rendered prompt (system + user turn).
+struct Prompt {
+  std::string system;
+  std::string user;
+};
+
+/// A model completion plus bookkeeping.
+struct Completion {
+  std::string text;
+  std::string model;
+  std::uint64_t prompt_tokens = 0;
+  std::uint64_t completion_tokens = 0;
+  /// Simulated wall-clock the request would have taken (latency model).
+  double latency_seconds = 0.0;
+};
+
+class LlmClient {
+ public:
+  virtual ~LlmClient() = default;
+  virtual Completion complete(const Prompt& prompt) = 0;
+  virtual std::string model_name() const = 0;
+};
+
+/// Crude token estimate used for bookkeeping (≈4 chars/token).
+inline std::uint64_t estimate_tokens(const std::string& text) {
+  return static_cast<std::uint64_t>(text.size() / 4 + 1);
+}
+
+}  // namespace genfv::genai

@@ -1,0 +1,78 @@
+/// \file bounds.cpp
+/// Pass 3: upper bounds `x <= B` on registers (mod-N counters, FIFO
+/// occupancy). The bound is the maximum sampled value, tightened to a
+/// structural constant when the design compares the register against one
+/// (the classic `if (cnt == N-1) cnt <= 0` pattern).
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "genai/mining/miner.hpp"
+#include "ir/node.hpp"
+#include "util/strings.hpp"
+
+namespace genfv::genai {
+
+namespace {
+
+/// Collect constants the design compares `var` against (Eq/Ult/Ule nodes in
+/// its own next function) — candidates for exact bounds.
+void collect_compared_constants(ir::NodeRef root, ir::NodeRef var,
+                                std::unordered_set<std::uint64_t>& out) {
+  std::vector<ir::NodeRef> stack{root};
+  std::unordered_set<ir::NodeRef> seen;
+  while (!stack.empty()) {
+    const ir::NodeRef n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    const auto op = n->op();
+    if ((op == ir::Op::Eq || op == ir::Op::Ult || op == ir::Op::Ule) && n->arity() == 2) {
+      const ir::NodeRef l = n->child(0);
+      const ir::NodeRef r = n->child(1);
+      if (l == var && r->is_const()) out.insert(r->value());
+      if (r == var && l->is_const()) out.insert(l->value());
+    }
+    for (const ir::NodeRef c : n->children()) stack.push_back(c);
+  }
+}
+
+}  // namespace
+
+void BoundsMiner::mine(const MiningContext& ctx,
+                       std::vector<CandidateInvariant>& out) const {
+  if (ctx.samples.empty()) return;
+  for (const auto& s : ctx.ts.states()) {
+    const unsigned w = s.var->width();
+    if (w == 1) continue;  // bool bounds are vacuous or constants
+    const std::uint64_t mask = ir::width_mask(w);
+
+    std::uint64_t max_seen = 0;
+    for (const auto& sample : ctx.samples) {
+      max_seen = std::max(max_seen, sample_value(sample, s.var));
+    }
+    if (max_seen >= mask) continue;  // full range: no bound
+
+    // Prefer a structural bound: smallest compared constant >= max_seen.
+    std::unordered_set<std::uint64_t> compared;
+    if (s.next != nullptr) collect_compared_constants(s.next, s.var, compared);
+    std::uint64_t bound = max_seen;
+    double confidence = 0.45;  // sampled max could be a coverage artefact
+    for (const std::uint64_t c : compared) {
+      if (c >= max_seen && c < mask) {
+        bound = c;
+        confidence = 0.8;  // the design itself names this constant
+        break;
+      }
+    }
+
+    CandidateInvariant c;
+    c.sva = "(" + s.var->name() + " <= " + util::hex_literal(bound, w) + ")";
+    c.rationale = "register '" + s.var->name() + "' never exceeds " +
+                  util::hex_literal(bound, w) + " in reachable operation";
+    c.confidence = confidence;
+    c.origin = name();
+    out.push_back(std::move(c));
+  }
+}
+
+}  // namespace genfv::genai

@@ -1,0 +1,91 @@
+/// \file difference.cpp
+/// Pass 2: difference relations between same-width registers:
+///  * constant difference `a - b == c` (skewed counters, staged pipelines);
+///  * register-triple `(a - b) == r` (occupancy counters tracking pointer
+///    distance — the FIFO lemma `count == wptr - rptr`).
+/// Subsumes equality (c = 0), so exact-equal pairs are skipped here.
+
+#include "genai/mining/miner.hpp"
+#include "ir/node.hpp"
+#include "util/strings.hpp"
+
+namespace genfv::genai {
+
+void DifferenceMiner::mine(const MiningContext& ctx,
+                           std::vector<CandidateInvariant>& out) const {
+  if (ctx.samples.empty()) return;
+  const auto& states = ctx.ts.states();
+
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    for (std::size_t j = i + 1; j < states.size(); ++j) {
+      const auto& a = states[i];
+      const auto& b = states[j];
+      if (a.var->width() != b.var->width()) continue;
+      const unsigned w = a.var->width();
+      const std::uint64_t mask = ir::width_mask(w);
+
+      const std::uint64_t first_diff =
+          (sample_value(ctx.samples[0], a.var) - sample_value(ctx.samples[0], b.var)) & mask;
+      if (first_diff == 0) continue;  // equality pass owns this
+
+      bool constant = true;
+      for (const auto& sample : ctx.samples) {
+        const std::uint64_t diff =
+            (sample_value(sample, a.var) - sample_value(sample, b.var)) & mask;
+        if (diff != first_diff) {
+          constant = false;
+          break;
+        }
+      }
+      if (!constant) continue;
+
+      CandidateInvariant c;
+      c.sva = "((" + a.var->name() + " - " + b.var->name() +
+              ") == " + util::hex_literal(first_diff, w) + ")";
+      c.rationale = "registers '" + a.var->name() + "' and '" + b.var->name() +
+                    "' advance in lockstep with a constant offset";
+      c.confidence = 0.65;
+      c.origin = name();
+      out.push_back(std::move(c));
+    }
+  }
+
+  // Register-triple pass: (a - b) == r, ordered pairs against a third register.
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    for (std::size_t j = 0; j < states.size(); ++j) {
+      if (i == j) continue;
+      const auto& a = states[i];
+      const auto& b = states[j];
+      if (a.var->width() != b.var->width()) continue;
+      const unsigned w = a.var->width();
+      const std::uint64_t mask = ir::width_mask(w);
+      for (std::size_t k = 0; k < states.size(); ++k) {
+        if (k == i || k == j) continue;
+        const auto& r = states[k];
+        if (r.var->width() != w) continue;
+        bool matches = true;
+        bool nontrivial = false;  // skip when it degenerates to r == const
+        for (const auto& sample : ctx.samples) {
+          const std::uint64_t diff =
+              (sample_value(sample, a.var) - sample_value(sample, b.var)) & mask;
+          const std::uint64_t rv = sample_value(sample, r.var);
+          if (diff != rv) {
+            matches = false;
+            break;
+          }
+          if (rv != 0) nontrivial = true;
+        }
+        if (!matches || !nontrivial) continue;
+        CandidateInvariant c;
+        c.sva = "((" + a.var->name() + " - " + b.var->name() + ") == " + r.var->name() + ")";
+        c.rationale = "register '" + r.var->name() + "' tracks the distance between '" +
+                      a.var->name() + "' and '" + b.var->name() + "'";
+        c.confidence = 0.7;
+        c.origin = name();
+        out.push_back(std::move(c));
+      }
+    }
+  }
+}
+
+}  // namespace genfv::genai

@@ -1,0 +1,73 @@
+/// \file implication.cpp
+/// Pass 5: control implications between single-bit observables (`valid`
+/// implies `enable`, grant implies request, flag implies flag). Bits are
+/// drawn from width-1 registers and from individual bits of narrow
+/// registers. Only implications with observed positive support (antecedent
+/// seen true) are proposed, to avoid vacuous noise.
+
+#include "genai/mining/miner.hpp"
+#include "ir/node.hpp"
+
+namespace genfv::genai {
+
+namespace {
+
+struct BitObservable {
+  std::string text;      ///< SVA rendering, e.g. "flag" or "state[2]"
+  ir::NodeRef var;
+  unsigned bit;
+};
+
+}  // namespace
+
+void ImplicationMiner::mine(const MiningContext& ctx,
+                            std::vector<CandidateInvariant>& out) const {
+  if (ctx.samples.empty()) return;
+
+  std::vector<BitObservable> bits;
+  for (const auto& s : ctx.ts.states()) {
+    const unsigned w = s.var->width();
+    if (w == 1) {
+      bits.push_back({s.var->name(), s.var, 0});
+    } else if (w <= 8) {
+      for (unsigned i = 0; i < w; ++i) {
+        bits.push_back({s.var->name() + "[" + std::to_string(i) + "]", s.var, i});
+      }
+    }
+  }
+  if (bits.size() > 24) bits.resize(24);  // quadratic pair budget
+
+  auto bit_of = [](const sim::Assignment& sample, const BitObservable& b) {
+    return (sample_value(sample, b.var) >> b.bit) & 1ULL;
+  };
+
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    for (std::size_t j = 0; j < bits.size(); ++j) {
+      if (i == j || bits[i].var == bits[j].var) continue;
+      bool implication_holds = true;
+      std::size_t support = 0;  // antecedent observed true
+      for (const auto& sample : ctx.samples) {
+        const bool a = bit_of(sample, bits[i]) != 0;
+        const bool b = bit_of(sample, bits[j]) != 0;
+        if (a) {
+          ++support;
+          if (!b) {
+            implication_holds = false;
+            break;
+          }
+        }
+      }
+      if (!implication_holds || support < 3) continue;
+
+      CandidateInvariant c;
+      c.sva = "(" + bits[i].text + " |-> " + bits[j].text + ")";
+      c.rationale = "whenever " + bits[i].text + " is asserted, " + bits[j].text +
+                    " is asserted as well";
+      c.confidence = 0.5 + 0.02 * static_cast<double>(std::min<std::size_t>(support, 10));
+      c.origin = name();
+      out.push_back(std::move(c));
+    }
+  }
+}
+
+}  // namespace genfv::genai

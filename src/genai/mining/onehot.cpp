@@ -1,0 +1,48 @@
+/// \file onehot.cpp
+/// Pass 4: one-hot / at-most-one-hot encodings of multi-bit registers (FSM
+/// state vectors, grant lines). Exactly the invariant that k-induction needs
+/// for one-hot FSMs, since the step case otherwise starts from multi-hot
+/// garbage states.
+
+#include <bit>
+
+#include "genai/mining/miner.hpp"
+#include "ir/node.hpp"
+
+namespace genfv::genai {
+
+void OneHotMiner::mine(const MiningContext& ctx,
+                       std::vector<CandidateInvariant>& out) const {
+  if (ctx.samples.empty()) return;
+  for (const auto& s : ctx.ts.states()) {
+    const unsigned w = s.var->width();
+    if (w < 2) continue;
+
+    bool always_onehot = true;
+    bool always_onehot0 = true;
+    for (const auto& sample : ctx.samples) {
+      const int ones = std::popcount(sample_value(sample, s.var));
+      if (ones != 1) always_onehot = false;
+      if (ones > 1) always_onehot0 = false;
+      if (!always_onehot && !always_onehot0) break;
+    }
+
+    if (always_onehot) {
+      CandidateInvariant c;
+      c.sva = "$onehot(" + s.var->name() + ")";
+      c.rationale = "register '" + s.var->name() + "' is a one-hot encoded state vector";
+      c.confidence = 0.85;
+      c.origin = name();
+      out.push_back(std::move(c));
+    } else if (always_onehot0) {
+      CandidateInvariant c;
+      c.sva = "$onehot0(" + s.var->name() + ")";
+      c.rationale = "register '" + s.var->name() + "' has at most one bit set";
+      c.confidence = 0.7;
+      c.origin = name();
+      out.push_back(std::move(c));
+    }
+  }
+}
+
+}  // namespace genfv::genai

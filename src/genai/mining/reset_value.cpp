@@ -1,0 +1,33 @@
+/// \file reset_value.cpp
+/// Pass 0: registers that never leave their reset value. These are the
+/// cheapest invariants a model spots ("this flag is constant"), and often
+/// prune induction state space around configuration/sticky registers.
+
+#include "genai/mining/miner.hpp"
+#include "util/strings.hpp"
+
+namespace genfv::genai {
+
+void ResetValueMiner::mine(const MiningContext& ctx,
+                           std::vector<CandidateInvariant>& out) const {
+  for (const auto& s : ctx.ts.states()) {
+    if (s.init == nullptr || !s.init->is_const()) continue;
+    const std::uint64_t init_val = s.init->value();
+    bool constant = !ctx.samples.empty();
+    for (const auto& sample : ctx.samples) {
+      if (sample_value(sample, s.var) != init_val) {
+        constant = false;
+        break;
+      }
+    }
+    if (!constant) continue;
+    CandidateInvariant c;
+    c.sva = "(" + s.var->name() + " == " + util::hex_literal(init_val, s.var->width()) + ")";
+    c.rationale = "register '" + s.var->name() + "' never leaves its reset value";
+    c.confidence = 0.55;
+    c.origin = name();
+    out.push_back(std::move(c));
+  }
+}
+
+}  // namespace genfv::genai

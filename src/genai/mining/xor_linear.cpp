@@ -1,0 +1,135 @@
+/// \file xor_linear.cpp
+/// Pass 6 (deepest): GF(2)-linear relation mining across all state bits —
+/// the pass that cracks ECC designs, whose key invariants are parity/XOR
+/// relations between data registers and checkbit registers (e.g.
+/// `parity == ^data`, Hamming syndrome identities).
+///
+/// Method: treat every bit of every register (plus a constant-1 column) as a
+/// GF(2) variable; each sampled reachable state is a linear constraint
+/// "selected bits XOR to 0". The null space of the sample matrix — computed
+/// by Gaussian elimination — is exactly the set of affine XOR relations
+/// consistent with all samples. Small-support basis vectors are rendered as
+/// SVA.
+
+#include <algorithm>
+#include <bit>
+
+#include "genai/mining/miner.hpp"
+#include "ir/node.hpp"
+
+namespace genfv::genai {
+
+namespace {
+
+/// Dense GF(2) row vector.
+class BitRow {
+ public:
+  explicit BitRow(std::size_t bits) : blocks_((bits + 63) / 64, 0) {}
+
+  void set(std::size_t i) { blocks_[i / 64] |= (1ULL << (i % 64)); }
+  bool get(std::size_t i) const { return (blocks_[i / 64] >> (i % 64)) & 1ULL; }
+
+  void operator^=(const BitRow& other) {
+    for (std::size_t b = 0; b < blocks_.size(); ++b) blocks_[b] ^= other.blocks_[b];
+  }
+
+  int popcount() const {
+    int total = 0;
+    for (const std::uint64_t b : blocks_) total += std::popcount(b);
+    return total;
+  }
+
+ private:
+  std::vector<std::uint64_t> blocks_;
+};
+
+struct BitColumn {
+  ir::NodeRef var;
+  unsigned bit;
+  std::string text;  ///< SVA rendering: "x[3]" or "x" for width-1
+};
+
+}  // namespace
+
+void XorLinearMiner::mine(const MiningContext& ctx,
+                          std::vector<CandidateInvariant>& out) const {
+  if (ctx.samples.size() < 8) return;
+
+  // Column layout: one per state bit, plus the affine constant column.
+  std::vector<BitColumn> columns;
+  for (const auto& s : ctx.ts.states()) {
+    const unsigned w = s.var->width();
+    for (unsigned i = 0; i < w; ++i) {
+      const std::string text =
+          w == 1 ? s.var->name() : s.var->name() + "[" + std::to_string(i) + "]";
+      columns.push_back({s.var, i, text});
+    }
+    if (columns.size() > 192) return;  // tractability cap
+  }
+  const std::size_t ncols = columns.size() + 1;  // +1 affine column
+  const std::size_t const_col = columns.size();
+
+  // Sample matrix, one row per sample.
+  std::vector<BitRow> rows;
+  rows.reserve(ctx.samples.size());
+  for (const auto& sample : ctx.samples) {
+    BitRow row(ncols);
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if ((sample_value(sample, columns[c].var) >> columns[c].bit) & 1ULL) row.set(c);
+    }
+    row.set(const_col);  // affine 1
+    rows.push_back(std::move(row));
+  }
+
+  // Gaussian elimination to row-echelon form; record pivot columns.
+  std::vector<std::size_t> pivot_of_row;
+  std::vector<char> is_pivot(ncols, 0);
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < ncols && rank < rows.size(); ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows.size() && !rows[pivot].get(col)) ++pivot;
+    if (pivot == rows.size()) continue;
+    std::swap(rows[rank], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != rank && rows[r].get(col)) rows[r] ^= rows[rank];
+    }
+    pivot_of_row.push_back(col);
+    is_pivot[col] = 1;
+    ++rank;
+  }
+
+  // Null-space basis: one vector per free column.
+  std::size_t emitted = 0;
+  for (std::size_t free_col = 0; free_col < ncols && emitted < 12; ++free_col) {
+    if (is_pivot[free_col]) continue;
+    BitRow v(ncols);
+    v.set(free_col);
+    for (std::size_t r = 0; r < rank; ++r) {
+      if (rows[r].get(free_col)) v.set(pivot_of_row[r]);
+    }
+    // Render small-support relations only; giant XOR chains are not useful
+    // lemmas (and a real model would not write them).
+    const int support = v.popcount();
+    if (support < 2 || support > 8) continue;
+
+    const bool affine = v.get(const_col);
+    std::vector<std::string> terms;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (v.get(c)) terms.push_back(columns[c].text);
+    }
+    if (terms.empty()) continue;
+    std::string lhs = terms[0];
+    for (std::size_t t = 1; t < terms.size(); ++t) lhs += " ^ " + terms[t];
+
+    CandidateInvariant c;
+    c.sva = "((" + lhs + ") == 1'b" + (affine ? "1" : "0") + ")";
+    c.rationale = "the bits {" + lhs + "} satisfy a parity (XOR) relation in every "
+                  "reachable state";
+    c.confidence = 0.75;
+    c.origin = name();
+    out.push_back(std::move(c));
+    ++emitted;
+  }
+}
+
+}  // namespace genfv::genai

@@ -1,0 +1,76 @@
+#include "genai/model_profile.hpp"
+
+#include <array>
+
+#include "util/status.hpp"
+
+namespace genfv::genai {
+
+namespace {
+
+const std::array<ModelProfile, 4>& registry() {
+  static const std::array<ModelProfile, 4> kProfiles = {{
+      {
+          .name = "gpt-4-turbo",
+          .vendor = "openai",
+          .insight = 7,
+          .hallucination_rate = 0.08,
+          .syntax_error_rate = 0.02,
+          .omission_rate = 0.05,
+          .self_check = true,
+          .max_candidates = 8,
+          .seconds_per_1k_tokens = 1.1,
+      },
+      {
+          .name = "gpt-4o",
+          .vendor = "openai",
+          .insight = 7,
+          .hallucination_rate = 0.06,
+          .syntax_error_rate = 0.01,
+          .omission_rate = 0.04,
+          .self_check = true,
+          .max_candidates = 10,
+          .seconds_per_1k_tokens = 0.6,
+      },
+      {
+          .name = "llama-3-70b",
+          .vendor = "meta",
+          .insight = 4,
+          .hallucination_rate = 0.28,
+          .syntax_error_rate = 0.12,
+          .omission_rate = 0.25,
+          .self_check = false,
+          .max_candidates = 6,
+          .seconds_per_1k_tokens = 0.8,
+      },
+      {
+          .name = "gemini-1.5-pro",
+          .vendor = "google",
+          .insight = 5,
+          .hallucination_rate = 0.20,
+          .syntax_error_rate = 0.07,
+          .omission_rate = 0.18,
+          .self_check = false,
+          .max_candidates = 8,
+          .seconds_per_1k_tokens = 0.7,
+      },
+  }};
+  return kProfiles;
+}
+
+}  // namespace
+
+const ModelProfile& profile_by_name(const std::string& name) {
+  for (const auto& p : registry()) {
+    if (p.name == name) return p;
+  }
+  throw UsageError("unknown model profile '" + name + "'");
+}
+
+std::vector<std::string> known_models() {
+  std::vector<std::string> names;
+  for (const auto& p : registry()) names.push_back(p.name);
+  return names;
+}
+
+}  // namespace genfv::genai

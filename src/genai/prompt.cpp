@@ -1,0 +1,91 @@
+#include "genai/prompt.hpp"
+
+#include <sstream>
+
+namespace genfv::genai {
+
+namespace {
+
+void append_common_context(std::ostringstream& out, const PromptInputs& in) {
+  out << "## Design: " << in.design_name << "\n\n";
+  if (!in.spec.empty()) {
+    out << "## Specification\n\n" << in.spec << "\n\n";
+  }
+  out << "## RTL\n\n" << marker::kRtlFenceOpen << "\n" << in.rtl;
+  if (!in.rtl.empty() && in.rtl.back() != '\n') out << '\n';
+  out << marker::kFenceClose << "\n\n";
+  if (!in.target_properties.empty()) {
+    out << "## Target properties (to be proven by induction)\n\n";
+    for (const auto& p : in.target_properties) {
+      out << "```sva\n" << p << "\n```\n";
+    }
+    out << '\n';
+  }
+  if (!in.proven_lemmas.empty()) {
+    out << "## Already-proven helper assertions (do not repeat these)\n\n";
+    for (const auto& lemma : in.proven_lemmas) {
+      out << "```sva\n" << lemma << "\n```\n";
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace
+
+Prompt render_helper_generation_prompt(const PromptInputs& in) {
+  Prompt p;
+  p.system =
+      "You are an expert in formal verification of hardware designs. "
+      "Given a specification and RTL, propose helper assertions (SVA) that are "
+      "invariants of the design and that, once proven, can serve as assumptions "
+      "to speed up k-induction proofs of the target properties. "
+      "Answer with one fenced ```sva block per assertion, each containing a "
+      "complete 'property ...; <expr>; endproperty' declaration. "
+      "Only reference signals that exist in the RTL.";
+
+  std::ostringstream out;
+  append_common_context(out, in);
+  out << "## Task\n\n"
+      << "Analyze the specification and the RTL. Propose helper assertions "
+         "(lemmas) that hold in all reachable states and constrain the "
+         "relationships between registers (equalities, differences, bounds, "
+         "one-hot encodings, parity/XOR relations, control implications). "
+         "Prefer assertions that are themselves inductive.\n";
+  p.user = out.str();
+  return p;
+}
+
+Prompt render_cex_repair_prompt(const PromptInputs& in) {
+  Prompt p;
+  p.system =
+      "You are an expert in induction-based formal verification. "
+      "A property failed its inductive step: the solver found a pseudo-"
+      "counterexample that starts from an arbitrary, possibly unreachable "
+      "state. Your job is to propose a helper assertion that is a real "
+      "invariant of the design and that rules out the unreachable start "
+      "state of the counterexample. Answer with fenced ```sva blocks, each a "
+      "complete 'property ...; <expr>; endproperty' declaration.";
+
+  std::ostringstream out;
+  append_common_context(out, in);
+  out << "## Induction-step failure\n\n"
+      << marker::kFailedProperty << " " << in.failed_property << "\n\n"
+      << "Induction depth k = " << in.induction_depth << "\n\n"
+      << "### Counterexample waveform (frames t0..tk; state at t0 is "
+         "arbitrary/unreachable)\n\n"
+      << marker::kWaveFenceOpen << "\n"
+      << in.cex_waveform;
+  if (!in.cex_waveform.empty() && in.cex_waveform.back() != '\n') out << '\n';
+  out << marker::kFenceClose << "\n\n"
+      << "## Task\n\n"
+      << "Compare the counterexample's starting state with the states the "
+         "design can actually reach. Identify the relationship between "
+         "registers that the start state violates, and write a helper "
+         "assertion expressing that relationship. The assertion must hold in "
+         "all reachable states and must be false somewhere in the "
+         "counterexample above.\n";
+  p.user = out.str();
+  return p;
+}
+
+}  // namespace genfv::genai

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file prompt.hpp
+/// Prompt templates for the paper's two flows. Fig. 1: specification + RTL
+/// -> helper assertions. Fig. 2: RTL + induction-step CEX -> repair lemma.
+/// The rendered markdown is the *entire* channel to the model; the simulated
+/// LLM re-parses the RTL and waveform out of this text.
+
+#include <string>
+#include <vector>
+
+#include "genai/llm_client.hpp"
+
+namespace genfv::genai {
+
+/// Everything a flow can put into a prompt.
+struct PromptInputs {
+  std::string design_name;
+  std::string spec;               ///< natural-language specification
+  std::string rtl;                ///< RTL source (SystemVerilog subset)
+  std::vector<std::string> target_properties;  ///< SVA the user wants proven
+  std::vector<std::string> proven_lemmas;      ///< already-proven helpers
+  /// Fig. 2 only: the failing property and the step-CEX waveform text.
+  std::string failed_property;
+  std::string cex_waveform;
+  std::size_t induction_depth = 0;
+};
+
+/// Fig. 1 flow: "generate helper assertions from spec + RTL".
+Prompt render_helper_generation_prompt(const PromptInputs& in);
+
+/// Fig. 2 flow: "analyze the induction-step failure and propose a lemma".
+Prompt render_cex_repair_prompt(const PromptInputs& in);
+
+/// Markers the simulated model uses to find sections inside the user turn.
+/// Kept public so tests can assert prompt structure.
+namespace marker {
+inline constexpr const char* kRtlFenceOpen = "```systemverilog";
+inline constexpr const char* kWaveFenceOpen = "```waveform";
+inline constexpr const char* kFenceClose = "```";
+inline constexpr const char* kFailedProperty = "Failing property:";
+}  // namespace marker
+
+}  // namespace genfv::genai

@@ -1,0 +1,60 @@
+#include "genai/response_parser.hpp"
+
+#include "util/strings.hpp"
+
+namespace genfv::genai {
+
+namespace {
+
+bool is_assertion_tag(const std::string& tag) {
+  return tag.empty() || tag == "sva" || tag == "systemverilog" || tag == "verilog" ||
+         tag == "sv";
+}
+
+}  // namespace
+
+std::vector<std::string> extract_assertions(const std::string& completion) {
+  std::vector<std::string> out;
+
+  // Pass 1: fenced blocks.
+  std::size_t pos = 0;
+  std::string outside;  // text outside fences, for pass 2
+  while (true) {
+    const std::size_t open = completion.find("```", pos);
+    if (open == std::string::npos) {
+      outside += completion.substr(pos);
+      break;
+    }
+    outside += completion.substr(pos, open - pos);
+    const std::size_t tag_end = completion.find('\n', open + 3);
+    if (tag_end == std::string::npos) break;
+    const std::string tag = util::to_lower(util::trim(completion.substr(open + 3, tag_end - open - 3)));
+    const std::size_t close = completion.find("```", tag_end + 1);
+    if (close == std::string::npos) break;
+    const std::string body = util::trim(completion.substr(tag_end + 1, close - tag_end - 1));
+    if (!body.empty()) {
+      const bool looks_like_property = util::contains(body, "property") ||
+                                       util::contains(body, "|->") ||
+                                       util::contains(body, "assert");
+      if (is_assertion_tag(tag) && (tag.empty() ? looks_like_property : true)) {
+        out.push_back(body);
+      }
+    }
+    pos = close + 3;
+  }
+
+  // Pass 2: inline property blocks in prose.
+  std::size_t search = 0;
+  while (true) {
+    const std::size_t start = outside.find("property", search);
+    if (start == std::string::npos) break;
+    const std::size_t end = outside.find("endproperty", start);
+    if (end == std::string::npos) break;
+    out.push_back(util::trim(outside.substr(start, end + 11 - start)));
+    search = end + 11;
+  }
+
+  return out;
+}
+
+}  // namespace genfv::genai

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file response_parser.hpp
+/// Extraction of SVA assertions from free-form model completions. Real LLM
+/// output mixes prose with fenced code blocks; the parser pulls out every
+/// plausible assertion and leaves validation (parse, compile, screen, prove)
+/// to the flow's review gate.
+
+#include <string>
+#include <vector>
+
+namespace genfv::genai {
+
+/// Pull candidate assertion texts out of a completion:
+///  * fenced blocks tagged sva / systemverilog / verilog (or untagged blocks
+///    that contain "property"),
+///  * inline `property ...; ... endproperty` runs outside fences.
+/// Returned strings are trimmed; duplicates are kept (the flow dedupes after
+/// compilation, where structural equality is decidable).
+std::vector<std::string> extract_assertions(const std::string& completion);
+
+}  // namespace genfv::genai

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file simulated_llm.hpp
+/// Offline stand-in for the hosted LLMs used in the paper (substitution
+/// documented in DESIGN.md §2). `SimulatedLlm` is a genuine text-in/text-out
+/// model: it receives the rendered prompt, *re-parses* the RTL (and, in the
+/// Fig. 2 flow, the counterexample waveform) out of the prompt text, runs
+/// the invariant-mining analyses its profile enables, perturbs the result
+/// with profile-calibrated noise (omissions, hallucinations, syntax errors),
+/// and serializes everything back as markdown with fenced ```sva blocks.
+///
+/// Determinism: all sampling derives from the constructor seed, so every
+/// experiment is reproducible; benches print their seeds.
+
+#include <memory>
+
+#include "genai/llm_client.hpp"
+#include "genai/mining/miner.hpp"
+#include "genai/model_profile.hpp"
+#include "util/rng.hpp"
+
+namespace genfv::genai {
+
+class SimulatedLlm : public LlmClient {
+ public:
+  SimulatedLlm(ModelProfile profile, std::uint64_t seed);
+
+  Completion complete(const Prompt& prompt) override;
+  std::string model_name() const override { return profile_.name; }
+
+  const ModelProfile& profile() const noexcept { return profile_; }
+
+  /// Number of completions served (for tests/benches).
+  std::size_t requests() const noexcept { return requests_; }
+
+ private:
+  struct ParsedPromptView;
+
+  std::string answer_without_design() const;
+  std::vector<CandidateInvariant> mine_candidates(const ir::TransitionSystem& ts,
+                                                  const std::vector<sim::Assignment>& samples,
+                                                  const std::vector<sim::Assignment>* cex);
+  void apply_noise(std::vector<CandidateInvariant>& candidates,
+                   const ir::TransitionSystem& ts,
+                   const std::vector<sim::Assignment>& samples);
+  std::string render_completion(const std::vector<CandidateInvariant>& candidates,
+                                const std::string& design_name, bool cex_mode);
+
+  ModelProfile profile_;
+  util::Xoshiro256 rng_;
+  std::size_t requests_ = 0;
+  int property_counter_ = 0;
+};
+
+/// Parse a rendered ASCII waveform (sim::render_waveform output) back into
+/// per-frame leaf assignments for `ts`. Rows whose label does not name an
+/// input/state of `ts` are ignored. Exposed for tests.
+std::vector<sim::Assignment> parse_waveform_table(const std::string& waveform,
+                                                  const ir::TransitionSystem& ts);
+
+}  // namespace genfv::genai

@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file ast.hpp
+/// Abstract syntax for the Verilog subset. The expression AST is shared with
+/// the SVA property parser (which adds implication operators and $system
+/// calls on top).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace genfv::hdl {
+
+// --- expressions --------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    Number,   ///< value/width/sized
+    Id,       ///< text
+    Unary,    ///< text = operator; args[0]
+    Binary,   ///< text = operator; args[0], args[1]
+    Ternary,  ///< args[0] ? args[1] : args[2]
+    Concat,   ///< {args...}
+    Repl,     ///< {N{x}}: value = N, args[0] = x
+    Index,    ///< args[0][args[1]]  (single-bit select)
+    Range,    ///< args[0][msb:lsb]  (constant part select)
+    Call,     ///< text = $function name; args = arguments
+  };
+
+  Kind kind = Kind::Number;
+  std::uint64_t value = 0;  // Number payload / Repl count
+  unsigned width = 32;      // Number width
+  bool sized = false;       // Number had an explicit size
+  std::string text;         // Id name / operator spelling / call name
+  std::vector<ExprPtr> args;
+  unsigned msb = 0, lsb = 0;  // Range payload
+  int line = 0, col = 0;
+
+  static ExprPtr number(std::uint64_t v, unsigned w, bool s) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Number;
+    e->value = v;
+    e->width = w;
+    e->sized = s;
+    return e;
+  }
+  static ExprPtr id(std::string name) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Id;
+    e->text = std::move(name);
+    return e;
+  }
+};
+
+// --- statements ----------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct CaseItem {
+  std::vector<ExprPtr> labels;  ///< empty = default
+  StmtPtr body;
+};
+
+struct Stmt {
+  enum class Kind {
+    Block,        ///< begin ... end; uses body list
+    If,           ///< cond; then_stmt; else_stmt (optional)
+    Case,         ///< subject; items
+    Nonblocking,  ///< lhs <= rhs
+    Blocking,     ///< lhs = rhs
+    IncDec,       ///< lhs++ / lhs-- (text is "++" or "--")
+    Empty,
+  };
+
+  Kind kind = Stmt::Kind::Empty;
+  ExprPtr cond;      // If
+  StmtPtr then_stmt; // If
+  StmtPtr else_stmt; // If (may be null)
+  ExprPtr subject;   // Case
+  std::vector<CaseItem> items;  // Case
+  ExprPtr lhs;       // assignments (Id / Index / Range expression)
+  ExprPtr rhs;
+  std::string text;  // IncDec operator
+  std::vector<StmtPtr> body;  // Block
+  int line = 0, col = 0;
+};
+
+// --- module items -----------------------------------------------------------------
+
+enum class PortDir { None, Input, Output, Inout };
+enum class NetKind { Wire, Reg, Logic };
+
+/// One declared signal (possibly one of several in a single declaration).
+struct SignalDecl {
+  std::string name;
+  PortDir dir = PortDir::None;  ///< None = internal net
+  NetKind net = NetKind::Logic;
+  unsigned width = 1;
+  ExprPtr init;  ///< optional declaration initializer (registers only)
+  int line = 0;
+};
+
+struct ParamDecl {
+  std::string name;
+  ExprPtr value;
+};
+
+struct ContAssign {
+  ExprPtr lhs;
+  ExprPtr rhs;
+  int line = 0;
+};
+
+struct AlwaysBlock {
+  bool combinational = false;  ///< always_comb / always @(*)
+  std::string clock;           ///< posedge clock signal name (sequential)
+  std::string reset;           ///< async reset name from sensitivity ("" = none)
+  bool reset_active_low = false;
+  StmtPtr body;
+  int line = 0;
+};
+
+struct Module {
+  std::string name;
+  std::vector<SignalDecl> signals;
+  std::vector<ParamDecl> params;
+  std::vector<ContAssign> assigns;
+  std::vector<AlwaysBlock> always_blocks;
+};
+
+}  // namespace genfv::hdl

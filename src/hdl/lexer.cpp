@@ -1,0 +1,200 @@
+#include "hdl/lexer.hpp"
+
+#include <cctype>
+
+#include "util/status.hpp"
+
+namespace genfv::hdl {
+
+namespace {
+
+bool is_id_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool is_id_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+int digit_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+constexpr std::string_view kMultiOps[] = {
+    "|->", "|=>", "<<<", ">>>", "===", "!==", "~&", "~|", "~^", "^~", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&",  "||",  "++", "--", "->", "::",
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+
+  auto error = [&](const std::string& msg) -> ParseError {
+    return ParseError(std::to_string(line) + ":" + std::to_string(col), msg);
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      advance(2);
+      while (i + 1 < source.size() && !(source[i] == '*' && source[i + 1] == '/')) advance(1);
+      if (i + 1 >= source.size()) throw error("unterminated block comment");
+      advance(2);
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+    tok.col = col;
+
+    // Identifier / keyword / $system name.
+    if (is_id_start(c)) {
+      std::size_t start = i;
+      while (i < source.size() && is_id_char(source[i])) advance(1);
+      tok.kind = TokKind::Identifier;
+      tok.text = source.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // Numeric literal: [size]'[base]digits or bare decimal.
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+      std::uint64_t size_field = 0;
+      bool have_size = false;
+      while (i < source.size() && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                                   source[i] == '_')) {
+        if (source[i] != '_') {
+          size_field = size_field * 10 + static_cast<std::uint64_t>(source[i] - '0');
+          have_size = true;
+        }
+        advance(1);
+      }
+      if (i < source.size() && source[i] == '\'') {
+        advance(1);
+        if (i >= source.size()) throw error("truncated based literal");
+        // Optional signedness marker, ignored.
+        if (source[i] == 's' || source[i] == 'S') advance(1);
+        const char base_char =
+            static_cast<char>(std::tolower(static_cast<unsigned char>(source[i])));
+        advance(1);
+        int base = 0;
+        switch (base_char) {
+          case 'b': base = 2; break;
+          case 'o': base = 8; break;
+          case 'd': base = 10; break;
+          case 'h': base = 16; break;
+          default: throw error(std::string("unknown literal base '") + base_char + "'");
+        }
+        std::uint64_t value = 0;
+        bool any_digit = false;
+        while (i < source.size() &&
+               (digit_value(source[i]) >= 0 || source[i] == '_' || source[i] == 'x' ||
+                source[i] == 'X' || source[i] == 'z' || source[i] == 'Z')) {
+          const char d = source[i];
+          if (d == '_') {
+            advance(1);
+            continue;
+          }
+          if (d == 'x' || d == 'X' || d == 'z' || d == 'Z') {
+            // 4-state digits collapse to 0 in the 2-state formal model.
+            value = value * static_cast<std::uint64_t>(base);
+            any_digit = true;
+            advance(1);
+            continue;
+          }
+          const int dv = digit_value(d);
+          if (dv >= base) break;
+          value = value * static_cast<std::uint64_t>(base) + static_cast<std::uint64_t>(dv);
+          any_digit = true;
+          advance(1);
+        }
+        if (!any_digit) throw error("based literal has no digits");
+        tok.kind = TokKind::Number;
+        tok.sized = have_size;
+        tok.width = have_size ? static_cast<unsigned>(size_field) : 32U;
+        if (tok.width == 0 || tok.width > 64) {
+          throw error("literal width must be in [1,64]");
+        }
+        tok.value = value;
+        tok.text = std::to_string(value);
+        tokens.push_back(std::move(tok));
+        continue;
+      }
+      // Bare decimal.
+      tok.kind = TokKind::Number;
+      tok.sized = false;
+      tok.width = 32;
+      tok.value = size_field;
+      tok.text = std::to_string(size_field);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // Multi-character operators (longest match first).
+    bool matched = false;
+    for (const std::string_view op : kMultiOps) {
+      if (source.compare(i, op.size(), op) == 0) {
+        tok.kind = TokKind::Punct;
+        tok.text = std::string(op);
+        advance(op.size());
+        tokens.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    // Single-character punctuation.
+    static const std::string kSingles = "+-*/%=!<>&|^~?:;,.()[]{}@#";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.kind = TokKind::Punct;
+      tok.text = std::string(1, c);
+      advance(1);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    throw error(std::string("unexpected character '") + c + "'");
+  }
+
+  Token end;
+  end.kind = TokKind::End;
+  end.line = line;
+  end.col = col;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace genfv::hdl

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file lexer.hpp
+/// Lexer for the Verilog/SystemVerilog subset (shared with the SVA property
+/// parser). Handles line/block comments, sized literals (32'b0, 8'hFF,
+/// 4'd12), identifiers (including $system names), and multi-character
+/// operators including the SVA implications |-> and |=>.
+
+#include <string>
+#include <vector>
+
+#include "hdl/token.hpp"
+
+namespace genfv::hdl {
+
+/// Tokenize the entire input. Throws ParseError on malformed literals or
+/// stray characters. The final token is always TokKind::End.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace genfv::hdl

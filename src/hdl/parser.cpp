@@ -1,0 +1,614 @@
+#include "hdl/parser.hpp"
+
+#include "hdl/lexer.hpp"
+#include "util/status.hpp"
+
+namespace genfv::hdl {
+
+namespace {
+
+bool is_keyword(const std::string& s) {
+  static const char* kKeywords[] = {
+      "module", "endmodule", "input",  "output",   "inout",    "wire",     "reg",
+      "logic",  "assign",    "always", "always_ff", "always_comb", "posedge", "negedge",
+      "or",     "if",        "else",   "begin",    "end",      "case",     "endcase",
+      "default", "parameter", "localparam", "integer", "bit",
+  };
+  for (const char* k : kKeywords) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+Token Parser::consume() {
+  Token t = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept_punct(std::string_view p) {
+  if (peek().is_punct(p)) {
+    consume();
+    return true;
+  }
+  return false;
+}
+
+void Parser::expect_punct(std::string_view p) {
+  if (!accept_punct(p)) {
+    fail("expected '" + std::string(p) + "', found '" + peek().text + "'");
+  }
+}
+
+bool Parser::accept_id(std::string_view name) {
+  if (peek().is_id(name)) {
+    consume();
+    return true;
+  }
+  return false;
+}
+
+void Parser::expect_id(std::string_view name) {
+  if (!accept_id(name)) {
+    fail("expected '" + std::string(name) + "', found '" + peek().text + "'");
+  }
+}
+
+std::string Parser::expect_identifier() {
+  if (!peek().is(TokKind::Identifier) || is_keyword(peek().text)) {
+    fail("expected identifier, found '" + peek().text + "'");
+  }
+  return consume().text;
+}
+
+void Parser::fail(const std::string& message) const {
+  throw ParseError(peek().location(), message);
+}
+
+ExprPtr Parser::mk_binary(std::string op, ExprPtr lhs, ExprPtr rhs, const Token& at) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Binary;
+  e->text = std::move(op);
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  e->line = at.line;
+  e->col = at.col;
+  return e;
+}
+
+// --- expressions ------------------------------------------------------------------
+
+ExprPtr Parser::expression() { return parse_implication(); }
+
+ExprPtr Parser::parse_implication() {
+  ExprPtr lhs = parse_ternary();
+  if (peek().is_punct("|->") || peek().is_punct("|=>")) {
+    const Token op = consume();
+    ExprPtr rhs = parse_implication();  // right-associative
+    return mk_binary(op.text, std::move(lhs), std::move(rhs), op);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_ternary() {
+  ExprPtr cond = parse_logical_or();
+  if (accept_punct("?")) {
+    ExprPtr then_e = parse_ternary();
+    expect_punct(":");
+    ExprPtr else_e = parse_ternary();
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Ternary;
+    e->args.push_back(std::move(cond));
+    e->args.push_back(std::move(then_e));
+    e->args.push_back(std::move(else_e));
+    return e;
+  }
+  return cond;
+}
+
+ExprPtr Parser::parse_logical_or() {
+  ExprPtr lhs = parse_logical_and();
+  while (peek().is_punct("||")) {
+    const Token op = consume();
+    lhs = mk_binary("||", std::move(lhs), parse_logical_and(), op);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_logical_and() {
+  ExprPtr lhs = parse_bit_or();
+  while (peek().is_punct("&&")) {
+    const Token op = consume();
+    lhs = mk_binary("&&", std::move(lhs), parse_bit_or(), op);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_bit_or() {
+  ExprPtr lhs = parse_bit_xor();
+  while (peek().is_punct("|")) {
+    const Token op = consume();
+    lhs = mk_binary("|", std::move(lhs), parse_bit_xor(), op);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_bit_xor() {
+  ExprPtr lhs = parse_bit_and();
+  while (peek().is_punct("^") || peek().is_punct("~^") || peek().is_punct("^~")) {
+    const Token op = consume();
+    lhs = mk_binary(op.text == "^" ? "^" : "~^", std::move(lhs), parse_bit_and(), op);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_bit_and() {
+  ExprPtr lhs = parse_equality();
+  while (peek().is_punct("&")) {
+    const Token op = consume();
+    lhs = mk_binary("&", std::move(lhs), parse_equality(), op);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_equality() {
+  ExprPtr lhs = parse_relational();
+  while (peek().is_punct("==") || peek().is_punct("!=") || peek().is_punct("===") ||
+         peek().is_punct("!==")) {
+    const Token op = consume();
+    const std::string norm = (op.text == "===") ? "==" : (op.text == "!==") ? "!=" : op.text;
+    lhs = mk_binary(norm, std::move(lhs), parse_relational(), op);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_relational() {
+  ExprPtr lhs = parse_shift();
+  while (peek().is_punct("<") || peek().is_punct("<=") || peek().is_punct(">") ||
+         peek().is_punct(">=")) {
+    const Token op = consume();
+    lhs = mk_binary(op.text, std::move(lhs), parse_shift(), op);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_shift() {
+  ExprPtr lhs = parse_additive();
+  while (peek().is_punct("<<") || peek().is_punct(">>") || peek().is_punct("<<<") ||
+         peek().is_punct(">>>")) {
+    const Token op = consume();
+    lhs = mk_binary(op.text, std::move(lhs), parse_additive(), op);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_additive() {
+  ExprPtr lhs = parse_multiplicative();
+  while (peek().is_punct("+") || peek().is_punct("-")) {
+    const Token op = consume();
+    lhs = mk_binary(op.text, std::move(lhs), parse_multiplicative(), op);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_multiplicative() {
+  ExprPtr lhs = parse_unary();
+  while (peek().is_punct("*") || peek().is_punct("/") || peek().is_punct("%")) {
+    const Token op = consume();
+    lhs = mk_binary(op.text, std::move(lhs), parse_unary(), op);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_unary() {
+  static const char* kUnary[] = {"!", "~", "-", "+", "&", "|", "^", "~&", "~|", "~^"};
+  for (const char* op : kUnary) {
+    if (peek().is_punct(op)) {
+      const Token tok = consume();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Unary;
+      e->text = op;
+      e->line = tok.line;
+      e->col = tok.col;
+      e->args.push_back(parse_unary());
+      return e;
+    }
+  }
+  return parse_postfix();
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr base = parse_primary();
+  while (peek().is_punct("[")) {
+    consume();
+    ExprPtr first = expression();
+    if (accept_punct(":")) {
+      // Constant part select: both bounds must be numbers after parse.
+      ExprPtr second = expression();
+      if (first->kind != Expr::Kind::Number || second->kind != Expr::Kind::Number) {
+        fail("part-select bounds must be constant");
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Range;
+      e->msb = static_cast<unsigned>(first->value);
+      e->lsb = static_cast<unsigned>(second->value);
+      e->args.push_back(std::move(base));
+      base = std::move(e);
+    } else {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Index;
+      e->args.push_back(std::move(base));
+      e->args.push_back(std::move(first));
+      base = std::move(e);
+    }
+    expect_punct("]");
+  }
+  return base;
+}
+
+ExprPtr Parser::parse_primary() {
+  const Token& t = peek();
+
+  if (t.is(TokKind::Number)) {
+    const Token tok = consume();
+    return Expr::number(tok.value, tok.width, tok.sized);
+  }
+
+  if (t.is_punct("(")) {
+    consume();
+    ExprPtr inner = expression();
+    expect_punct(")");
+    return inner;
+  }
+
+  if (t.is_punct("{")) {
+    consume();
+    // Could be concat {a, b, ...} or replication {N{x}}.
+    ExprPtr first = expression();
+    if (peek().is_punct("{")) {
+      if (first->kind != Expr::Kind::Number) fail("replication count must be constant");
+      consume();
+      ExprPtr item = expression();
+      expect_punct("}");
+      expect_punct("}");
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Repl;
+      e->value = first->value;
+      e->args.push_back(std::move(item));
+      return e;
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Concat;
+    e->args.push_back(std::move(first));
+    while (accept_punct(",")) e->args.push_back(expression());
+    expect_punct("}");
+    return e;
+  }
+
+  if (t.is(TokKind::Identifier)) {
+    if (is_keyword(t.text)) fail("unexpected keyword '" + t.text + "' in expression");
+    const Token tok = consume();
+    // $system call or plain identifier.
+    if (tok.text[0] == '$' && peek().is_punct("(")) {
+      consume();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Call;
+      e->text = tok.text;
+      e->line = tok.line;
+      e->col = tok.col;
+      if (!peek().is_punct(")")) {
+        e->args.push_back(expression());
+        while (accept_punct(",")) e->args.push_back(expression());
+      }
+      expect_punct(")");
+      return e;
+    }
+    auto e = Expr::id(tok.text);
+    e->line = tok.line;
+    e->col = tok.col;
+    return e;
+  }
+
+  fail("expected expression, found '" + t.text + "'");
+}
+
+// --- module structure ----------------------------------------------------------------
+
+unsigned Parser::parse_range_width() {
+  // '[' msb ':' lsb ']' — lsb must be 0 in this subset.
+  expect_punct("[");
+  ExprPtr msb = expression();
+  expect_punct(":");
+  ExprPtr lsb = expression();
+  expect_punct("]");
+  if (msb->kind != Expr::Kind::Number || lsb->kind != Expr::Kind::Number) {
+    fail("range bounds must be constant literals");
+  }
+  if (lsb->value != 0) fail("only [msb:0] ranges are supported");
+  if (msb->value > 63) fail("vectors wider than 64 bits are not supported");
+  return static_cast<unsigned>(msb->value) + 1;
+}
+
+void Parser::parse_decl(Module& m, PortDir dir, bool in_port_list) {
+  // [net kind] [range] name {, name}
+  NetKind net = NetKind::Logic;
+  if (accept_id("wire")) net = NetKind::Wire;
+  else if (accept_id("reg")) net = NetKind::Reg;
+  else if (accept_id("logic") || accept_id("bit") || accept_id("integer")) net = NetKind::Logic;
+
+  unsigned width = 1;
+  if (peek().is_punct("[")) width = parse_range_width();
+
+  while (true) {
+    SignalDecl decl;
+    decl.dir = dir;
+    decl.net = net;
+    decl.width = width;
+    decl.line = peek().line;
+    decl.name = expect_identifier();
+    if (accept_punct("=")) decl.init = expression();
+    m.signals.push_back(std::move(decl));
+    if (in_port_list) return;  // port list handles its own commas
+    if (!accept_punct(",")) break;
+  }
+  expect_punct(";");
+}
+
+void Parser::parse_port_list(Module& m) {
+  expect_punct("(");
+  if (accept_punct(")")) return;
+
+  PortDir dir = PortDir::None;
+  NetKind net = NetKind::Logic;
+  unsigned width = 1;
+  while (true) {
+    // Direction/type are sticky across commas until re-declared.
+    if (accept_id("input")) {
+      dir = PortDir::Input;
+      net = NetKind::Logic;
+      width = 1;
+    } else if (accept_id("output")) {
+      dir = PortDir::Output;
+      net = NetKind::Logic;
+      width = 1;
+    } else if (accept_id("inout")) {
+      dir = PortDir::Inout;
+      net = NetKind::Logic;
+      width = 1;
+    }
+    if (accept_id("wire")) net = NetKind::Wire;
+    else if (accept_id("reg")) net = NetKind::Reg;
+    else if (accept_id("logic") || accept_id("bit")) net = NetKind::Logic;
+    if (peek().is_punct("[")) width = parse_range_width();
+
+    SignalDecl decl;
+    decl.dir = dir;
+    decl.net = net;
+    decl.width = width;
+    decl.line = peek().line;
+    decl.name = expect_identifier();
+    m.signals.push_back(std::move(decl));
+
+    if (accept_punct(",")) continue;
+    expect_punct(")");
+    break;
+  }
+}
+
+AlwaysBlock Parser::parse_always(bool ff_variant, bool comb_variant) {
+  AlwaysBlock block;
+  block.line = peek().line;
+
+  if (comb_variant) {
+    block.combinational = true;
+    block.body = parse_statement();
+    return block;
+  }
+
+  // always / always_ff @(...)
+  expect_punct("@");
+  if (accept_punct("(")) {
+    if (accept_punct("*")) {
+      block.combinational = true;
+      expect_punct(")");
+      block.body = parse_statement();
+      return block;
+    }
+    // posedge clk [or (posedge|negedge) rst]
+    while (true) {
+      bool negedge = false;
+      if (accept_id("posedge")) {
+        negedge = false;
+      } else if (accept_id("negedge")) {
+        negedge = true;
+      } else {
+        fail("expected posedge/negedge in sensitivity list");
+      }
+      const std::string sig = expect_identifier();
+      if (block.clock.empty()) {
+        if (negedge) fail("negedge clocks are not supported");
+        block.clock = sig;
+      } else if (block.reset.empty()) {
+        block.reset = sig;
+        block.reset_active_low = negedge;
+      } else {
+        fail("at most two sensitivity items (clock + async reset) supported");
+      }
+      if (accept_id("or") || accept_punct(",")) continue;
+      break;
+    }
+    expect_punct(")");
+  } else if (accept_punct("*")) {  // "@*"
+    block.combinational = true;
+  } else {
+    fail("expected '(' or '*' after '@'");
+  }
+  if (ff_variant && block.clock.empty() && !block.combinational) {
+    fail("always_ff requires a posedge clock");
+  }
+  block.body = parse_statement();
+  return block;
+}
+
+StmtPtr Parser::parse_statement() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->line = peek().line;
+  stmt->col = peek().col;
+
+  if (accept_id("begin")) {
+    stmt->kind = Stmt::Kind::Block;
+    while (!peek().is_id("end")) {
+      if (at_end()) fail("unterminated begin/end block");
+      stmt->body.push_back(parse_statement());
+    }
+    expect_id("end");
+    return stmt;
+  }
+
+  if (accept_id("if")) {
+    stmt->kind = Stmt::Kind::If;
+    expect_punct("(");
+    stmt->cond = expression();
+    expect_punct(")");
+    stmt->then_stmt = parse_statement();
+    if (accept_id("else")) stmt->else_stmt = parse_statement();
+    return stmt;
+  }
+
+  if (accept_id("case")) {
+    stmt->kind = Stmt::Kind::Case;
+    expect_punct("(");
+    stmt->subject = expression();
+    expect_punct(")");
+    while (!peek().is_id("endcase")) {
+      if (at_end()) fail("unterminated case");
+      CaseItem item;
+      if (accept_id("default")) {
+        accept_punct(":");
+      } else {
+        item.labels.push_back(expression());
+        while (accept_punct(",")) item.labels.push_back(expression());
+        expect_punct(":");
+      }
+      item.body = parse_statement();
+      stmt->items.push_back(std::move(item));
+    }
+    expect_id("endcase");
+    return stmt;
+  }
+
+  if (accept_punct(";")) {
+    stmt->kind = Stmt::Kind::Empty;
+    return stmt;
+  }
+
+  // Assignment: lvalue (<=, =, ++, --) …
+  ExprPtr lhs = parse_postfix();
+  if (accept_punct("<=")) {
+    stmt->kind = Stmt::Kind::Nonblocking;
+    stmt->lhs = std::move(lhs);
+    stmt->rhs = expression();
+  } else if (accept_punct("=")) {
+    stmt->kind = Stmt::Kind::Blocking;
+    stmt->lhs = std::move(lhs);
+    stmt->rhs = expression();
+  } else if (peek().is_punct("++") || peek().is_punct("--")) {
+    stmt->kind = Stmt::Kind::IncDec;
+    stmt->text = consume().text;
+    stmt->lhs = std::move(lhs);
+  } else {
+    fail("expected assignment operator, found '" + peek().text + "'");
+  }
+  expect_punct(";");
+  return stmt;
+}
+
+void Parser::parse_module_item(Module& m) {
+  if (accept_id("parameter") || accept_id("localparam")) {
+    // parameter [type] name = expr {, name = expr};
+    accept_id("integer");
+    accept_id("logic");
+    if (peek().is_punct("[")) parse_range_width();
+    while (true) {
+      ParamDecl p;
+      p.name = expect_identifier();
+      expect_punct("=");
+      p.value = expression();
+      m.params.push_back(std::move(p));
+      if (!accept_punct(",")) break;
+    }
+    expect_punct(";");
+    return;
+  }
+
+  if (accept_id("input")) return parse_decl(m, PortDir::Input, false);
+  if (accept_id("output")) return parse_decl(m, PortDir::Output, false);
+  if (accept_id("inout")) return parse_decl(m, PortDir::Inout, false);
+  if (peek().is_id("wire") || peek().is_id("reg") || peek().is_id("logic") ||
+      peek().is_id("bit") || peek().is_id("integer")) {
+    return parse_decl(m, PortDir::None, false);
+  }
+
+  if (accept_id("assign")) {
+    ContAssign a;
+    a.line = peek().line;
+    a.lhs = parse_postfix();
+    expect_punct("=");
+    a.rhs = expression();
+    expect_punct(";");
+    m.assigns.push_back(std::move(a));
+    return;
+  }
+
+  if (accept_id("always_ff")) {
+    m.always_blocks.push_back(parse_always(/*ff=*/true, /*comb=*/false));
+    return;
+  }
+  if (accept_id("always_comb")) {
+    m.always_blocks.push_back(parse_always(/*ff=*/false, /*comb=*/true));
+    return;
+  }
+  if (accept_id("always")) {
+    m.always_blocks.push_back(parse_always(/*ff=*/false, /*comb=*/false));
+    return;
+  }
+
+  fail("unexpected token '" + peek().text + "' in module body");
+}
+
+Module Parser::module() {
+  Module m;
+  expect_id("module");
+  m.name = expect_identifier();
+  if (peek().is_punct("(")) parse_port_list(m);
+  expect_punct(";");
+  while (!peek().is_id("endmodule")) {
+    if (at_end()) fail("missing endmodule");
+    parse_module_item(m);
+  }
+  expect_id("endmodule");
+  return m;
+}
+
+Module parse_module(const std::string& source) {
+  Parser parser(lex(source));
+  return parser.module();
+}
+
+ExprPtr parse_expression(const std::string& source) {
+  Parser parser(lex(source));
+  ExprPtr e = parser.expression();
+  if (!parser.at_end()) {
+    parser.fail("trailing tokens after expression");
+  }
+  return e;
+}
+
+}  // namespace genfv::hdl

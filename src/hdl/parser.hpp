@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file parser.hpp
+/// Recursive-descent parser for the Verilog subset, plus a standalone
+/// expression entry point reused by the SVA frontend.
+///
+/// Supported subset (everything the paper's designs need, and then some):
+///   module/endmodule with ANSI port lists; input/output/inout;
+///   wire/reg/logic declarations with [msb:0] ranges and initializers;
+///   parameter/localparam; assign; always_ff/always_comb/always @(...)
+///   with posedge clock and optional posedge/negedge async reset;
+///   begin/end, if/else, case/endcase (incl. default);
+///   blocking (=), nonblocking (<=) assignments and ++/--;
+///   full expression grammar with Verilog precedence: ?:, ||, &&, |, ^ ~^,
+///   &, == !=, < <= > >=, << >> <<< >>>, + -, * / %, unary ! ~ - + & | ^
+///   ~& ~| ~^, concatenation {..}, replication {N{..}}, bit/part select,
+///   sized/unsigned literals, $function calls.
+
+#include <string>
+
+#include "hdl/ast.hpp"
+#include "hdl/token.hpp"
+
+namespace genfv::hdl {
+
+/// Parse a complete module. Throws ParseError with line:col locations.
+Module parse_module(const std::string& source);
+
+/// Parse a standalone expression (used by the SVA frontend). The expression
+/// grammar includes SVA-specific binary operators `|->` and `|=>` at lowest
+/// precedence (they parse into Binary nodes with those spellings).
+ExprPtr parse_expression(const std::string& source);
+
+/// Internal: expression parser over a token stream; exposed for the SVA
+/// parser, which owns the token cursor.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Module module();
+  ExprPtr expression();
+
+  const Token& peek(std::size_t ahead = 0) const;
+  Token consume();
+  bool accept_punct(std::string_view p);
+  void expect_punct(std::string_view p);
+  bool accept_id(std::string_view name);
+  void expect_id(std::string_view name);
+  std::string expect_identifier();
+  bool at_end() const { return peek().is(TokKind::End); }
+
+  [[noreturn]] void fail(const std::string& message) const;
+
+ private:
+  // Expression precedence ladder (lowest to highest binding).
+  ExprPtr parse_implication();  // |->  |=>   (SVA layer)
+  ExprPtr parse_ternary();
+  ExprPtr parse_logical_or();
+  ExprPtr parse_logical_and();
+  ExprPtr parse_bit_or();
+  ExprPtr parse_bit_xor();
+  ExprPtr parse_bit_and();
+  ExprPtr parse_equality();
+  ExprPtr parse_relational();
+  ExprPtr parse_shift();
+  ExprPtr parse_additive();
+  ExprPtr parse_multiplicative();
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+
+  // Module structure.
+  void parse_port_list(Module& m);
+  void parse_module_item(Module& m);
+  void parse_decl(Module& m, PortDir dir, bool in_port_list);
+  StmtPtr parse_statement();
+  AlwaysBlock parse_always(bool ff_variant, bool comb_variant);
+  unsigned parse_range_width();
+
+  ExprPtr mk_binary(std::string op, ExprPtr lhs, ExprPtr rhs, const Token& at);
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace genfv::hdl

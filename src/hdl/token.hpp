@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file token.hpp
+/// Token model shared by the HDL (Verilog-subset) and SVA frontends.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace genfv::hdl {
+
+enum class TokKind : std::uint8_t {
+  Identifier,  ///< names, keywords, $system functions
+  Number,      ///< sized or unsized literal
+  Punct,       ///< operators and delimiters (text holds the spelling)
+  End,         ///< end of input
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+
+  // Number payload
+  std::uint64_t value = 0;
+  unsigned width = 32;
+  bool sized = false;
+
+  int line = 0;
+  int col = 0;
+
+  bool is(TokKind k) const noexcept { return kind == k; }
+  bool is_punct(std::string_view p) const noexcept {
+    return kind == TokKind::Punct && text == p;
+  }
+  bool is_id(std::string_view name) const noexcept {
+    return kind == TokKind::Identifier && text == name;
+  }
+
+  std::string location() const { return std::to_string(line) + ":" + std::to_string(col); }
+};
+
+}  // namespace genfv::hdl

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file node.hpp
+/// Immutable, hash-consed expression nodes. Nodes are created exclusively by
+/// `NodeManager` and referenced by raw non-owning pointers (`NodeRef`); the
+/// manager owns all nodes for its lifetime, so refs never dangle while the
+/// manager (and any `TransitionSystem` sharing it) is alive.
+///
+/// Width discipline: every node has a width in [1, 64]. Bool is width 1.
+/// Constant values are stored masked to their width.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ops.hpp"
+
+namespace genfv::ir {
+
+class Node;
+using NodeRef = const Node*;
+
+class Node {
+ public:
+  Op op() const noexcept { return op_; }
+  unsigned width() const noexcept { return width_; }
+  std::uint32_t id() const noexcept { return id_; }
+
+  /// Constant payload; meaningful only when op() == Op::Const.
+  std::uint64_t value() const noexcept { return value_; }
+
+  /// Extract parameters [hi:lo]; meaningful only for Op::Extract.
+  unsigned hi() const noexcept { return param0_; }
+  unsigned lo() const noexcept { return param1_; }
+
+  /// Leaf name; meaningful for Op::Input / Op::State.
+  const std::string& name() const noexcept { return name_; }
+
+  const std::vector<NodeRef>& children() const noexcept { return children_; }
+  NodeRef child(std::size_t i) const { return children_.at(i); }
+  std::size_t arity() const noexcept { return children_.size(); }
+
+  bool is_const() const noexcept { return op_ == Op::Const; }
+  bool is_leaf() const noexcept { return ir::is_leaf(op_); }
+  bool is_bool() const noexcept { return width_ == 1; }
+
+  /// True iff this is the constant 0 / constant all-ones of its width.
+  bool is_zero() const noexcept { return is_const() && value_ == 0; }
+  bool is_ones() const noexcept {
+    return is_const() && value_ == (width_ >= 64 ? ~0ULL : ((1ULL << width_) - 1));
+  }
+
+ private:
+  friend class NodeManager;
+  Node() = default;
+
+  Op op_ = Op::Const;
+  unsigned width_ = 1;
+  std::uint32_t id_ = 0;
+  std::uint64_t value_ = 0;
+  unsigned param0_ = 0;
+  unsigned param1_ = 0;
+  std::string name_;
+  std::vector<NodeRef> children_;
+};
+
+/// Mask covering `width` low bits (width in [1,64]).
+constexpr std::uint64_t width_mask(unsigned width) noexcept {
+  return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+
+}  // namespace genfv::ir

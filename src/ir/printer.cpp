@@ -1,0 +1,157 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace genfv::ir {
+
+namespace {
+
+const char* infix_symbol(Op op) {
+  switch (op) {
+    case Op::And: return " & ";
+    case Op::Or: return " | ";
+    case Op::Xor: return " ^ ";
+    case Op::Add: return " + ";
+    case Op::Sub: return " - ";
+    case Op::Mul: return " * ";
+    case Op::Udiv: return " / ";
+    case Op::Urem: return " % ";
+    case Op::Shl: return " << ";
+    case Op::Lshr: return " >> ";
+    case Op::Ashr: return " >>> ";
+    case Op::Eq: return " == ";
+    case Op::Ult: return " < ";
+    case Op::Ule: return " <= ";
+    case Op::Slt: return " <s ";
+    case Op::Sle: return " <=s ";
+    case Op::Implies: return " -> ";
+    default: return nullptr;
+  }
+}
+
+void render(NodeRef n, std::string& out) {
+  switch (n->op()) {
+    case Op::Const:
+      out += util::hex_literal(n->value(), n->width());
+      return;
+    case Op::Input:
+    case Op::State:
+      out += n->name();
+      return;
+    case Op::Not:
+      out += n->width() == 1 ? "!" : "~";
+      render(n->child(0), out);
+      return;
+    case Op::Neg:
+      out += "-";
+      render(n->child(0), out);
+      return;
+    case Op::RedAnd:
+      out += "&";
+      render(n->child(0), out);
+      return;
+    case Op::RedOr:
+      out += "|";
+      render(n->child(0), out);
+      return;
+    case Op::RedXor:
+      out += "^";
+      render(n->child(0), out);
+      return;
+    case Op::Extract: {
+      render(n->child(0), out);
+      out += '[';
+      out += std::to_string(n->hi());
+      if (n->hi() != n->lo()) {
+        out += ':';
+        out += std::to_string(n->lo());
+      }
+      out += ']';
+      return;
+    }
+    case Op::ZExt:
+      out += "zext" + std::to_string(n->width()) + "(";
+      render(n->child(0), out);
+      out += ')';
+      return;
+    case Op::SExt:
+      out += "sext" + std::to_string(n->width()) + "(";
+      render(n->child(0), out);
+      out += ')';
+      return;
+    case Op::Concat:
+      out += '{';
+      render(n->child(0), out);
+      out += ", ";
+      render(n->child(1), out);
+      out += '}';
+      return;
+    case Op::Ite:
+      out += '(';
+      render(n->child(0), out);
+      out += " ? ";
+      render(n->child(1), out);
+      out += " : ";
+      render(n->child(2), out);
+      out += ')';
+      return;
+    default: {
+      const char* sym = infix_symbol(n->op());
+      if (sym != nullptr && n->arity() == 2) {
+        out += '(';
+        render(n->child(0), out);
+        out += sym;
+        render(n->child(1), out);
+        out += ')';
+        return;
+      }
+      // Fallback: prefix form.
+      out += std::string(op_name(n->op())) + '(';
+      for (std::size_t i = 0; i < n->arity(); ++i) {
+        if (i != 0) out += ", ";
+        render(n->child(i), out);
+      }
+      out += ')';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(NodeRef node) {
+  std::string out;
+  render(node, out);
+  return out;
+}
+
+std::string describe(const TransitionSystem& ts) {
+  std::ostringstream out;
+  out << "system " << (ts.name().empty() ? "<anonymous>" : ts.name()) << '\n';
+  out << "  inputs:\n";
+  for (const NodeRef in : ts.inputs()) {
+    out << "    " << in->name() << " : bv" << in->width() << '\n';
+  }
+  out << "  states:\n";
+  for (const auto& s : ts.states()) {
+    out << "    " << s.var->name() << " : bv" << s.var->width();
+    if (s.init != nullptr) out << "  init " << to_string(s.init);
+    if (s.next != nullptr) out << "  next " << to_string(s.next);
+    out << '\n';
+  }
+  if (!ts.constraints().empty()) {
+    out << "  constraints:\n";
+    for (const NodeRef c : ts.constraints()) out << "    " << to_string(c) << '\n';
+  }
+  if (!ts.properties().empty()) {
+    out << "  properties:\n";
+    for (const auto& p : ts.properties()) {
+      out << "    " << p.name << ": " << to_string(p.expr) << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace genfv::ir

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file printer.hpp
+/// Human-readable rendering of IR expressions and transition systems —
+/// used by diagnostics, flow reports and the simulated LLM's "reading" of
+/// the design.
+
+#include <string>
+
+#include "ir/transition_system.hpp"
+
+namespace genfv::ir {
+
+/// Infix rendering, e.g. "(count1 == count2)". Shared subtrees are inlined
+/// (fine for diagnostics; not a serialization format).
+std::string to_string(NodeRef node);
+
+/// Multi-line summary of a transition system (inputs, states with init/next,
+/// constraints, properties).
+std::string describe(const TransitionSystem& ts);
+
+}  // namespace genfv::ir

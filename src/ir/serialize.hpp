@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Text serialization of transition systems, in a BTOR2-inspired line
+/// format. Lets users dump an elaborated design to disk, diff two
+/// elaborations, and reload systems without re-running the HDL frontend
+/// (e.g. to archive the exact model a proof was produced on).
+///
+/// Format (one definition per line, SSA-style ids):
+///   genfv-ts 1
+///   name <module-name>
+///   1 input <width> <name>
+///   2 state <width> <name>
+///   3 const <width> <hex-value>
+///   4 add <width> 2 3
+///   5 extract <width> 4 <hi> <lo>
+///   init 2 3
+///   next 2 4
+///   constraint 5
+///   property <role> <name-token> 5 # <source text...>
+///   signal <name> 4
+/// Ids refer to earlier lines only; names are whitespace-free tokens.
+
+#include <string>
+
+#include "ir/transition_system.hpp"
+
+namespace genfv::ir {
+
+/// Serialize `ts` to the text format above.
+std::string serialize(const TransitionSystem& ts);
+
+/// Parse a serialized system. Throws ParseError on malformed input.
+/// The result owns a fresh NodeManager.
+TransitionSystem deserialize(const std::string& text);
+
+}  // namespace genfv::ir

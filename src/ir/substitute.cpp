@@ -1,0 +1,112 @@
+#include "ir/substitute.hpp"
+
+#include <unordered_set>
+
+#include "util/status.hpp"
+
+namespace genfv::ir {
+
+namespace {
+
+/// Iterative post-order walk shared by the utilities below. Calls `visit`
+/// exactly once per distinct node, children first.
+template <typename Visit>
+void postorder(NodeRef root, Visit&& visit) {
+  std::unordered_set<NodeRef> done;
+  std::vector<std::pair<NodeRef, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    auto [node, expanded] = stack.back();
+    stack.pop_back();
+    if (done.contains(node)) continue;
+    if (expanded) {
+      done.insert(node);
+      visit(node);
+      continue;
+    }
+    stack.push_back({node, true});
+    for (const NodeRef c : node->children()) {
+      if (!done.contains(c)) stack.push_back({c, false});
+    }
+  }
+}
+
+}  // namespace
+
+NodeRef substitute(NodeRef root, const Substitution& subst, NodeManager& nm) {
+  std::unordered_map<NodeRef, NodeRef> memo;
+  postorder(root, [&](NodeRef n) {
+    // Leaf replacement.
+    if (const auto it = subst.find(n); it != subst.end()) {
+      GENFV_ASSERT(it->second->width() == n->width(), "substitute: width mismatch");
+      memo[n] = it->second;
+      return;
+    }
+    if (n->is_leaf()) {
+      memo[n] = n;
+      return;
+    }
+    std::vector<NodeRef> kids;
+    kids.reserve(n->arity());
+    bool changed = false;
+    for (const NodeRef c : n->children()) {
+      const NodeRef image = memo.at(c);
+      changed |= (image != c);
+      kids.push_back(image);
+    }
+    if (!changed) {
+      memo[n] = n;
+      return;
+    }
+    // Rebuild through the public builders so folding/consing reapply.
+    switch (n->op()) {
+      case Op::Not: memo[n] = nm.mk_not(kids[0]); break;
+      case Op::And: memo[n] = nm.mk_and(kids[0], kids[1]); break;
+      case Op::Or: memo[n] = nm.mk_or(kids[0], kids[1]); break;
+      case Op::Xor: memo[n] = nm.mk_xor(kids[0], kids[1]); break;
+      case Op::Neg: memo[n] = nm.mk_neg(kids[0]); break;
+      case Op::Add: memo[n] = nm.mk_add(kids[0], kids[1]); break;
+      case Op::Sub: memo[n] = nm.mk_sub(kids[0], kids[1]); break;
+      case Op::Mul: memo[n] = nm.mk_mul(kids[0], kids[1]); break;
+      case Op::Udiv: memo[n] = nm.mk_udiv(kids[0], kids[1]); break;
+      case Op::Urem: memo[n] = nm.mk_urem(kids[0], kids[1]); break;
+      case Op::Shl: memo[n] = nm.mk_shl(kids[0], kids[1]); break;
+      case Op::Lshr: memo[n] = nm.mk_lshr(kids[0], kids[1]); break;
+      case Op::Ashr: memo[n] = nm.mk_ashr(kids[0], kids[1]); break;
+      case Op::Eq: memo[n] = nm.mk_eq(kids[0], kids[1]); break;
+      case Op::Ult: memo[n] = nm.mk_ult(kids[0], kids[1]); break;
+      case Op::Ule: memo[n] = nm.mk_ule(kids[0], kids[1]); break;
+      case Op::Slt: memo[n] = nm.mk_slt(kids[0], kids[1]); break;
+      case Op::Sle: memo[n] = nm.mk_sle(kids[0], kids[1]); break;
+      case Op::Concat: memo[n] = nm.mk_concat(kids[0], kids[1]); break;
+      case Op::Extract: memo[n] = nm.mk_extract(kids[0], n->hi(), n->lo()); break;
+      case Op::ZExt: memo[n] = nm.mk_zext(kids[0], n->width()); break;
+      case Op::SExt: memo[n] = nm.mk_sext(kids[0], n->width()); break;
+      case Op::Ite: memo[n] = nm.mk_ite(kids[0], kids[1], kids[2]); break;
+      case Op::RedAnd: memo[n] = nm.mk_redand(kids[0]); break;
+      case Op::RedOr: memo[n] = nm.mk_redor(kids[0]); break;
+      case Op::RedXor: memo[n] = nm.mk_redxor(kids[0]); break;
+      case Op::Implies: memo[n] = nm.mk_implies(kids[0], kids[1]); break;
+      case Op::Const:
+      case Op::Input:
+      case Op::State:
+        GENFV_ASSERT(false, "leaf reached in rebuild branch");
+    }
+  });
+  return memo.at(root);
+}
+
+std::vector<NodeRef> collect_leaves(NodeRef root) {
+  std::vector<NodeRef> leaves;
+  postorder(root, [&](NodeRef n) {
+    if (n->op() == Op::Input || n->op() == Op::State) leaves.push_back(n);
+  });
+  return leaves;
+}
+
+std::size_t dag_size(NodeRef root) {
+  std::size_t count = 0;
+  postorder(root, [&count](NodeRef) { ++count; });
+  return count;
+}
+
+}  // namespace genfv::ir

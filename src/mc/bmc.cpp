@@ -1,0 +1,54 @@
+#include "mc/bmc.hpp"
+
+#include "util/stopwatch.hpp"
+
+namespace genfv::mc {
+
+BmcEngine::BmcEngine(const ir::TransitionSystem& ts, BmcOptions options)
+    : ts_(ts), options_(std::move(options)) {}
+
+BmcResult BmcEngine::check(ir::NodeRef property) {
+  util::Stopwatch watch;
+  BmcResult result;
+
+  sat::Solver solver;
+  solver.set_conflict_budget(options_.conflict_budget);
+  Unroller unroller(ts_, solver);
+  unroller.assert_init();
+
+  for (std::size_t depth = 0; depth <= options_.max_depth; ++depth) {
+    unroller.extend_to(depth);
+    for (const ir::NodeRef lemma : options_.lemmas) {
+      unroller.assert_at(lemma, depth);
+    }
+
+    // Query: can the property fail exactly at `depth`?
+    const sat::Lit bad = ~unroller.lit_at(property, depth);
+    ++result.stats.sat_calls;
+    const sat::LBool answer = solver.solve({bad});
+
+    if (answer == sat::LBool::True) {
+      result.verdict = Verdict::Falsified;
+      result.depth = depth;
+      result.cex = unroller.extract_trace(depth + 1);
+      break;
+    }
+    if (answer == sat::LBool::Undef) {  // budget exhausted
+      result.verdict = Verdict::Unknown;
+      result.depth = depth;
+      break;
+    }
+    // UNSAT at this depth: the property holds at `depth`; pin it down so
+    // later frames benefit and move on.
+    solver.add_clause(~bad);
+    result.depth = depth;
+  }
+
+  result.stats.conflicts = solver.stats().conflicts;
+  result.stats.decisions = solver.stats().decisions;
+  result.stats.propagations = solver.stats().propagations;
+  result.stats.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace genfv::mc

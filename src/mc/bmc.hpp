@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file bmc.hpp
+/// Bounded model checking: search for a property violation reachable from
+/// the initial states within a growing bound. BMC "can find bugs in large
+/// designs, [but] the correctness of a property is guaranteed only for the
+/// analysis bound" (paper §II-A) — the E6 bench demonstrates exactly that
+/// contrast against k-induction.
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/result.hpp"
+#include "mc/unroller.hpp"
+
+namespace genfv::mc {
+
+struct BmcOptions {
+  std::size_t max_depth = 64;
+  /// Proven invariants assumed at every frame (sound, they restrict nothing
+  /// reachable); used when re-checking targets under lemmas.
+  std::vector<ir::NodeRef> lemmas;
+  /// Best-effort cap on SAT conflicts per solve; -1 = unlimited.
+  std::int64_t conflict_budget = -1;
+};
+
+class BmcEngine {
+ public:
+  BmcEngine(const ir::TransitionSystem& ts, BmcOptions options = {});
+
+  /// Check `property` up to the configured bound.
+  ///  * Falsified: returns the shortest counterexample trace.
+  ///  * Unknown: no violation within max_depth (BMC can never return Proven).
+  BmcResult check(ir::NodeRef property);
+
+ private:
+  const ir::TransitionSystem& ts_;
+  BmcOptions options_;
+};
+
+}  // namespace genfv::mc

@@ -1,0 +1,98 @@
+#include "mc/kinduction.hpp"
+
+#include "util/status.hpp"
+#include "util/stopwatch.hpp"
+
+namespace genfv::mc {
+
+KInductionEngine::KInductionEngine(const ir::TransitionSystem& ts, KInductionOptions options)
+    : ts_(ts), options_(std::move(options)) {}
+
+InductionResult KInductionEngine::prove(ir::NodeRef property) {
+  return prove_all({property});
+}
+
+InductionResult KInductionEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
+  GENFV_ASSERT(!properties.empty(), "prove_all requires at least one property");
+  util::Stopwatch watch;
+  InductionResult result;
+
+  // The conjunction of all properties (and it is what gets assumed on
+  // earlier frames, making this *mutual* induction).
+  auto nm = ts_.nm_ptr();
+  ir::NodeRef prop = nm->mk_true();
+  for (const ir::NodeRef p : properties) {
+    GENFV_ASSERT(p->width() == 1, "property must have width 1");
+    prop = nm->mk_and(prop, p);
+  }
+
+  sat::Solver base_solver;
+  base_solver.set_conflict_budget(options_.conflict_budget);
+  Unroller base(ts_, base_solver);
+  base.assert_init();
+
+  sat::Solver step_solver;
+  step_solver.set_conflict_budget(options_.conflict_budget);
+  Unroller step(ts_, step_solver);  // no init: arbitrary start state
+
+  // Lemmas are invariants: assert them on every materialized frame.
+  std::size_t base_lemma_frames = 0;
+  std::size_t step_lemma_frames = 0;
+  auto assert_lemmas = [this](Unroller& u, std::size_t& upto, std::size_t frame) {
+    for (; upto <= frame; ++upto) {
+      for (const ir::NodeRef lemma : options_.lemmas) u.assert_at(lemma, upto);
+    }
+  };
+
+  auto finish = [&](Verdict verdict, std::size_t k) {
+    result.verdict = verdict;
+    result.k = k;
+    result.stats.conflicts = base_solver.stats().conflicts + step_solver.stats().conflicts;
+    result.stats.decisions = base_solver.stats().decisions + step_solver.stats().decisions;
+    result.stats.propagations =
+        base_solver.stats().propagations + step_solver.stats().propagations;
+    result.stats.seconds = watch.seconds();
+    return result;
+  };
+
+  for (std::size_t k = 1; k <= options_.max_k; ++k) {
+    // ---- Base case: no violation at depth k-1 from the initial states.
+    base.extend_to(k - 1);
+    assert_lemmas(base, base_lemma_frames, k - 1);
+    const sat::Lit bad_base = ~base.lit_at(prop, k - 1);
+    ++result.stats.sat_calls;
+    const sat::LBool base_answer = base_solver.solve({bad_base});
+    if (base_answer == sat::LBool::True) {
+      result.base_cex = base.extract_trace(k);
+      return finish(Verdict::Falsified, k);
+    }
+    if (base_answer == sat::LBool::Undef) {
+      return finish(Verdict::Unknown, k);
+    }
+    base_solver.add_clause(~bad_base);  // property holds at frame k-1 for good
+
+    // ---- Inductive step: P on frames 0..k-1 forces P at frame k.
+    step.extend_to(k);
+    assert_lemmas(step, step_lemma_frames, k);
+    if (options_.simple_path) {
+      // New frame k must differ from every earlier frame.
+      for (std::size_t i = 0; i < k; ++i) step.assert_states_differ(i, k);
+    }
+    step_solver.add_clause(step.lit_at(prop, k - 1));  // assume P at frame k-1
+    const sat::Lit bad_step = ~step.lit_at(prop, k);
+    ++result.stats.sat_calls;
+    const sat::LBool step_answer = step_solver.solve({bad_step});
+    if (step_answer == sat::LBool::False) {
+      return finish(Verdict::Proven, k);
+    }
+    if (step_answer == sat::LBool::Undef) {
+      return finish(Verdict::Unknown, k);
+    }
+    // Step failed: remember the spurious trace (frames 0..k) for analysis.
+    result.step_cex = step.extract_trace(k + 1);
+  }
+
+  return finish(Verdict::Unknown, options_.max_k);
+}
+
+}  // namespace genfv::mc

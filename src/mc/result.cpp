@@ -1,0 +1,26 @@
+#include "mc/result.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace genfv::mc {
+
+std::string to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Proven: return "proven";
+    case Verdict::Falsified: return "falsified";
+    case Verdict::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+std::string InductionResult::summary() const {
+  std::ostringstream out;
+  out << to_string(verdict) << " (k=" << k << ", " << stats.sat_calls << " SAT calls, "
+      << stats.conflicts << " conflicts, " << util::format_duration(stats.seconds) << ")";
+  if (step_cex.has_value()) out << " [induction-step CEX available]";
+  return out.str();
+}
+
+}  // namespace genfv::mc

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file result.hpp
+/// Verdicts and statistics shared by the BMC and k-induction engines.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace genfv::mc {
+
+enum class Verdict {
+  Proven,     ///< property holds in all reachable states (unbounded)
+  Falsified,  ///< real counterexample from the initial states
+  Unknown,    ///< bound/budget exhausted without a conclusion
+};
+
+std::string to_string(Verdict v);
+
+/// Aggregate effort counters for one engine run.
+struct EngineStats {
+  std::size_t sat_calls = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  double seconds = 0.0;
+
+  EngineStats& operator+=(const EngineStats& other) {
+    sat_calls += other.sat_calls;
+    conflicts += other.conflicts;
+    decisions += other.decisions;
+    propagations += other.propagations;
+    seconds += other.seconds;
+    return *this;
+  }
+};
+
+/// Result of a bounded check.
+struct BmcResult {
+  Verdict verdict = Verdict::Unknown;
+  std::size_t depth = 0;  ///< frames explored / CEX length - 1
+  std::optional<sim::Trace> cex;
+  EngineStats stats;
+};
+
+/// Result of a k-induction proof attempt.
+struct InductionResult {
+  Verdict verdict = Verdict::Unknown;
+  std::size_t k = 0;  ///< induction depth at conclusion (or last attempted)
+  /// Real counterexample from the base case (verdict == Falsified).
+  std::optional<sim::Trace> base_cex;
+  /// Induction-step counterexample: a k+1-frame execution starting from an
+  /// *arbitrary* (possibly unreachable) state that satisfies the property on
+  /// frames 0..k-1 and violates it at frame k. This is exactly the artefact
+  /// the paper feeds to the LLM (Fig. 2 / Fig. 3). Present when the step
+  /// case failed at the last attempted k.
+  std::optional<sim::Trace> step_cex;
+  EngineStats stats;
+
+  bool proven() const noexcept { return verdict == Verdict::Proven; }
+  std::string summary() const;
+};
+
+}  // namespace genfv::mc

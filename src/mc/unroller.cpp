@@ -1,0 +1,105 @@
+#include "mc/unroller.hpp"
+
+#include "util/status.hpp"
+
+namespace genfv::mc {
+
+Unroller::Unroller(const ir::TransitionSystem& ts, sat::Solver& solver)
+    : ts_(ts), solver_(solver), blaster_(solver) {
+  ts_.validate();
+  extend_to(0);
+}
+
+void Unroller::build_frame(std::size_t frame) {
+  GENFV_ASSERT(frame == frames_.size(), "frames must be built in order");
+  bitblast::BlastCache cache;
+
+  // Inputs: fresh variables every frame.
+  for (const ir::NodeRef in : ts_.inputs()) {
+    cache.emplace(in, blaster_.fresh_vector(in->width()));
+  }
+
+  if (frame == 0) {
+    // Frame-0 states: fresh, unconstrained until assert_init().
+    for (const auto& s : ts_.states()) {
+      cache.emplace(s.var, blaster_.fresh_vector(s.var->width()));
+    }
+  } else {
+    // Functional unrolling: next-state expressions of the previous frame.
+    auto& prev = frames_[frame - 1];
+    for (const auto& s : ts_.states()) {
+      cache.emplace(s.var, blaster_.blast(s.next, prev));
+    }
+  }
+  frames_.push_back(std::move(cache));
+
+  // Environment constraints hold at every frame.
+  for (const ir::NodeRef c : ts_.constraints()) {
+    assert_at(c, frame);
+  }
+}
+
+void Unroller::extend_to(std::size_t frame) {
+  while (frames_.size() <= frame) build_frame(frames_.size());
+}
+
+void Unroller::assert_init() {
+  if (init_asserted_) return;
+  init_asserted_ = true;
+  auto& cache = frames_[0];
+  for (const auto& s : ts_.states()) {
+    if (s.init == nullptr) continue;  // unconstrained register
+    const bitblast::Bits init_bits = blaster_.blast(s.init, cache);
+    const bitblast::Bits state_bits = cache.at(s.var);
+    blaster_.assert_equal(state_bits, init_bits);
+  }
+}
+
+sat::Lit Unroller::lit_at(ir::NodeRef expr, std::size_t frame) {
+  GENFV_ASSERT(expr->width() == 1, "lit_at requires a width-1 expression");
+  return bits_at(expr, frame)[0];
+}
+
+const bitblast::Bits& Unroller::bits_at(ir::NodeRef expr, std::size_t frame) {
+  GENFV_ASSERT(frame < frames_.size(), "frame not materialized");
+  return blaster_.blast(expr, frames_[frame]);
+}
+
+void Unroller::assert_at(ir::NodeRef expr, std::size_t frame) {
+  solver_.add_clause(lit_at(expr, frame));
+}
+
+void Unroller::assert_states_differ(std::size_t frame_a, std::size_t frame_b) {
+  std::vector<sat::Lit> diffs;
+  for (const auto& s : ts_.states()) {
+    // Copy: the second bits_at call may rehash the frame cache.
+    const bitblast::Bits a = bits_at(s.var, frame_a);
+    const bitblast::Bits b_bits = bits_at(s.var, frame_b);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      diffs.push_back(blaster_.gate_xor(a[i], b_bits[i]));
+    }
+  }
+  solver_.add_clause(std::move(diffs));
+}
+
+std::uint64_t Unroller::model_value(ir::NodeRef leaf, std::size_t frame) {
+  const auto& bits = bits_at(leaf, frame);
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (solver_.model_value(bits[i]) == sat::LBool::True) value |= (1ULL << i);
+  }
+  return value;
+}
+
+sim::Trace Unroller::extract_trace(std::size_t frames) {
+  sim::Trace trace(&ts_);
+  for (std::size_t f = 0; f < frames; ++f) {
+    sim::Assignment env;
+    for (const ir::NodeRef in : ts_.inputs()) env[in] = model_value(in, f);
+    for (const auto& s : ts_.states()) env[s.var] = model_value(s.var, f);
+    trace.append(std::move(env));
+  }
+  return trace;
+}
+
+}  // namespace genfv::mc

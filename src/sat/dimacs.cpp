@@ -1,0 +1,77 @@
+#include "sat/dimacs.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sat/solver.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace genfv::sat {
+
+Cnf parse_dimacs(const std::string& text) {
+  Cnf cnf;
+  int declared_clauses = -1;
+  std::istringstream in(text);
+  std::string line;
+  std::vector<int> current;
+  while (std::getline(in, line)) {
+    const std::string trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed[0] == 'c') continue;
+    if (trimmed[0] == 'p') {
+      const auto fields = util::split_ws(trimmed);
+      if (fields.size() != 4 || fields[1] != "cnf") {
+        throw ParseError("dimacs: malformed problem line: " + trimmed);
+      }
+      cnf.num_vars = std::atoi(fields[2].c_str());
+      declared_clauses = std::atoi(fields[3].c_str());
+      continue;
+    }
+    for (const auto& token : util::split_ws(trimmed)) {
+      const int lit = std::atoi(token.c_str());
+      if (lit == 0 && token != "0") {
+        throw ParseError("dimacs: bad literal token: " + token);
+      }
+      if (lit == 0) {
+        cnf.clauses.push_back(current);
+        current.clear();
+      } else {
+        if (std::abs(lit) > cnf.num_vars) {
+          throw ParseError("dimacs: literal exceeds declared variable count");
+        }
+        current.push_back(lit);
+      }
+    }
+  }
+  if (!current.empty()) throw ParseError("dimacs: unterminated clause");
+  if (declared_clauses >= 0 &&
+      cnf.clauses.size() != static_cast<std::size_t>(declared_clauses)) {
+    throw ParseError("dimacs: clause count mismatch");
+  }
+  return cnf;
+}
+
+std::string to_dimacs(const Cnf& cnf) {
+  std::ostringstream out;
+  out << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+  for (const auto& clause : cnf.clauses) {
+    for (const int lit : clause) out << lit << ' ';
+    out << "0\n";
+  }
+  return out.str();
+}
+
+bool load_cnf(const Cnf& cnf, Solver& solver) {
+  while (solver.num_vars() < cnf.num_vars) solver.new_var();
+  for (const auto& clause : cnf.clauses) {
+    std::vector<Lit> lits;
+    lits.reserve(clause.size());
+    for (const int lit : clause) {
+      lits.push_back(mk_lit(std::abs(lit) - 1, lit < 0));
+    }
+    if (!solver.add_clause(std::move(lits))) return false;
+  }
+  return true;
+}
+
+}  // namespace genfv::sat

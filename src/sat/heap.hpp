@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file heap.hpp
+/// Indexed binary max-heap over variable activities — the VSIDS decision
+/// order. Supports decrease-key style updates when a variable's activity is
+/// bumped while it sits in the heap.
+
+#include <vector>
+
+#include "sat/types.hpp"
+#include "util/status.hpp"
+
+namespace genfv::sat {
+
+class VarOrderHeap {
+ public:
+  explicit VarOrderHeap(const std::vector<double>& activity) : activity_(activity) {}
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  bool contains(Var v) const noexcept {
+    return v < static_cast<Var>(pos_.size()) && pos_[static_cast<std::size_t>(v)] >= 0;
+  }
+
+  /// Make room for variables up to `v`.
+  void grow_to(Var v) {
+    if (static_cast<std::size_t>(v) >= pos_.size()) {
+      pos_.resize(static_cast<std::size_t>(v) + 1, -1);
+    }
+  }
+
+  void insert(Var v) {
+    grow_to(v);
+    if (contains(v)) return;
+    pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    percolate_up(heap_.size() - 1);
+  }
+
+  /// Re-establish heap order after `v`'s activity increased.
+  void increased(Var v) {
+    if (contains(v)) percolate_up(static_cast<std::size_t>(pos_[static_cast<std::size_t>(v)]));
+  }
+
+  Var pop_max() {
+    GENFV_ASSERT(!heap_.empty(), "pop from empty VarOrderHeap");
+    const Var top = heap_[0];
+    heap_[0] = heap_.back();
+    pos_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_.pop_back();
+    pos_[static_cast<std::size_t>(top)] = -1;
+    if (!heap_.empty()) percolate_down(0);
+    return top;
+  }
+
+ private:
+  bool before(Var a, Var b) const noexcept {
+    return activity_[static_cast<std::size_t>(a)] > activity_[static_cast<std::size_t>(b)];
+  }
+
+  void percolate_up(std::size_t i) {
+    const Var v = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 1;
+      if (!before(v, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+      i = parent;
+    }
+    heap_[i] = v;
+    pos_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+  }
+
+  void percolate_down(std::size_t i) {
+    const Var v = heap_[i];
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      if (left >= heap_.size()) break;
+      const std::size_t right = left + 1;
+      const std::size_t best =
+          (right < heap_.size() && before(heap_[right], heap_[left])) ? right : left;
+      if (!before(heap_[best], v)) break;
+      heap_[i] = heap_[best];
+      pos_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+      i = best;
+    }
+    heap_[i] = v;
+    pos_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+  }
+
+  std::vector<Var> heap_;
+  std::vector<int> pos_;  // var -> heap slot, -1 when absent
+  const std::vector<double>& activity_;
+};
+
+}  // namespace genfv::sat

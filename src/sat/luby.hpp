@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file luby.hpp
+/// The Luby restart sequence (1,1,2,1,1,2,4,...) scaled by a base factor —
+/// the standard universally-optimal restart policy for CDCL search.
+
+namespace genfv::sat {
+
+inline double luby(double y, int x) noexcept {
+  // Find the finite subsequence that contains index x, and the size of it.
+  int size = 1;
+  int seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x = x % size;
+  }
+  double result = 1.0;
+  for (int i = 0; i < seq; ++i) result *= y;
+  return result;
+}
+
+}  // namespace genfv::sat

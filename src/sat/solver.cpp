@@ -1,0 +1,451 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sat/luby.hpp"
+#include "util/status.hpp"
+
+namespace genfv::sat {
+
+Solver::Solver() : order_heap_(activity_) {}
+Solver::~Solver() = default;
+
+Var Solver::new_var(bool decision) {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::Undef);
+  polarity_.push_back(1);  // like MiniSat: first branch assigns "false"
+  decision_.push_back(decision ? 1 : 0);
+  reason_.push_back(nullptr);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();  // index for mk_lit(v, false)
+  watches_.emplace_back();  // index for mk_lit(v, true)
+  order_heap_.grow_to(v);
+  if (decision) order_heap_.insert(v);
+  return v;
+}
+
+Lit Solver::true_lit() {
+  if (true_var_ == kUndefVar) {
+    true_var_ = new_var(/*decision=*/false);
+    const bool ok = add_clause(mk_lit(true_var_));
+    GENFV_ASSERT(ok, "asserting the constant-true literal cannot fail");
+  }
+  return mk_lit(true_var_);
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  GENFV_ASSERT(decision_level() == 0, "clauses may only be added at level 0");
+  if (!ok_) return false;
+
+  // Normalize: sort, drop duplicates and false literals, detect tautologies
+  // and already-satisfied clauses.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> cleaned;
+  cleaned.reserve(lits.size());
+  Lit prev = kUndefLit;
+  for (const Lit p : lits) {
+    GENFV_ASSERT(var(p) >= 0 && var(p) < num_vars(), "literal out of range");
+    if (value(p) == LBool::True || p == ~prev) return true;  // satisfied / tautology
+    if (value(p) != LBool::False && p != prev) {
+      cleaned.push_back(p);
+      prev = p;
+    }
+  }
+
+  if (cleaned.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (cleaned.size() == 1) {
+    unchecked_enqueue(cleaned[0]);
+    ok_ = (propagate() == nullptr);
+    return ok_;
+  }
+
+  auto clause = std::make_unique<Clause>();
+  clause->lits = std::move(cleaned);
+  attach_clause(clause.get());
+  clauses_.push_back(std::move(clause));
+  return true;
+}
+
+void Solver::attach_clause(Clause* c) {
+  GENFV_ASSERT(c->lits.size() >= 2, "attach requires a binary-or-larger clause");
+  watches_[static_cast<std::size_t>(index(~c->lits[0]))].push_back({c, c->lits[1]});
+  watches_[static_cast<std::size_t>(index(~c->lits[1]))].push_back({c, c->lits[0]});
+}
+
+void Solver::detach_clause(Clause* c) {
+  auto remove_from = [c](std::vector<Watcher>& ws) {
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].clause == c) {
+        ws[i] = ws.back();
+        ws.pop_back();
+        return;
+      }
+    }
+    GENFV_ASSERT(false, "detach: watcher not found");
+  };
+  remove_from(watches_[static_cast<std::size_t>(index(~c->lits[0]))]);
+  remove_from(watches_[static_cast<std::size_t>(index(~c->lits[1]))]);
+}
+
+void Solver::unchecked_enqueue(Lit p, Clause* from) {
+  GENFV_ASSERT(value(p) == LBool::Undef, "enqueue of an assigned literal");
+  const auto v = static_cast<std::size_t>(var(p));
+  assigns_[v] = lbool_from(!sign(p));
+  reason_[v] = from;
+  level_[v] = decision_level();
+  trail_.push_back(p);
+}
+
+Solver::Clause* Solver::propagate() {
+  Clause* conflict = nullptr;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p became true; visit clauses watching ~p
+    ++stats_.propagations;
+    auto& ws = watches_[static_cast<std::size_t>(index(p))];
+    std::size_t keep = 0;
+    std::size_t i = 0;
+    for (; i < ws.size(); ++i) {
+      const Watcher w = ws[i];
+      if (value(w.blocker) == LBool::True) {
+        ws[keep++] = w;
+        continue;
+      }
+      Clause& c = *w.clause;
+      const Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      // Invariant: c.lits[1] == false_lit.
+      const Lit first = c.lits[0];
+      if (first != w.blocker && value(first) == LBool::True) {
+        ws[keep++] = {w.clause, first};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool found = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != LBool::False) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<std::size_t>(index(~c.lits[1]))].push_back({w.clause, first});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;  // watcher moved; do not keep here
+      // Clause is unit or conflicting under the current assignment.
+      ws[keep++] = {w.clause, first};
+      if (value(first) == LBool::False) {
+        conflict = w.clause;
+        qhead_ = trail_.size();
+        // Copy the remaining watchers before aborting the scan.
+        for (++i; i < ws.size(); ++i) ws[keep++] = ws[i];
+        break;
+      }
+      unchecked_enqueue(first, w.clause);
+    }
+    ws.resize(keep);
+    if (conflict != nullptr) break;
+  }
+  return conflict;
+}
+
+void Solver::var_bump_activity(Var v) {
+  auto& act = activity_[static_cast<std::size_t>(v)];
+  act += var_inc_;
+  if (act > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  order_heap_.increased(v);
+}
+
+void Solver::cla_bump_activity(Clause& c) {
+  c.activity += cla_inc_;
+  if (c.activity > 1e20f) {
+    for (auto& learnt : learnts_) learnt->activity *= 1e-20f;
+    cla_inc_ *= 1e-20f;
+  }
+}
+
+void Solver::analyze(Clause* conflict, std::vector<Lit>& out_learnt, int& out_btlevel) {
+  out_learnt.clear();
+  out_learnt.push_back(kUndefLit);  // slot for the asserting literal
+
+  int path_count = 0;
+  Lit p = kUndefLit;
+  int idx = static_cast<int>(trail_.size()) - 1;
+
+  Clause* c = conflict;
+  do {
+    GENFV_ASSERT(c != nullptr, "conflict analysis walked past a decision");
+    if (c->learnt) cla_bump_activity(*c);
+    for (std::size_t j = (p == kUndefLit) ? 0 : 1; j < c->lits.size(); ++j) {
+      const Lit q = c->lits[j];
+      const auto vq = static_cast<std::size_t>(var(q));
+      if (seen_[vq] == 0 && level_[vq] > 0) {
+        var_bump_activity(var(q));
+        seen_[vq] = 1;
+        analyze_toclear_.push_back(q);
+        if (level_[vq] >= decision_level()) {
+          ++path_count;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    while (seen_[static_cast<std::size_t>(var(trail_[static_cast<std::size_t>(idx)]))] == 0) {
+      --idx;
+    }
+    p = trail_[static_cast<std::size_t>(idx)];
+    --idx;
+    c = reason_of(var(p));
+    seen_[static_cast<std::size_t>(var(p))] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Local clause minimization: a literal is redundant when its reason clause
+  // is fully covered by the remaining learnt literals (or level-0 facts).
+  stats_.learnt_literals += out_learnt.size();
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    if (reason_of(var(out_learnt[i])) == nullptr || !literal_redundant(out_learnt[i])) {
+      out_learnt[kept++] = out_learnt[i];
+    }
+  }
+  stats_.minimized_literals += out_learnt.size() - kept;
+  out_learnt.resize(kept);
+
+  // Determine the backtrack level and move its literal to slot 1 so that
+  // both watches are correct after backjumping.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+      if (level_of(var(out_learnt[i])) > level_of(var(out_learnt[max_i]))) max_i = i;
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level_of(var(out_learnt[1]));
+  }
+
+  for (const Lit q : analyze_toclear_) seen_[static_cast<std::size_t>(var(q))] = 0;
+  analyze_toclear_.clear();
+}
+
+bool Solver::literal_redundant(Lit p) const {
+  const Clause* reason = reason_of(var(p));
+  GENFV_ASSERT(reason != nullptr, "redundancy check needs a reason clause");
+  for (std::size_t j = 1; j < reason->lits.size(); ++j) {
+    const Lit q = reason->lits[j];
+    const auto vq = static_cast<std::size_t>(var(q));
+    if (seen_[vq] == 0 && level_[vq] > 0) return false;
+  }
+  return true;
+}
+
+void Solver::analyze_final(Lit failed_assumption) {
+  core_.clear();
+  core_.push_back(failed_assumption);
+  if (decision_level() == 0) return;
+
+  seen_[static_cast<std::size_t>(var(failed_assumption))] = 1;
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= trail_lim_[0]; --i) {
+    const Lit t = trail_[static_cast<std::size_t>(i)];
+    const auto v = static_cast<std::size_t>(var(t));
+    if (seen_[v] == 0) continue;
+    if (reason_[v] == nullptr) {
+      // A decision inside the assumption prefix: it is an assumption literal.
+      core_.push_back(t);
+    } else {
+      const Clause& c = *reason_[v];
+      for (std::size_t j = 1; j < c.lits.size(); ++j) {
+        const auto vq = static_cast<std::size_t>(var(c.lits[j]));
+        if (level_[vq] > 0) seen_[vq] = 1;
+      }
+    }
+    seen_[v] = 0;
+  }
+  seen_[static_cast<std::size_t>(var(failed_assumption))] = 0;
+}
+
+void Solver::cancel_until(int level) {
+  if (decision_level() <= level) return;
+  const int bound = trail_lim_[static_cast<std::size_t>(level)];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+    const Lit p = trail_[static_cast<std::size_t>(i)];
+    const auto v = static_cast<std::size_t>(var(p));
+    assigns_[v] = LBool::Undef;
+    polarity_[v] = sign(p) ? 1 : 0;  // phase saving
+    reason_[v] = nullptr;
+    if (decision_[v] != 0 && !order_heap_.contains(var(p))) order_heap_.insert(var(p));
+  }
+  qhead_ = static_cast<std::size_t>(bound);
+  trail_.resize(static_cast<std::size_t>(bound));
+  trail_lim_.resize(static_cast<std::size_t>(level));
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!order_heap_.empty()) {
+    const Var v = order_heap_.pop_max();
+    if (value(v) == LBool::Undef && decision_[static_cast<std::size_t>(v)] != 0) {
+      return mk_lit(v, polarity_[static_cast<std::size_t>(v)] != 0);
+    }
+  }
+  return kUndefLit;
+}
+
+bool Solver::locked(const Clause* c) const noexcept {
+  const Var v = var(c->lits[0]);
+  return reason_of(v) == c && value(c->lits[0]) == LBool::True;
+}
+
+void Solver::reduce_db() {
+  // Sort learnts by (size > 2, activity): glue-ish clauses survive.
+  std::vector<Clause*> sorted;
+  sorted.reserve(learnts_.size());
+  for (const auto& c : learnts_) sorted.push_back(c.get());
+  std::sort(sorted.begin(), sorted.end(), [](const Clause* a, const Clause* b) {
+    const bool a_big = a->lits.size() > 2;
+    const bool b_big = b->lits.size() > 2;
+    if (a_big != b_big) return a_big;  // big clauses first (delete candidates)
+    return a->activity < b->activity;
+  });
+
+  std::vector<const Clause*> doomed;
+  const std::size_t target = learnts_.size() / 2;
+  for (const Clause* c : sorted) {
+    if (doomed.size() >= target) break;
+    if (c->lits.size() > 2 && !locked(c)) doomed.push_back(c);
+  }
+
+  for (const Clause* c : doomed) detach_clause(const_cast<Clause*>(c));
+  auto is_doomed = [&doomed](const std::unique_ptr<Clause>& c) {
+    return std::find(doomed.begin(), doomed.end(), c.get()) != doomed.end();
+  };
+  learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(), is_doomed), learnts_.end());
+  stats_.deleted_clauses += doomed.size();
+}
+
+LBool Solver::search(int conflicts_before_restart, const std::vector<Lit>& assumptions) {
+  int conflict_count = 0;
+  std::vector<Lit> learnt;
+
+  while (true) {
+    Clause* conflict = propagate();
+    if (conflict != nullptr) {
+      ++stats_.conflicts;
+      ++conflict_count;
+      if (decision_level() == 0) {
+        ok_ = false;
+        return LBool::False;
+      }
+      int backtrack_level = 0;
+      analyze(conflict, learnt, backtrack_level);
+      // Never backjump into the assumption prefix below a still-needed
+      // assumption decision: cancel_until handles replay because the
+      // decision loop below re-enqueues assumptions in order.
+      cancel_until(backtrack_level);
+      if (learnt.size() == 1) {
+        unchecked_enqueue(learnt[0]);
+      } else {
+        auto clause = std::make_unique<Clause>();
+        clause->learnt = true;
+        clause->lits = learnt;
+        attach_clause(clause.get());
+        cla_bump_activity(*clause);
+        unchecked_enqueue(learnt[0], clause.get());
+        learnts_.push_back(std::move(clause));
+      }
+      var_decay_activity();
+      cla_decay_activity();
+      continue;
+    }
+
+    // No conflict.
+    const bool budget_exhausted =
+        conflict_budget_ >= 0 &&
+        stats_.conflicts - conflicts_at_solve_start_ >=
+            static_cast<std::uint64_t>(conflict_budget_);
+    if (conflict_count >= conflicts_before_restart || budget_exhausted) {
+      ++stats_.restarts;
+      cancel_until(0);
+      return LBool::Undef;
+    }
+    if (static_cast<double>(learnts_.size()) - static_cast<double>(trail_.size()) >=
+        max_learnts_) {
+      reduce_db();
+    }
+
+    Lit next = kUndefLit;
+    while (decision_level() < static_cast<int>(assumptions.size())) {
+      const Lit p = assumptions[static_cast<std::size_t>(decision_level())];
+      if (value(p) == LBool::True) {
+        new_decision_level();  // dummy level keeps indices aligned
+      } else if (value(p) == LBool::False) {
+        analyze_final(p);
+        return LBool::False;
+      } else {
+        next = p;
+        break;
+      }
+    }
+    if (next == kUndefLit) {
+      ++stats_.decisions;
+      next = pick_branch_lit();
+      if (next == kUndefLit) return LBool::True;  // all variables assigned
+    }
+    new_decision_level();
+    unchecked_enqueue(next);
+  }
+}
+
+LBool Solver::solve(const std::vector<Lit>& assumptions) {
+  model_.clear();
+  core_.clear();
+  ++stats_.solves;
+  if (!ok_) return LBool::False;
+
+  cancel_until(0);
+  if (propagate() != nullptr) {
+    ok_ = false;
+    return LBool::False;
+  }
+
+  conflicts_at_solve_start_ = stats_.conflicts;
+  max_learnts_ = std::max(static_cast<double>(clauses_.size()) / 3.0, 4000.0);
+
+  LBool status = LBool::Undef;
+  for (int restarts = 0; status == LBool::Undef; ++restarts) {
+    const bool budget_exhausted =
+        conflict_budget_ >= 0 &&
+        stats_.conflicts - conflicts_at_solve_start_ >=
+            static_cast<std::uint64_t>(conflict_budget_);
+    if (budget_exhausted) break;
+    const double base = luby(2.0, restarts) * 100.0;
+    status = search(static_cast<int>(base), assumptions);
+  }
+
+  if (status == LBool::True) {
+    model_ = assigns_;
+  }
+  cancel_until(0);
+  return status;
+}
+
+LBool Solver::model_value(Lit p) const noexcept {
+  const auto v = static_cast<std::size_t>(var(p));
+  if (v >= model_.size()) return LBool::Undef;
+  return xor_sign(model_[v], sign(p));
+}
+
+LBool Solver::model_value(Var v) const noexcept {
+  const auto i = static_cast<std::size_t>(v);
+  return i < model_.size() ? model_[i] : LBool::Undef;
+}
+
+}  // namespace genfv::sat

@@ -1,0 +1,175 @@
+#pragma once
+
+/// \file solver.hpp
+/// A from-scratch CDCL SAT solver in the MiniSat lineage.
+///
+/// Features:
+///  * two-watched-literal unit propagation with blocker literals,
+///  * first-UIP conflict analysis with (local) clause minimization,
+///  * VSIDS variable activities with phase saving,
+///  * Luby restarts,
+///  * activity-driven learnt-clause database reduction,
+///  * incremental solving under assumptions with final-conflict
+///    (unsat-core-over-assumptions) extraction,
+///  * optional conflict budget for best-effort queries.
+///
+/// The model checker keeps one live `Solver` per unrolling and extends it
+/// with new frames between `solve()` calls; clauses may be added whenever the
+/// solver is at decision level 0 (which it always is between calls).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sat/heap.hpp"
+#include "sat/types.hpp"
+
+namespace genfv::sat {
+
+/// Aggregate search statistics, cumulative over the solver's lifetime.
+struct SolverStats {
+  std::uint64_t solves = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnt_literals = 0;
+  std::uint64_t minimized_literals = 0;
+  std::uint64_t deleted_clauses = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+  ~Solver();
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Create a fresh variable and return it. `decision` controls whether the
+  /// search may branch on it (auxiliary Tseitin variables still may).
+  Var new_var(bool decision = true);
+
+  int num_vars() const noexcept { return static_cast<int>(assigns_.size()); }
+  std::size_t num_clauses() const noexcept { return clauses_.size(); }
+  std::size_t num_learnts() const noexcept { return learnts_.size(); }
+
+  /// Add a clause (consumed). Returns false iff the formula is now known
+  /// UNSAT at level 0. Must be called at decision level 0.
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) { return add_clause(std::vector<Lit>{a, b, c}); }
+
+  /// Solve under `assumptions`. Returns True (SAT: model available),
+  /// False (UNSAT: failed-assumption core available), or Undef when the
+  /// conflict budget ran out.
+  LBool solve(const std::vector<Lit>& assumptions = {});
+
+  /// Value of `p` in the most recent satisfying model.
+  LBool model_value(Lit p) const noexcept;
+  LBool model_value(Var v) const noexcept;
+
+  /// After an UNSAT answer: a subset of the assumptions whose conjunction is
+  /// inconsistent with the clause database.
+  const std::vector<Lit>& failed_assumptions() const noexcept { return core_; }
+
+  /// Limit the next solve() calls to roughly `budget` conflicts; -1 removes
+  /// the limit.
+  void set_conflict_budget(std::int64_t budget) noexcept { conflict_budget_ = budget; }
+
+  /// True iff the clause database has been proven UNSAT outright.
+  bool inconsistent() const noexcept { return !ok_; }
+
+  const SolverStats& stats() const noexcept { return stats_; }
+
+  /// Current assignment of `p` (partial during search; level-0 facts between
+  /// solves). Exposed for the bit-blaster's constant-literal handling.
+  LBool value(Lit p) const noexcept { return xor_sign(assigns_[static_cast<std::size_t>(var(p))], sign(p)); }
+  LBool value(Var v) const noexcept { return assigns_[static_cast<std::size_t>(v)]; }
+
+  /// Literal that is constrained to be true in every model (lazily created).
+  /// Lets callers encode constants without special cases.
+  Lit true_lit();
+
+ private:
+  struct Clause {
+    float activity = 0.0f;
+    bool learnt = false;
+    std::vector<Lit> lits;
+  };
+
+  struct Watcher {
+    Clause* clause = nullptr;
+    Lit blocker = kUndefLit;
+  };
+
+  // --- propagation ---------------------------------------------------------
+  Clause* propagate();
+  void attach_clause(Clause* c);
+  void detach_clause(Clause* c);
+  void unchecked_enqueue(Lit p, Clause* from = nullptr);
+
+  // --- conflict analysis ---------------------------------------------------
+  void analyze(Clause* conflict, std::vector<Lit>& out_learnt, int& out_btlevel);
+  bool literal_redundant(Lit p) const;
+  void analyze_final(Lit failed_assumption);
+
+  // --- search --------------------------------------------------------------
+  LBool search(int conflicts_before_restart, const std::vector<Lit>& assumptions);
+  Lit pick_branch_lit();
+  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  int decision_level() const noexcept { return static_cast<int>(trail_lim_.size()); }
+  void cancel_until(int level);
+
+  // --- activities / clause DB ----------------------------------------------
+  void var_bump_activity(Var v);
+  void var_decay_activity() { var_inc_ *= (1.0 / kVarDecay); }
+  void cla_bump_activity(Clause& c);
+  void cla_decay_activity() { cla_inc_ *= (1.0f / kClaDecay); }
+  void reduce_db();
+  bool locked(const Clause* c) const noexcept;
+
+  int level_of(Var v) const noexcept { return level_[static_cast<std::size_t>(v)]; }
+  Clause* reason_of(Var v) const noexcept { return reason_[static_cast<std::size_t>(v)]; }
+
+  static constexpr double kVarDecay = 0.95;
+  static constexpr float kClaDecay = 0.999f;
+
+  bool ok_ = true;
+
+  std::vector<std::unique_ptr<Clause>> clauses_;
+  std::vector<std::unique_ptr<Clause>> learnts_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal index
+
+  std::vector<LBool> assigns_;
+  std::vector<char> polarity_;   // saved phase (true = assign negative first)
+  std::vector<char> decision_;
+  std::vector<Clause*> reason_;
+  std::vector<int> level_;
+
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  float cla_inc_ = 1.0f;
+  VarOrderHeap order_heap_;
+
+  std::vector<char> seen_;
+  std::vector<Lit> analyze_toclear_;
+
+  std::vector<LBool> model_;
+  std::vector<Lit> core_;
+
+  double max_learnts_ = 0.0;
+  std::int64_t conflict_budget_ = -1;
+  std::uint64_t conflicts_at_solve_start_ = 0;
+
+  Var true_var_ = kUndefVar;
+
+  SolverStats stats_;
+};
+
+}  // namespace genfv::sat

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file types.hpp
+/// Core SAT types: variables, literals and the three-valued LBool.
+///
+/// The encoding follows MiniSat: a literal is `2*var + sign` where
+/// `sign == 1` means the negated literal. This gives literals a dense
+/// integer `index()` usable to address watch lists.
+
+#include <cstdint>
+#include <functional>
+
+namespace genfv::sat {
+
+using Var = std::int32_t;
+inline constexpr Var kUndefVar = -1;
+
+/// A propositional literal (a variable or its negation).
+struct Lit {
+  std::int32_t code = -2;  // kUndefLit by default
+
+  friend bool operator==(Lit a, Lit b) noexcept { return a.code == b.code; }
+  friend bool operator!=(Lit a, Lit b) noexcept { return a.code != b.code; }
+  friend bool operator<(Lit a, Lit b) noexcept { return a.code < b.code; }
+};
+
+inline constexpr Lit kUndefLit{-2};
+
+/// Build the literal for `v`, negated when `negated` is true.
+inline constexpr Lit mk_lit(Var v, bool negated = false) noexcept {
+  return Lit{v + v + (negated ? 1 : 0)};
+}
+
+inline constexpr Lit operator~(Lit p) noexcept { return Lit{p.code ^ 1}; }
+/// Flip the literal iff `flip` is true.
+inline constexpr Lit operator^(Lit p, bool flip) noexcept {
+  return Lit{p.code ^ (flip ? 1 : 0)};
+}
+
+inline constexpr bool sign(Lit p) noexcept { return (p.code & 1) != 0; }
+inline constexpr Var var(Lit p) noexcept { return p.code >> 1; }
+/// Dense index for watch/activity arrays.
+inline constexpr std::int32_t index(Lit p) noexcept { return p.code; }
+
+/// Three-valued logic for partial assignments.
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline constexpr LBool lbool_from(bool b) noexcept {
+  return b ? LBool::True : LBool::False;
+}
+
+inline constexpr LBool operator!(LBool b) noexcept {
+  switch (b) {
+    case LBool::False: return LBool::True;
+    case LBool::True: return LBool::False;
+    case LBool::Undef: break;
+  }
+  return LBool::Undef;
+}
+
+/// Value of LBool `b` under literal sign `s` (xor semantics).
+inline constexpr LBool xor_sign(LBool b, bool s) noexcept {
+  if (b == LBool::Undef) return LBool::Undef;
+  return lbool_from((b == LBool::True) != s);
+}
+
+}  // namespace genfv::sat
+
+template <>
+struct std::hash<genfv::sat::Lit> {
+  std::size_t operator()(genfv::sat::Lit p) const noexcept {
+    return std::hash<std::int32_t>{}(p.code);
+  }
+};

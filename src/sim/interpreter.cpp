@@ -1,0 +1,65 @@
+#include "sim/interpreter.hpp"
+
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace genfv::sim {
+
+std::uint64_t evaluate(ir::NodeRef root, const Assignment& env,
+                       std::unordered_map<ir::NodeRef, std::uint64_t>& memo) {
+  // Iterative post-order evaluation (designs can produce deep DAGs).
+  std::vector<std::pair<ir::NodeRef, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    auto [node, expanded] = stack.back();
+    stack.pop_back();
+    if (memo.contains(node)) continue;
+
+    if (node->is_leaf()) {
+      if (node->is_const()) {
+        memo[node] = node->value();
+      } else {
+        const auto it = env.find(node);
+        if (it == env.end()) {
+          throw UsageError("evaluate: unbound leaf '" + node->name() + "'");
+        }
+        memo[node] = it->second & ir::width_mask(node->width());
+      }
+      continue;
+    }
+    if (!expanded) {
+      stack.push_back({node, true});
+      for (const ir::NodeRef c : node->children()) {
+        if (!memo.contains(c)) stack.push_back({c, false});
+      }
+      continue;
+    }
+    std::vector<std::uint64_t> vals;
+    std::vector<unsigned> widths;
+    vals.reserve(node->arity());
+    widths.reserve(node->arity());
+    for (const ir::NodeRef c : node->children()) {
+      vals.push_back(memo.at(c));
+      widths.push_back(c->width());
+    }
+    memo[node] = ir::eval_op(node->op(), node->width(), node->hi(), node->lo(), vals, widths);
+  }
+  return memo.at(root);
+}
+
+std::uint64_t evaluate(ir::NodeRef root, const Assignment& env) {
+  std::unordered_map<ir::NodeRef, std::uint64_t> memo;
+  return evaluate(root, env, memo);
+}
+
+Assignment step(const ir::TransitionSystem& ts, const Assignment& current_env) {
+  Assignment next;
+  std::unordered_map<ir::NodeRef, std::uint64_t> memo;
+  for (const auto& s : ts.states()) {
+    GENFV_ASSERT(s.next != nullptr, "step: state without next function");
+    next[s.var] = evaluate(s.next, current_env, memo);
+  }
+  return next;
+}
+
+}  // namespace genfv::sim

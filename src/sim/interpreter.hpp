@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file interpreter.hpp
+/// Reference interpreter for IR expressions and transition-system stepping.
+/// This is the semantic ground truth: the bit-blaster is property-tested
+/// against it, and counterexample traces are replayed through it.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ir/transition_system.hpp"
+
+namespace genfv::sim {
+
+/// Leaf environment: values for Input/State nodes (masked to their width).
+using Assignment = std::unordered_map<ir::NodeRef, std::uint64_t>;
+
+/// Evaluate `root` under `env`. Every Input/State leaf reachable from `root`
+/// must be bound in `env`; throws UsageError otherwise.
+std::uint64_t evaluate(ir::NodeRef root, const Assignment& env);
+
+/// Evaluate with a shared memo table (for many queries against one env).
+std::uint64_t evaluate(ir::NodeRef root, const Assignment& env,
+                       std::unordered_map<ir::NodeRef, std::uint64_t>& memo);
+
+/// Compute the successor state of `ts`: evaluates every state's next
+/// expression under (current states + inputs).
+Assignment step(const ir::TransitionSystem& ts, const Assignment& current_env);
+
+}  // namespace genfv::sim

@@ -1,0 +1,100 @@
+#include "sim/random_sim.hpp"
+
+namespace genfv::sim {
+
+RandomSimulator::RandomSimulator(const ir::TransitionSystem& ts, std::uint64_t seed)
+    : ts_(ts), rng_(seed) {}
+
+Assignment RandomSimulator::random_inputs() {
+  Assignment env;
+  for (const ir::NodeRef in : ts_.inputs()) {
+    env[in] = rng_.bits(in->width());
+  }
+  return env;
+}
+
+Assignment RandomSimulator::reset_state() {
+  // Inits may reference inputs; bind a random input valuation for them.
+  Assignment init_env = random_inputs();
+  Assignment state;
+  for (const auto& s : ts_.states()) {
+    if (s.init != nullptr) {
+      state[s.var] = evaluate(s.init, init_env);
+    } else {
+      state[s.var] = rng_.bits(s.var->width());
+    }
+  }
+  return state;
+}
+
+Trace RandomSimulator::run(std::size_t steps) {
+  return run_from(reset_state(), steps);
+}
+
+Trace RandomSimulator::run_from(Assignment state_values, std::size_t steps) {
+  Trace trace(&ts_);
+  for (std::size_t t = 0; t <= steps; ++t) {
+    Assignment env = constrained_inputs(state_values);
+    for (const auto& [k, v] : state_values) env[k] = v;
+    if (t < steps) {
+      Assignment next = step(ts_, env);
+      trace.append(std::move(env));
+      state_values = std::move(next);
+    } else {
+      trace.append(std::move(env));
+    }
+  }
+  return trace;
+}
+
+Assignment RandomSimulator::constrained_inputs(const Assignment& state_values) {
+  // Rejection-sample inputs against the environment constraints (e.g. the
+  // elaborator's `rst == 0`); without this, random runs keep resetting the
+  // design and never exercise reachable behaviour.
+  Assignment env;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    env = random_inputs();
+    for (const auto& [k, v] : state_values) env[k] = v;
+    bool ok = true;
+    for (const ir::NodeRef c : ts_.constraints()) {
+      if (evaluate(c, env) == 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) break;
+    // On the final failed attempt the last draw is used as-is: sampling is
+    // only ever an under-approximation, never a soundness issue.
+  }
+  // Strip state bindings again; the caller overlays its own.
+  Assignment inputs_only;
+  for (const ir::NodeRef in : ts_.inputs()) inputs_only[in] = env[in];
+  return inputs_only;
+}
+
+std::optional<Trace> RandomSimulator::falsify(ir::NodeRef expr, std::size_t steps,
+                                              std::size_t restarts) {
+  for (std::size_t r = 0; r < restarts; ++r) {
+    Trace trace = run(steps);
+    if (const auto frame = trace.first_violation(expr)) {
+      // Truncate to end at the violation for a minimal witness.
+      Trace witness(&ts_);
+      for (std::size_t i = 0; i <= *frame; ++i) witness.append(trace.frame(i));
+      return witness;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Assignment> RandomSimulator::sample_states(std::size_t steps,
+                                                       std::size_t restarts) {
+  std::vector<Assignment> samples;
+  samples.reserve((steps + 1) * restarts);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    const Trace trace = run(steps);
+    for (std::size_t f = 0; f < trace.size(); ++f) samples.push_back(trace.frame(f));
+  }
+  return samples;
+}
+
+}  // namespace genfv::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file random_sim.hpp
+/// Random simulation of transition systems. Three clients:
+///  * invariant mining (state sampling for the simulated LLM),
+///  * candidate screening (cheaply falsify hallucinated assertions before
+///    wasting prover time — the mechanical part of "human-in-the-loop"),
+///  * tests (proven properties must survive long random runs).
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace genfv::sim {
+
+class RandomSimulator {
+ public:
+  RandomSimulator(const ir::TransitionSystem& ts, std::uint64_t seed);
+
+  /// Build a reset-state environment: init expressions are evaluated (they
+  /// may reference inputs, which are randomized); uninitialized registers
+  /// get random values.
+  Assignment reset_state();
+
+  /// Run `steps` cycles from reset, returning the full trace (frame 0 is the
+  /// reset state).
+  Trace run(std::size_t steps);
+
+  /// Run from a caller-provided state (inputs are randomized per cycle).
+  Trace run_from(Assignment state_values, std::size_t steps);
+
+  /// Try to falsify a width-1 expression: up to `restarts` runs of `steps`
+  /// cycles each; returns a witness trace ending at the violating frame.
+  std::optional<Trace> falsify(ir::NodeRef expr, std::size_t steps, std::size_t restarts);
+
+  /// Sample reachable states: `restarts` runs of `steps` cycles; every
+  /// visited frame's environment is appended to the result.
+  std::vector<Assignment> sample_states(std::size_t steps, std::size_t restarts);
+
+ private:
+  Assignment random_inputs();
+  /// Inputs rejection-sampled so the environment constraints hold in the
+  /// current state (e.g. reset held inactive).
+  Assignment constrained_inputs(const Assignment& state_values);
+
+  const ir::TransitionSystem& ts_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace genfv::sim

@@ -1,0 +1,27 @@
+#include "sim/trace.hpp"
+
+#include "util/status.hpp"
+
+namespace genfv::sim {
+
+std::optional<std::size_t> Trace::first_violation(ir::NodeRef prop) const {
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    if (value(prop, i) == 0) return i;
+  }
+  return std::nullopt;
+}
+
+bool Trace::is_consistent() const {
+  GENFV_ASSERT(ts_ != nullptr, "trace has no system attached");
+  for (std::size_t i = 0; i + 1 < frames_.size(); ++i) {
+    const Assignment successor = step(*ts_, frames_[i]);
+    for (const auto& s : ts_->states()) {
+      const auto it = frames_[i + 1].find(s.var);
+      if (it == frames_[i + 1].end()) return false;
+      if (it->second != successor.at(s.var)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace genfv::sim

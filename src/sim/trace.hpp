@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file trace.hpp
+/// Execution traces: a sequence of frames, each binding every input and
+/// state leaf of a transition system. Both simulator runs and SAT-model
+/// counterexamples are materialized as traces, so replay/rendering code is
+/// shared.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/interpreter.hpp"
+
+namespace genfv::sim {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(const ir::TransitionSystem* ts) : ts_(ts) {}
+
+  const ir::TransitionSystem* system() const noexcept { return ts_; }
+
+  std::size_t size() const noexcept { return frames_.size(); }
+  bool empty() const noexcept { return frames_.empty(); }
+
+  void append(Assignment frame_env) { frames_.push_back(std::move(frame_env)); }
+
+  const Assignment& frame(std::size_t i) const { return frames_.at(i); }
+  Assignment& frame(std::size_t i) { return frames_.at(i); }
+
+  /// Evaluate an arbitrary expression at frame `i`.
+  std::uint64_t value(ir::NodeRef expr, std::size_t i) const {
+    return evaluate(expr, frames_.at(i));
+  }
+
+  /// First frame where `prop` (width-1) evaluates to 0, if any.
+  std::optional<std::size_t> first_violation(ir::NodeRef prop) const;
+
+  /// Re-run the transition relation over the trace's inputs starting from
+  /// frame 0's state values and verify each frame's state values match.
+  /// Returns true iff the trace is a genuine execution of `ts` — used to
+  /// validate counterexamples produced from SAT models.
+  bool is_consistent() const;
+
+ private:
+  const ir::TransitionSystem* ts_ = nullptr;
+  std::vector<Assignment> frames_;
+};
+
+}  // namespace genfv::sim

@@ -1,0 +1,59 @@
+#include "sim/vcd.hpp"
+
+#include <sstream>
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace genfv::sim {
+
+namespace {
+
+/// VCD identifier codes: printable ASCII 33..126, shortest-first.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id += static_cast<char>(33 + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+}  // namespace
+
+std::string render_vcd(const Trace& trace, const std::vector<WaveSignal>& signals,
+                       const std::string& module_name) {
+  GENFV_ASSERT(!signals.empty(), "VCD export needs at least one signal");
+  std::ostringstream out;
+  out << "$date genfv trace export $end\n";
+  out << "$version genfv 1.0 $end\n";
+  out << "$timescale 1ns $end\n";
+  out << "$scope module " << module_name << " $end\n";
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    out << "$var wire " << signals[i].expr->width() << ' ' << vcd_id(i) << ' '
+        << signals[i].label << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<std::uint64_t> previous(signals.size());
+  for (std::size_t frame = 0; frame < trace.size(); ++frame) {
+    out << '#' << frame << '\n';
+    if (frame == 0) out << "$dumpvars\n";
+    for (std::size_t i = 0; i < signals.size(); ++i) {
+      const std::uint64_t value = trace.value(signals[i].expr, frame);
+      if (frame > 0 && value == previous[i]) continue;
+      previous[i] = value;
+      const unsigned width = signals[i].expr->width();
+      if (width == 1) {
+        out << (value & 1u) << vcd_id(i) << '\n';
+      } else {
+        out << 'b' << util::bin_string(value, width) << ' ' << vcd_id(i) << '\n';
+      }
+    }
+    if (frame == 0) out << "$end\n";
+  }
+  out << '#' << trace.size() << '\n';
+  return out.str();
+}
+
+}  // namespace genfv::sim

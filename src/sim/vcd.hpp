@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file vcd.hpp
+/// Value-Change-Dump export of traces, so counterexamples (including the
+/// spurious induction-step traces the flows analyze) open in any waveform
+/// viewer — the tool-agnostic equivalent of the paper's Fig. 3 screenshot.
+
+#include <string>
+#include <vector>
+
+#include "sim/waveform.hpp"
+
+namespace genfv::sim {
+
+/// Render `signals` over `trace` as VCD text (timescale 1ns, one timestep
+/// per frame). Signal identifiers are assigned automatically.
+std::string render_vcd(const Trace& trace, const std::vector<WaveSignal>& signals,
+                       const std::string& module_name = "genfv");
+
+}  // namespace genfv::sim

@@ -1,0 +1,169 @@
+#include "sva/compiler.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace genfv::sva {
+
+using hdl::Expr;
+using ir::NodeRef;
+
+CompiledProperty PropertyCompiler::compile(const std::string& text) {
+  return compile(parse_property(text));
+}
+
+CompiledProperty PropertyCompiler::compile(const ParsedProperty& parsed) {
+  CompiledProperty out;
+  out.name = parsed.name.empty() ? ("anon_prop_" + std::to_string(++anon_counter_))
+                                 : parsed.name;
+  out.source = parsed.source;
+  out.expr = build_property(*parsed.expr);
+  return out;
+}
+
+ir::NodeRef PropertyCompiler::compile_expr(const std::string& text) {
+  const auto parsed = parse_property(text);
+  return build_property(*parsed.expr);
+}
+
+ir::NodeRef PropertyCompiler::build_property(const Expr& e) {
+  auto& nm = ts_.nm();
+  // Top-level implication layer.
+  if (e.kind == Expr::Kind::Binary && (e.text == "|->" || e.text == "|=>")) {
+    const NodeRef ante = build_bool(*e.args[0]);
+    const NodeRef cons = build_bool(*e.args[1]);
+    if (e.text == "|->") {
+      return nm.mk_implies(ante, cons);
+    }
+    // a |=> b  ==  $past(a) -> b, with the antecedent latched one cycle.
+    return nm.mk_implies(past_of(ante, 1), cons);
+  }
+  return build_bool(e);
+}
+
+ir::NodeRef PropertyCompiler::build_bool(const Expr& e) {
+  hdl::ExprBuilder builder(
+      ts_.nm(),
+      [this](const std::string& name, const Expr& at) -> NodeRef {
+        const NodeRef n = ts_.lookup(name);
+        if (n == nullptr) {
+          throw ParseError(std::to_string(at.line) + ":" + std::to_string(at.col),
+                           "property references unknown signal '" + name + "'");
+        }
+        return n;
+      },
+      [this](const Expr& call, hdl::ExprBuilder& b) { return handle_call(call, b); });
+  return ts_.nm().mk_bool(builder.build(e));
+}
+
+ir::NodeRef PropertyCompiler::handle_call(const Expr& call, hdl::ExprBuilder& builder) {
+  auto& nm = ts_.nm();
+  auto arity_error = [&call](const char* what) -> ParseError {
+    return ParseError(std::to_string(call.line) + ":" + std::to_string(call.col),
+                      std::string(what) + ": wrong number of arguments");
+  };
+
+  if (call.text == "$past") {
+    if (call.args.empty() || call.args.size() > 2) throw arity_error("$past");
+    unsigned cycles = 1;
+    if (call.args.size() == 2) {
+      const Expr& n = *call.args[1];
+      if (n.kind != Expr::Kind::Number || n.value == 0 || n.value > 64) {
+        throw ParseError(std::to_string(call.line),
+                         "$past depth must be a constant in [1,64]");
+      }
+      cycles = static_cast<unsigned>(n.value);
+    }
+    return past_of(builder.build(*call.args[0]), cycles);
+  }
+  if (call.text == "$stable") {
+    if (call.args.size() != 1) throw arity_error("$stable");
+    const NodeRef x = builder.build(*call.args[0]);
+    return nm.mk_eq(x, past_of(x, 1));
+  }
+  if (call.text == "$changed") {
+    if (call.args.size() != 1) throw arity_error("$changed");
+    const NodeRef x = builder.build(*call.args[0]);
+    return nm.mk_ne(x, past_of(x, 1));
+  }
+  if (call.text == "$rose" || call.text == "$fell") {
+    if (call.args.size() != 1) throw arity_error(call.text.c_str());
+    const NodeRef x = builder.build(*call.args[0]);
+    const NodeRef bit = x->width() == 1 ? x : nm.mk_bit(x, 0);  // LSB per LRM
+    const NodeRef prev = past_of(bit, 1);
+    if (call.text == "$rose") return nm.mk_and(bit, nm.mk_not(prev));
+    return nm.mk_and(nm.mk_not(bit), prev);
+  }
+  if (call.text == "$countones") {
+    if (call.args.size() != 1) throw arity_error("$countones");
+    return popcount(builder.build(*call.args[0]));
+  }
+  if (call.text == "$onehot") {
+    if (call.args.size() != 1) throw arity_error("$onehot");
+    const NodeRef pc = popcount(builder.build(*call.args[0]));
+    return nm.mk_eq(pc, nm.mk_const(1, pc->width()));
+  }
+  if (call.text == "$onehot0") {
+    if (call.args.size() != 1) throw arity_error("$onehot0");
+    const NodeRef pc = popcount(builder.build(*call.args[0]));
+    return nm.mk_ule(pc, nm.mk_const(1, pc->width()));
+  }
+  if (call.text == "$isunknown") {
+    // Two-state model: nothing is ever X/Z.
+    return nm.mk_false();
+  }
+  if (call.text == "$signed" || call.text == "$unsigned") {
+    if (call.args.size() != 1) throw arity_error(call.text.c_str());
+    return builder.build(*call.args[0]);
+  }
+  throw ParseError(std::to_string(call.line) + ":" + std::to_string(call.col),
+                   "unsupported system function '" + call.text + "'");
+}
+
+ir::NodeRef PropertyCompiler::past_of(NodeRef e, unsigned cycles) {
+  auto& nm = ts_.nm();
+  NodeRef current = e;
+  for (unsigned i = 0; i < cycles; ++i) {
+    const auto key = std::make_pair(current, 1U);
+    const auto it = past_cache_.find(key);
+    if (it != past_cache_.end()) {
+      current = it->second;
+      continue;
+    }
+    const std::string name = "__sva_past" + std::to_string(ts_.states().size());
+    const NodeRef reg = ts_.add_state(name, current->width());
+    ts_.set_init(reg, nm.mk_const(0, current->width()));
+    ts_.set_next(reg, current);
+    past_cache_.emplace(key, reg);
+    current = reg;
+  }
+  return current;
+}
+
+ir::NodeRef PropertyCompiler::popcount(NodeRef e) {
+  auto& nm = ts_.nm();
+  const unsigned w = e->width();
+  unsigned out_width = 1;
+  while ((1U << out_width) < w + 1) ++out_width;
+  NodeRef acc = nm.mk_const(0, out_width);
+  for (unsigned i = 0; i < w; ++i) {
+    acc = nm.mk_add(acc, nm.mk_zext(nm.mk_bit(e, i), out_width));
+  }
+  return acc;
+}
+
+std::size_t add_property(ir::TransitionSystem& ts, const std::string& text,
+                         ir::PropertyRole role, const std::string& fallback_name) {
+  PropertyCompiler compiler(ts);
+  CompiledProperty cp = compiler.compile(text);
+  ir::Property p;
+  p.name = (!fallback_name.empty() && cp.name.rfind("anon_prop_", 0) == 0) ? fallback_name
+                                                                           : cp.name;
+  p.expr = cp.expr;
+  p.role = role;
+  p.source_text = cp.source;
+  return ts.add_property(std::move(p));
+}
+
+}  // namespace genfv::sva

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file compiler.hpp
+/// Compilation of SVA property ASTs into width-1 safety expressions over a
+/// transition system. Temporal operators introduce auxiliary state:
+///   $past(e[,n])  -> n chained registers (init 0, SVA default)
+///   a |=> b       -> one register latching `a`, property (reg -> b)
+/// so every property becomes "expr holds in every reachable state", which is
+/// exactly what the BMC/k-induction engines check.
+
+#include <map>
+#include <string>
+
+#include "hdl/elaborator.hpp"
+#include "ir/transition_system.hpp"
+#include "sva/parser.hpp"
+
+namespace genfv::sva {
+
+struct CompiledProperty {
+  std::string name;
+  ir::NodeRef expr = nullptr;
+  std::string source;
+};
+
+class PropertyCompiler {
+ public:
+  /// The compiler may add auxiliary states to `ts`.
+  explicit PropertyCompiler(ir::TransitionSystem& ts) : ts_(ts) {}
+
+  /// Parse + compile one property text.
+  CompiledProperty compile(const std::string& text);
+
+  /// Compile an already-parsed property.
+  CompiledProperty compile(const ParsedProperty& parsed);
+
+  /// Compile a bare boolean expression (no implication layer).
+  ir::NodeRef compile_expr(const std::string& text);
+
+ private:
+  ir::NodeRef build_property(const hdl::Expr& e);
+  ir::NodeRef build_bool(const hdl::Expr& e);
+  ir::NodeRef handle_call(const hdl::Expr& call, hdl::ExprBuilder& builder);
+
+  /// e delayed by `cycles` (auxiliary registers, memoized).
+  ir::NodeRef past_of(ir::NodeRef e, unsigned cycles);
+  /// Population count of e, width ceil(log2(w+1)).
+  ir::NodeRef popcount(ir::NodeRef e);
+
+  ir::TransitionSystem& ts_;
+  std::map<std::pair<ir::NodeRef, unsigned>, ir::NodeRef> past_cache_;
+  int anon_counter_ = 0;
+};
+
+/// Convenience: parse, compile and register a property on `ts`.
+std::size_t add_property(ir::TransitionSystem& ts, const std::string& text,
+                         ir::PropertyRole role = ir::PropertyRole::Target,
+                         const std::string& fallback_name = "");
+
+}  // namespace genfv::sva

@@ -1,0 +1,39 @@
+#include "sva/parser.hpp"
+
+#include "hdl/lexer.hpp"
+#include "hdl/parser.hpp"
+#include "util/strings.hpp"
+
+namespace genfv::sva {
+
+ParsedProperty parse_property(const std::string& text) {
+  ParsedProperty result;
+  result.source = util::trim(text);
+
+  hdl::Parser parser(hdl::lex(text));
+
+  if (parser.accept_id("property")) {
+    result.name = parser.expect_identifier();
+    parser.expect_punct(";");
+    result.expr = parser.expression();
+    parser.expect_punct(";");
+    parser.expect_id("endproperty");
+    parser.accept_punct(";");
+  } else if (parser.accept_id("assert")) {
+    parser.expect_id("property");
+    parser.expect_punct("(");
+    result.expr = parser.expression();
+    parser.expect_punct(")");
+    parser.accept_punct(";");
+  } else {
+    result.expr = parser.expression();
+    parser.accept_punct(";");
+  }
+
+  if (!parser.at_end()) {
+    parser.fail("trailing tokens after property");
+  }
+  return result;
+}
+
+}  // namespace genfv::sva

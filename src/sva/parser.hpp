@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file parser.hpp
+/// SVA property parsing. Accepts the three textual shapes that occur in the
+/// paper and in LLM responses:
+///   property name; <expr>; endproperty
+///   assert property (<expr>);
+///   <expr>
+/// The expression grammar is the shared HDL grammar plus `|->` / `|=>` at
+/// lowest precedence and $system functions ($past, $stable, $rose, $fell,
+/// $onehot, $onehot0, $countones).
+
+#include <string>
+
+#include "hdl/ast.hpp"
+
+namespace genfv::sva {
+
+struct ParsedProperty {
+  std::string name;       ///< from the property block; "" when anonymous
+  hdl::ExprPtr expr;      ///< property expression AST
+  std::string source;     ///< original text (for prompts/reports)
+};
+
+/// Parse one property. Throws ParseError on malformed input.
+ParsedProperty parse_property(const std::string& text);
+
+}  // namespace genfv::sva

@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace genfv::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Silent: break;
+  }
+  return "     ";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, const std::string& component, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  std::fprintf(stderr, "[%s][%s] %s\n", level_tag(level), component.c_str(), message.c_str());
+}
+
+}  // namespace genfv::util

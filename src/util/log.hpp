@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logging. Engines log at Debug/Trace; flows narrate at
+/// Info. The level is process-global but explicitly settable, so tests can
+/// silence output and examples can turn narration on.
+
+#include <sstream>
+#include <string>
+
+namespace genfv::util {
+
+enum class LogLevel : int { Silent = 0, Error = 1, Warn = 2, Info = 3, Debug = 4, Trace = 5 };
+
+/// Set/get the process-wide log level.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line at `level` with a `[component]` prefix.
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+/// Streaming helper: GENFV_LOG(Info, "flow") << "proved " << n << " lemmas";
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component) noexcept
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+#define GENFV_LOG(level, component) \
+  ::genfv::util::LogStream(::genfv::util::LogLevel::level, component)
+
+}  // namespace genfv::util

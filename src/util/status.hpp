@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file status.hpp
+/// Error-handling primitives shared across genfv.
+///
+/// genfv follows the C++ Core Guidelines (I.10): failures to perform a
+/// required task are reported with exceptions. `Error` carries a message and
+/// an optional source-location string ("file.sv:12:4") so frontend
+/// diagnostics stay attached to the offending text.
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace genfv {
+
+/// Base exception for all genfv failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+
+  Error(const std::string& location, const std::string& message)
+      : std::runtime_error(location + ": " + message), location_(location) {}
+
+  /// Location string ("file:line:col"), empty when not applicable.
+  const std::string& location() const noexcept { return location_; }
+
+ private:
+  std::string location_;
+};
+
+/// Thrown by frontends (HDL/SVA parsers) on malformed input.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an IR operation is applied to operands of the wrong sort.
+class SortError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an engine is used in an unsupported way (API misuse).
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// GENFV_ASSERT: internal-invariant check that stays on in release builds.
+/// Internal invariants are programming errors, not user errors, so the
+/// message names the condition rather than trying to be user-friendly.
+#define GENFV_ASSERT(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      throw ::genfv::Error(std::string("internal error: ") + (msg) +    \
+                           " [" #cond "]");                             \
+    }                                                                   \
+  } while (false)
+
+}  // namespace genfv

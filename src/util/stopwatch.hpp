@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file stopwatch.hpp
+/// Wall-clock timing for engine statistics and bench harnesses.
+
+#include <chrono>
+
+namespace genfv::util {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last restart().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace genfv::util

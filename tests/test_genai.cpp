@@ -1,0 +1,209 @@
+/// GenAI substrate tests: prompt rendering (Fig. 1 / Fig. 2 templates),
+/// response extraction from messy markdown, model-profile registry,
+/// simulated-LLM determinism and its text-only discipline, and the waveform
+/// parse-back used in CEX-guided mode.
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+#include "designs/design.hpp"
+#include "genai/prompt.hpp"
+#include "genai/response_parser.hpp"
+#include "genai/simulated_llm.hpp"
+#include "sim/waveform.hpp"
+
+namespace genfv::genai {
+namespace {
+
+PromptInputs sync_counter_inputs() {
+  const auto& info = designs::design_by_name("sync_counters");
+  PromptInputs in;
+  in.design_name = info.name;
+  in.spec = info.spec;
+  in.rtl = info.rtl;
+  in.target_properties = {info.targets[0].sva};
+  return in;
+}
+
+TEST(Prompt, HelperGenerationContainsAllSections) {
+  const Prompt p = render_helper_generation_prompt(sync_counter_inputs());
+  EXPECT_FALSE(p.system.empty());
+  EXPECT_NE(p.user.find("## Specification"), std::string::npos);
+  EXPECT_NE(p.user.find(marker::kRtlFenceOpen), std::string::npos);
+  EXPECT_NE(p.user.find("module sync_counters"), std::string::npos);
+  EXPECT_NE(p.user.find("equal_count"), std::string::npos);
+  // Fig. 1 prompt carries no CEX section.
+  EXPECT_EQ(p.user.find(marker::kWaveFenceOpen), std::string::npos);
+}
+
+TEST(Prompt, CexRepairCarriesWaveformAndFailedProperty) {
+  PromptInputs in = sync_counter_inputs();
+  in.failed_property = "&count1 |-> &count2";
+  in.cex_waveform = "count1 | ff |\ncount2 | 03 |";
+  in.induction_depth = 5;
+  in.proven_lemmas = {"property old; count1 == count2; endproperty"};
+  const Prompt p = render_cex_repair_prompt(in);
+  EXPECT_NE(p.user.find(marker::kWaveFenceOpen), std::string::npos);
+  EXPECT_NE(p.user.find(marker::kFailedProperty), std::string::npos);
+  EXPECT_NE(p.user.find("k = 5"), std::string::npos);
+  EXPECT_NE(p.user.find("do not repeat these"), std::string::npos);
+}
+
+TEST(ResponseParser, ExtractsTaggedAndUntaggedBlocks) {
+  const std::string completion = R"(Here are two assertions.
+
+```sva
+property h1; a == b; endproperty
+```
+
+Some prose. And an untagged block containing a property:
+
+```
+property h2; c |-> d; endproperty
+```
+
+And inline: property h3; e != f; endproperty — done.
+
+A code block that is not an assertion:
+
+```python
+print("hello")
+```
+)";
+  const auto found = extract_assertions(completion);
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_NE(found[0].find("h1"), std::string::npos);
+  EXPECT_NE(found[1].find("h2"), std::string::npos);
+  EXPECT_NE(found[2].find("h3"), std::string::npos);
+}
+
+TEST(ResponseParser, EmptyAndNoAssertionCompletions) {
+  EXPECT_TRUE(extract_assertions("").empty());
+  EXPECT_TRUE(extract_assertions("I found no invariants, sorry.").empty());
+}
+
+TEST(ModelProfiles, RegistryMatchesPaperModels) {
+  const auto names = known_models();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "gpt-4-turbo");
+  EXPECT_EQ(names[1], "gpt-4o");
+  EXPECT_EQ(names[2], "llama-3-70b");
+  EXPECT_EQ(names[3], "gemini-1.5-pro");
+  EXPECT_THROW(profile_by_name("gpt-5"), UsageError);
+  // The OpenAI profiles must dominate on insight and noise — this encodes
+  // the calibration the E5 bench depends on.
+  for (const char* weak : {"llama-3-70b", "gemini-1.5-pro"}) {
+    for (const char* strong : {"gpt-4-turbo", "gpt-4o"}) {
+      EXPECT_GT(profile_by_name(strong).insight, profile_by_name(weak).insight);
+      EXPECT_LT(profile_by_name(strong).hallucination_rate,
+                profile_by_name(weak).hallucination_rate);
+    }
+  }
+}
+
+TEST(SimulatedLlm, DeterministicForSameSeed) {
+  const Prompt prompt = render_helper_generation_prompt(sync_counter_inputs());
+  SimulatedLlm a(profile_by_name("gpt-4o"), 1234);
+  SimulatedLlm b(profile_by_name("gpt-4o"), 1234);
+  EXPECT_EQ(a.complete(prompt).text, b.complete(prompt).text);
+}
+
+TEST(SimulatedLlm, FindsThePaperHelperFromThePrompt) {
+  const Prompt prompt = render_helper_generation_prompt(sync_counter_inputs());
+  SimulatedLlm llm(profile_by_name("gpt-4o"), 7);
+  const Completion completion = llm.complete(prompt);
+  EXPECT_EQ(completion.model, "gpt-4o");
+  EXPECT_GT(completion.prompt_tokens, 0u);
+  EXPECT_GT(completion.latency_seconds, 0.0);
+  // Listing 3's helper must be among the extracted assertions.
+  bool found = false;
+  for (const auto& text : extract_assertions(completion.text)) {
+    if (text.find("count1 == count2") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << completion.text;
+}
+
+TEST(SimulatedLlm, GracefulWithoutRtl) {
+  SimulatedLlm llm(profile_by_name("gpt-4o"), 7);
+  Prompt empty;
+  empty.user = "Please generate helper assertions.";
+  const Completion completion = llm.complete(empty);
+  EXPECT_TRUE(extract_assertions(completion.text).empty());
+}
+
+TEST(SimulatedLlm, GracefulWithMalformedRtl) {
+  SimulatedLlm llm(profile_by_name("gpt-4o"), 7);
+  Prompt prompt;
+  prompt.user = std::string("## Design: x\n\n") + marker::kRtlFenceOpen +
+                "\nmodule broken (input a;\n" + marker::kFenceClose + "\n";
+  const Completion completion = llm.complete(prompt);
+  EXPECT_TRUE(extract_assertions(completion.text).empty());
+}
+
+TEST(SimulatedLlm, WeakProfilesEmitNoisierOutput) {
+  // Across designs+seeds, llama must produce strictly fewer parseable true
+  // findings than gpt-4o on an ECC design (insight gap), and at least one
+  // run with junk (hallucination/syntax) output.
+  const auto& info = designs::design_by_name("hamming74");
+  PromptInputs in;
+  in.design_name = info.name;
+  in.spec = info.spec;
+  in.rtl = info.rtl;
+  const Prompt prompt = render_helper_generation_prompt(in);
+
+  std::size_t strong_xor_findings = 0;
+  std::size_t weak_xor_findings = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SimulatedLlm strong(profile_by_name("gpt-4o"), seed);
+    SimulatedLlm weak(profile_by_name("llama-3-70b"), seed);
+    for (const auto& text : extract_assertions(strong.complete(prompt).text)) {
+      if (text.find('^') != std::string::npos) ++strong_xor_findings;
+    }
+    for (const auto& text : extract_assertions(weak.complete(prompt).text)) {
+      if (text.find('^') != std::string::npos) ++weak_xor_findings;
+    }
+  }
+  EXPECT_GT(strong_xor_findings, 0u);
+  EXPECT_EQ(weak_xor_findings, 0u);  // llama's insight stops before xor_linear
+}
+
+TEST(WaveformParseBack, RoundTripsRenderedTraces) {
+  auto task = designs::make_task("sync_counters");
+  sim::RandomSimulator simulator(task.ts, 42);
+  const sim::Trace trace = simulator.run(5);
+  const std::string wave =
+      sim::render_waveform(trace, sim::default_signals(task.ts), {});
+  const auto frames = parse_waveform_table(wave, task.ts);
+  ASSERT_EQ(frames.size(), trace.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    for (const auto& s : task.ts.states()) {
+      ASSERT_EQ(frames[f].at(s.var), trace.value(s.var, f)) << "frame " << f;
+    }
+    for (const ir::NodeRef in : task.ts.inputs()) {
+      ASSERT_EQ(frames[f].at(in), trace.value(in, f));
+    }
+  }
+}
+
+TEST(WaveformParseBack, IgnoresUnknownRowsAndDecorations) {
+  auto task = designs::make_task("sync_counters");
+  const std::string wave =
+      "       | t0 | t1 |\n"
+      "-------+----+----+\n"
+      "count1 | ff | 0  |\n"
+      "bogus  | 12 | 13 |\n"
+      "(* = frame where the property fails)\n";
+  const auto frames = parse_waveform_table(wave, task.ts);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].at(task.ts.lookup("count1")), 0xFFu);
+  EXPECT_EQ(frames[1].at(task.ts.lookup("count1")), 0u);
+}
+
+TEST(SimulatedLlm, TokensEstimatedFromText) {
+  EXPECT_EQ(estimate_tokens(""), 1u);
+  EXPECT_EQ(estimate_tokens(std::string(400, 'x')), 101u);
+}
+
+}  // namespace
+}  // namespace genfv::genai

@@ -1,0 +1,248 @@
+/// Lexer and parser tests for the Verilog subset: literals, operators,
+/// comments, precedence, statements, port styles, and diagnostics with
+/// line:column locations.
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+#include "hdl/lexer.hpp"
+#include "hdl/parser.hpp"
+
+namespace genfv::hdl {
+namespace {
+
+TEST(Lexer, IdentifiersKeywordsAndSystemNames) {
+  const auto tokens = lex("module foo $past _x9 endmodule");
+  ASSERT_EQ(tokens.size(), 6u);  // 5 identifiers + End
+  EXPECT_TRUE(tokens[0].is_id("module"));
+  EXPECT_TRUE(tokens[2].is_id("$past"));
+  EXPECT_TRUE(tokens[3].is_id("_x9"));
+  EXPECT_TRUE(tokens[5].is(TokKind::End));
+}
+
+TEST(Lexer, SizedLiterals) {
+  const auto tokens = lex("32'b0 8'hFF 4'd12 16'hde_ad 'h7 3'b1x1");
+  EXPECT_EQ(tokens[0].value, 0u);
+  EXPECT_EQ(tokens[0].width, 32u);
+  EXPECT_TRUE(tokens[0].sized);
+  EXPECT_EQ(tokens[1].value, 0xFFu);
+  EXPECT_EQ(tokens[1].width, 8u);
+  EXPECT_EQ(tokens[2].value, 12u);
+  EXPECT_EQ(tokens[3].value, 0xdeadu);  // underscores skipped
+  EXPECT_EQ(tokens[4].value, 7u);
+  EXPECT_FALSE(tokens[4].sized);  // 'h7 has no size prefix
+  EXPECT_EQ(tokens[5].value, 0b101u);  // x collapses to 0
+}
+
+TEST(Lexer, BareDecimalDefaultsTo32Unsized) {
+  const auto tokens = lex("42");
+  EXPECT_EQ(tokens[0].value, 42u);
+  EXPECT_EQ(tokens[0].width, 32u);
+  EXPECT_FALSE(tokens[0].sized);
+}
+
+TEST(Lexer, MultiCharOperatorsGreedyMatch) {
+  const auto tokens = lex("|-> |=> <<< >>> <= >= == != && || ~^ << >> ++");
+  const char* expected[] = {"|->", "|=>", "<<<", ">>>", "<=", ">=", "==",
+                            "!=",  "&&",  "||",  "~^",  "<<", ">>", "++"};
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_TRUE(tokens[i].is_punct(expected[i])) << i << ": " << tokens[i].text;
+  }
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto tokens = lex("a // line comment\n/* block\ncomment */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_TRUE(tokens[0].is_id("a"));
+  EXPECT_TRUE(tokens[1].is_id("b"));
+  EXPECT_EQ(tokens[1].line, 3);  // line tracking across comments
+}
+
+TEST(Lexer, Diagnostics) {
+  EXPECT_THROW(lex("4'q0"), ParseError);        // unknown base
+  EXPECT_THROW(lex("8'h"), ParseError);         // no digits
+  EXPECT_THROW(lex("128'h0"), ParseError);      // width cap
+  EXPECT_THROW(lex("/* open"), ParseError);     // unterminated comment
+  EXPECT_THROW(lex("`define"), ParseError);     // unsupported char
+}
+
+// --- expressions ---------------------------------------------------------------
+
+ExprPtr parse_ok(const std::string& text) {
+  ExprPtr e = parse_expression(text);
+  EXPECT_NE(e, nullptr);
+  return e;
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  const ExprPtr e = parse_ok("a + b * c");
+  ASSERT_EQ(e->kind, Expr::Kind::Binary);
+  EXPECT_EQ(e->text, "+");
+  EXPECT_EQ(e->args[1]->text, "*");
+}
+
+TEST(Parser, PrecedenceCompareOverLogical) {
+  const ExprPtr e = parse_ok("a == b && c < d");
+  EXPECT_EQ(e->text, "&&");
+  EXPECT_EQ(e->args[0]->text, "==");
+  EXPECT_EQ(e->args[1]->text, "<");
+}
+
+TEST(Parser, ImplicationIsLowestAndRightAssociative) {
+  const ExprPtr e = parse_ok("a && b |-> c |-> d");
+  EXPECT_EQ(e->text, "|->");
+  EXPECT_EQ(e->args[0]->text, "&&");
+  EXPECT_EQ(e->args[1]->text, "|->");
+}
+
+TEST(Parser, TernaryConcatReplication) {
+  const ExprPtr t = parse_ok("c ? a : b");
+  EXPECT_EQ(t->kind, Expr::Kind::Ternary);
+  const ExprPtr cc = parse_ok("{a, b, 2'b01}");
+  EXPECT_EQ(cc->kind, Expr::Kind::Concat);
+  EXPECT_EQ(cc->args.size(), 3u);
+  const ExprPtr rr = parse_ok("{4{x}}");
+  EXPECT_EQ(rr->kind, Expr::Kind::Repl);
+  EXPECT_EQ(rr->value, 4u);
+}
+
+TEST(Parser, SelectsAndCalls) {
+  const ExprPtr idx = parse_ok("mem[i]");
+  EXPECT_EQ(idx->kind, Expr::Kind::Index);
+  const ExprPtr rng = parse_ok("bus[7:0]");
+  EXPECT_EQ(rng->kind, Expr::Kind::Range);
+  EXPECT_EQ(rng->msb, 7u);
+  const ExprPtr call = parse_ok("$past(x, 2)");
+  EXPECT_EQ(call->kind, Expr::Kind::Call);
+  EXPECT_EQ(call->text, "$past");
+  EXPECT_EQ(call->args.size(), 2u);
+  // Chained postfix: $countones(x)'s result is not indexable in our subset,
+  // but nested selects are.
+  const ExprPtr nested = parse_ok("bus[7:4][1]");
+  EXPECT_EQ(nested->kind, Expr::Kind::Index);
+}
+
+TEST(Parser, UnaryReductionsAndLogicalNot) {
+  const ExprPtr e = parse_ok("&count1");
+  EXPECT_EQ(e->kind, Expr::Kind::Unary);
+  EXPECT_EQ(e->text, "&");
+  const ExprPtr n = parse_ok("!(~|x)");
+  EXPECT_EQ(n->text, "!");
+  EXPECT_EQ(n->args[0]->text, "~|");
+}
+
+TEST(Parser, ExpressionDiagnostics) {
+  EXPECT_THROW(parse_expression("a +"), ParseError);
+  EXPECT_THROW(parse_expression("(a"), ParseError);
+  EXPECT_THROW(parse_expression("a b"), ParseError);       // trailing tokens
+  EXPECT_THROW(parse_expression("bus[x:0]"), ParseError);  // non-const select
+  EXPECT_THROW(parse_expression("module"), ParseError);    // keyword as expr
+}
+
+// --- modules -------------------------------------------------------------------
+
+TEST(Parser, PaperListing1ParsesVerbatim) {
+  const Module m = parse_module(R"(
+module sync_counters (input clk, rst, output logic [31:0] count1, count2);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count1 <= 32'b0;
+      count2 <= 32'b0;
+    end else begin
+      count1++;
+      count2++;
+    end
+  end
+endmodule
+)");
+  EXPECT_EQ(m.name, "sync_counters");
+  ASSERT_EQ(m.signals.size(), 4u);
+  EXPECT_EQ(m.signals[0].name, "clk");
+  EXPECT_EQ(m.signals[0].dir, PortDir::Input);
+  EXPECT_EQ(m.signals[2].name, "count1");
+  EXPECT_EQ(m.signals[2].dir, PortDir::Output);
+  EXPECT_EQ(m.signals[2].width, 32u);
+  EXPECT_EQ(m.signals[3].width, 32u);  // sticky width across the comma
+  ASSERT_EQ(m.always_blocks.size(), 1u);
+  EXPECT_EQ(m.always_blocks[0].clock, "clk");
+  EXPECT_EQ(m.always_blocks[0].reset, "rst");
+  EXPECT_FALSE(m.always_blocks[0].reset_active_low);
+}
+
+TEST(Parser, BodyDeclarationsAndAssigns) {
+  const Module m = parse_module(R"(
+module top (input a, output y);
+  wire [3:0] w1, w2;
+  logic r = 1'b0;
+  localparam WIDTH = 4;
+  assign y = a & w1[0];
+  assign w1 = {w2[2:0], a};
+endmodule
+)");
+  EXPECT_EQ(m.params.size(), 1u);
+  EXPECT_EQ(m.assigns.size(), 2u);
+  bool found_init = false;
+  for (const auto& s : m.signals) {
+    if (s.name == "r") found_init = (s.init != nullptr);
+  }
+  EXPECT_TRUE(found_init);
+}
+
+TEST(Parser, AlwaysVariantsAndCase) {
+  const Module m = parse_module(R"(
+module fsm (input clk, input [1:0] sel, output logic [1:0] q, output logic [1:0] d);
+  always_comb begin
+    case (sel)
+      2'd0: d = 2'd3;
+      2'd1, 2'd2: d = 2'd1;
+      default: d = 2'd0;
+    endcase
+  end
+  always_ff @(posedge clk) q <= d;
+endmodule
+)");
+  ASSERT_EQ(m.always_blocks.size(), 2u);
+  EXPECT_TRUE(m.always_blocks[0].combinational);
+  EXPECT_FALSE(m.always_blocks[1].combinational);
+  const Stmt& body = *m.always_blocks[0].body;
+  ASSERT_EQ(body.kind, Stmt::Kind::Block);
+  ASSERT_EQ(body.body[0]->kind, Stmt::Kind::Case);
+  EXPECT_EQ(body.body[0]->items.size(), 3u);
+  EXPECT_EQ(body.body[0]->items[1].labels.size(), 2u);  // grouped labels
+  EXPECT_TRUE(body.body[0]->items[2].labels.empty());   // default
+}
+
+TEST(Parser, NegedgeResetAndAlwaysStar) {
+  const Module m = parse_module(R"(
+module r (input clk, rst_n, input d, output logic q, output logic g);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 1'b0;
+    else q <= d;
+  end
+  always @(*) g = q & d;
+endmodule
+)");
+  EXPECT_EQ(m.always_blocks[0].reset, "rst_n");
+  EXPECT_TRUE(m.always_blocks[0].reset_active_low);
+  EXPECT_TRUE(m.always_blocks[1].combinational);
+}
+
+TEST(Parser, ModuleDiagnostics) {
+  EXPECT_THROW(parse_module("module m (input a) endmodule"), ParseError);  // missing ;
+  EXPECT_THROW(parse_module("module m; assign x = ; endmodule"), ParseError);
+  EXPECT_THROW(parse_module("module m; always @(bogus) x <= 1; endmodule"), ParseError);
+  EXPECT_THROW(parse_module("module m; logic [0:7] x; endmodule"), ParseError);  // lsb!=0
+  EXPECT_THROW(parse_module("module m; logic [64:0] x; endmodule"), ParseError); // >64
+  EXPECT_THROW(parse_module("module m; if (x) y <= 1; endmodule"), ParseError);
+  try {
+    parse_module("module m;\n  bogus!\nendmodule");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos)
+        << "diagnostic should carry the line number: " << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace genfv::hdl

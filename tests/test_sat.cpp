@@ -1,0 +1,340 @@
+/// CDCL solver tests: unit behaviour, incremental assumptions, unsat cores,
+/// budgets — plus the property-based cross-check against brute-force
+/// enumeration on random 3-CNF instances, which exercises propagation,
+/// conflict analysis, minimization, restarts and DB reduction together.
+
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace genfv::sat {
+namespace {
+
+Lit pos(Var v) { return mk_lit(v); }
+Lit neg(Var v) { return mk_lit(v, true); }
+
+TEST(Types, LiteralEncoding) {
+  const Lit p = mk_lit(3);
+  EXPECT_EQ(var(p), 3);
+  EXPECT_FALSE(sign(p));
+  EXPECT_TRUE(sign(~p));
+  EXPECT_EQ(var(~p), 3);
+  EXPECT_EQ(~~p, p);
+  EXPECT_EQ(p ^ true, ~p);
+  EXPECT_EQ(p ^ false, p);
+}
+
+TEST(Solver, TrivialSatAndModel) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  ASSERT_TRUE(s.add_clause(pos(a), pos(b)));
+  ASSERT_TRUE(s.add_clause(neg(a)));
+  EXPECT_EQ(s.solve(), LBool::True);
+  EXPECT_EQ(s.model_value(a), LBool::False);
+  EXPECT_EQ(s.model_value(b), LBool::True);
+}
+
+TEST(Solver, EmptyClauseMakesInconsistent) {
+  Solver s;
+  (void)s.new_var();
+  EXPECT_FALSE(s.add_clause(std::vector<Lit>{}));
+  EXPECT_TRUE(s.inconsistent());
+  EXPECT_EQ(s.solve(), LBool::False);
+}
+
+TEST(Solver, UnitContradiction) {
+  Solver s;
+  const Var a = s.new_var();
+  ASSERT_TRUE(s.add_clause(pos(a)));
+  EXPECT_FALSE(s.add_clause(neg(a)));
+  EXPECT_EQ(s.solve(), LBool::False);
+}
+
+TEST(Solver, TautologyAndDuplicatesAreHarmless) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(a), neg(a), pos(b)}));  // tautology: dropped
+  ASSERT_TRUE(s.add_clause({pos(b), pos(b), pos(b)}));  // collapses to unit
+  EXPECT_EQ(s.solve(), LBool::True);
+  EXPECT_EQ(s.model_value(b), LBool::True);
+}
+
+TEST(Solver, PigeonholeThreeIntoTwoIsUnsat) {
+  // p(i,j): pigeon i in hole j; 3 pigeons, 2 holes.
+  Solver s;
+  Var p[3][2];
+  for (auto& row : p) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s.add_clause(pos(p[i][0]), pos(p[i][1])));
+  }
+  for (int j = 0; j < 2; ++j) {
+    for (int i1 = 0; i1 < 3; ++i1) {
+      for (int i2 = i1 + 1; i2 < 3; ++i2) {
+        ASSERT_TRUE(s.add_clause(neg(p[i1][j]), neg(p[i2][j])));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), LBool::False);
+}
+
+TEST(Solver, AssumptionsAreTemporary) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  ASSERT_TRUE(s.add_clause(neg(a), pos(b)));
+  EXPECT_EQ(s.solve({pos(a)}), LBool::True);
+  EXPECT_EQ(s.model_value(b), LBool::True);
+  EXPECT_EQ(s.solve({pos(a), neg(b)}), LBool::False);
+  // The same solver answers SAT again once the conflicting assumption goes.
+  EXPECT_EQ(s.solve({neg(b)}), LBool::True);
+  EXPECT_EQ(s.model_value(a), LBool::False);
+}
+
+TEST(Solver, FailedAssumptionCoreIsConflicting) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  ASSERT_TRUE(s.add_clause(neg(a), neg(b)));  // a && b impossible
+  ASSERT_EQ(s.solve({pos(a), pos(b), pos(c)}), LBool::False);
+  const auto& core = s.failed_assumptions();
+  ASSERT_FALSE(core.empty());
+  // c is irrelevant and must not be required; a or b must appear.
+  for (const Lit l : core) EXPECT_NE(var(l), c);
+  // Assert the core literals permanently: the formula must become UNSAT.
+  Solver s2;
+  (void)s2.new_var();
+  (void)s2.new_var();
+  (void)s2.new_var();
+  ASSERT_TRUE(s2.add_clause(neg(a), neg(b)));
+  bool consistent = true;
+  for (const Lit l : core) consistent = s2.add_clause(l) && consistent;
+  EXPECT_TRUE(!consistent || s2.solve() == LBool::False);
+}
+
+TEST(Solver, ConflictBudgetReturnsUndef) {
+  // Pigeonhole 6 into 5: hard enough to exceed a 5-conflict budget.
+  Solver s;
+  constexpr int kPigeons = 6;
+  constexpr int kHoles = 5;
+  std::vector<std::vector<Var>> p(kPigeons, std::vector<Var>(kHoles));
+  for (auto& row : p) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < kPigeons; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < kHoles; ++j) clause.push_back(pos(p[i][j]));
+    ASSERT_TRUE(s.add_clause(clause));
+  }
+  for (int j = 0; j < kHoles; ++j) {
+    for (int i1 = 0; i1 < kPigeons; ++i1) {
+      for (int i2 = i1 + 1; i2 < kPigeons; ++i2) {
+        ASSERT_TRUE(s.add_clause(neg(p[i1][j]), neg(p[i2][j])));
+      }
+    }
+  }
+  s.set_conflict_budget(5);
+  EXPECT_EQ(s.solve(), LBool::Undef);
+  s.set_conflict_budget(-1);
+  EXPECT_EQ(s.solve(), LBool::False);
+}
+
+TEST(Solver, TrueLitIsAlwaysTrue) {
+  Solver s;
+  const Lit t = s.true_lit();
+  EXPECT_EQ(s.solve(), LBool::True);
+  EXPECT_EQ(s.model_value(t), LBool::True);
+  EXPECT_EQ(s.solve({~t}), LBool::False);
+}
+
+// --- property-based cross-check against brute force ---------------------------
+
+struct RandomCnfCase {
+  std::uint64_t seed;
+};
+
+class SatBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Enumerate all assignments; return true iff some satisfies all clauses.
+bool brute_force_sat(int num_vars, const std::vector<std::vector<int>>& clauses,
+                     std::uint32_t* satisfying = nullptr) {
+  for (std::uint32_t m = 0; m < (1u << num_vars); ++m) {
+    bool all_ok = true;
+    for (const auto& clause : clauses) {
+      bool clause_ok = false;
+      for (const int lit : clause) {
+        const int v = std::abs(lit) - 1;
+        const bool val = (m >> v) & 1u;
+        if ((lit > 0) == val) {
+          clause_ok = true;
+          break;
+        }
+      }
+      if (!clause_ok) {
+        all_ok = false;
+        break;
+      }
+    }
+    if (all_ok) {
+      if (satisfying != nullptr) *satisfying = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST_P(SatBruteForce, AgreesOnRandom3Cnf) {
+  util::Xoshiro256 rng(GetParam());
+  for (int instance = 0; instance < 40; ++instance) {
+    const int num_vars = 3 + static_cast<int>(rng.below(8));       // 3..10
+    const int num_clauses = num_vars + static_cast<int>(rng.below(
+                                           static_cast<std::uint64_t>(3 * num_vars)));
+    std::vector<std::vector<int>> clauses;
+    for (int c = 0; c < num_clauses; ++c) {
+      std::vector<int> clause;
+      const int len = 1 + static_cast<int>(rng.below(3));
+      for (int l = 0; l < len; ++l) {
+        const int v = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(num_vars)));
+        clause.push_back(rng.chance(0.5) ? v : -v);
+      }
+      clauses.push_back(std::move(clause));
+    }
+
+    Solver solver;
+    for (int v = 0; v < num_vars; ++v) (void)solver.new_var();
+    bool load_ok = true;
+    for (const auto& clause : clauses) {
+      std::vector<Lit> lits;
+      for (const int l : clause) lits.push_back(mk_lit(std::abs(l) - 1, l < 0));
+      load_ok = solver.add_clause(std::move(lits)) && load_ok;
+    }
+
+    const bool expected = brute_force_sat(num_vars, clauses);
+    if (!load_ok) {
+      ASSERT_FALSE(expected) << "solver found level-0 conflict on a SAT instance";
+      continue;
+    }
+    const LBool verdict = solver.solve();
+    ASSERT_EQ(verdict == LBool::True, expected) << "instance " << instance;
+
+    if (verdict == LBool::True) {
+      // The model must satisfy every clause.
+      for (const auto& clause : clauses) {
+        bool ok = false;
+        for (const int l : clause) {
+          const LBool mv = solver.model_value(mk_lit(std::abs(l) - 1, l < 0));
+          if (mv == LBool::True) {
+            ok = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(ok) << "model violates a clause";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatBruteForce,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+class SatAssumptionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SatAssumptionProperty, AssumptionsMatchAddedUnits) {
+  // solve(assumptions) must agree with solving a copy where the assumptions
+  // are permanent unit clauses.
+  util::Xoshiro256 rng(GetParam());
+  for (int instance = 0; instance < 20; ++instance) {
+    const int num_vars = 4 + static_cast<int>(rng.below(6));
+    std::vector<std::vector<int>> clauses;
+    const int num_clauses = 2 * num_vars;
+    for (int c = 0; c < num_clauses; ++c) {
+      std::vector<int> clause;
+      for (int l = 0; l < 3; ++l) {
+        const int v = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(num_vars)));
+        clause.push_back(rng.chance(0.5) ? v : -v);
+      }
+      clauses.push_back(std::move(clause));
+    }
+    std::vector<int> assumptions;
+    for (int v = 1; v <= num_vars; ++v) {
+      if (rng.chance(0.3)) assumptions.push_back(rng.chance(0.5) ? v : -v);
+    }
+
+    Solver incremental;
+    Solver monolithic;
+    for (int v = 0; v < num_vars; ++v) {
+      (void)incremental.new_var();
+      (void)monolithic.new_var();
+    }
+    bool mono_ok = true;
+    for (const auto& clause : clauses) {
+      std::vector<Lit> lits;
+      for (const int l : clause) lits.push_back(mk_lit(std::abs(l) - 1, l < 0));
+      ASSERT_TRUE(incremental.add_clause(lits));
+      mono_ok = monolithic.add_clause(std::move(lits)) && mono_ok;
+    }
+    std::vector<Lit> assumption_lits;
+    for (const int l : assumptions) {
+      assumption_lits.push_back(mk_lit(std::abs(l) - 1, l < 0));
+      if (mono_ok) mono_ok = monolithic.add_clause(mk_lit(std::abs(l) - 1, l < 0));
+    }
+    const LBool inc = incremental.solve(assumption_lits);
+    const LBool mono = mono_ok ? monolithic.solve() : LBool::False;
+    ASSERT_EQ(inc, mono);
+    // The incremental solver must remain usable without assumptions.
+    ASSERT_NE(incremental.solve(), LBool::Undef);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatAssumptionProperty, ::testing::Values(7, 11, 19, 23));
+
+// --- DIMACS ---------------------------------------------------------------------
+
+TEST(Dimacs, RoundTrip) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {{1, -2}, {2, 3}, {-1}};
+  const Cnf parsed = parse_dimacs(to_dimacs(cnf));
+  EXPECT_EQ(parsed.num_vars, 3);
+  EXPECT_EQ(parsed.clauses, cnf.clauses);
+}
+
+TEST(Dimacs, ParsesCommentsAndWhitespace) {
+  const Cnf cnf = parse_dimacs("c a comment\np cnf 2 1\n 1 -2 0\n");
+  EXPECT_EQ(cnf.num_vars, 2);
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  EXPECT_THROW(parse_dimacs("p cnf x y\n1 0\n"), ParseError);
+  EXPECT_THROW(parse_dimacs("p cnf 1 1\n1\n"), ParseError);     // unterminated
+  EXPECT_THROW(parse_dimacs("p cnf 1 1\n5 0\n"), ParseError);   // var out of range
+  EXPECT_THROW(parse_dimacs("p cnf 1 2\n1 0\n"), ParseError);   // count mismatch
+}
+
+TEST(Dimacs, LoadIntoSolver) {
+  const Cnf cnf = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n");
+  Solver s;
+  ASSERT_TRUE(load_cnf(cnf, s));
+  EXPECT_EQ(s.solve(), LBool::True);
+  EXPECT_EQ(s.model_value(Var{1}), LBool::True);
+}
+
+TEST(SolverStats, CountersAdvance) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  ASSERT_TRUE(s.add_clause(pos(a), pos(b)));
+  (void)s.solve();
+  EXPECT_GE(s.stats().solves, 1u);
+  EXPECT_GE(s.stats().propagations + s.stats().decisions, 1u);
+}
+
+}  // namespace
+}  // namespace genfv::sat

@@ -1,0 +1,222 @@
+/// genfv_cli — command-line front door to the library.
+///
+///   genfv_cli prove --rtl design.sv --property "<sva>" [options]
+///       Verify RTL from a file: elaborate, compile the target properties,
+///       and run the selected flow.
+///   genfv_cli demo <design> [options]
+///       Run a built-in zoo design through the selected flow.
+///   genfv_cli designs
+///       List the built-in design zoo.
+///   genfv_cli models
+///       List the simulated model profiles.
+///
+/// Options:
+///   --flow cex|helper|direct|plain   (default: cex — the paper's Fig. 2 loop)
+///   --model <name>                   (default: gpt-4o)
+///   --seed <n>                       (default: 42)
+///   --max-k <n>                      (default: 8)
+///   --no-screen                      disable the simulation review screen
+///   --dump-ts <file>                 serialize the elaborated system
+///   --vcd <file>                     dump the last step-CEX (plain flow) as VCD
+///   --verbose                        info-level logging
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "designs/design.hpp"
+#include "flow/cex_repair_flow.hpp"
+#include "flow/direct_miner_flow.hpp"
+#include "flow/helper_gen_flow.hpp"
+#include "genai/simulated_llm.hpp"
+#include "ir/serialize.hpp"
+#include "mc/kinduction.hpp"
+#include "sim/vcd.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace genfv;
+
+struct CliOptions {
+  std::string command;
+  std::string rtl_path;
+  std::vector<std::string> properties;
+  std::string design;
+  std::string flow = "cex";
+  std::string model = "gpt-4o";
+  std::uint64_t seed = 42;
+  std::size_t max_k = 8;
+  bool sim_screen = true;
+  std::string dump_ts_path;
+  std::string vcd_path;
+  bool verbose = false;
+};
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  genfv_cli prove --rtl <file.sv> --property \"<sva>\" [options]\n"
+               "  genfv_cli demo <design> [options]\n"
+               "  genfv_cli designs | models\n"
+               "options: --flow cex|helper|direct|plain  --model <name>  --seed <n>\n"
+               "         --max-k <n>  --no-screen  --dump-ts <file>  --vcd <file>\n"
+               "         --verbose\n");
+  std::exit(2);
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions opts;
+  if (argc < 2) usage();
+  opts.command = argv[1];
+  int i = 2;
+  if (opts.command == "demo") {
+    if (i >= argc) usage("demo requires a design name");
+    opts.design = argv[i++];
+  }
+  auto need_value = [&](const char* flag) -> std::string {
+    if (i >= argc) usage((std::string(flag) + " requires a value").c_str());
+    return argv[i++];
+  };
+  while (i < argc) {
+    const std::string arg = argv[i++];
+    if (arg == "--rtl") opts.rtl_path = need_value("--rtl");
+    else if (arg == "--property") opts.properties.push_back(need_value("--property"));
+    else if (arg == "--flow") opts.flow = need_value("--flow");
+    else if (arg == "--model") opts.model = need_value("--model");
+    else if (arg == "--seed") opts.seed = std::stoull(need_value("--seed"));
+    else if (arg == "--max-k") opts.max_k = std::stoull(need_value("--max-k"));
+    else if (arg == "--no-screen") opts.sim_screen = false;
+    else if (arg == "--dump-ts") opts.dump_ts_path = need_value("--dump-ts");
+    else if (arg == "--vcd") opts.vcd_path = need_value("--vcd");
+    else if (arg == "--verbose") opts.verbose = true;
+    else usage(("unknown option " + arg).c_str());
+  }
+  return opts;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  out << content;
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+}
+
+int run_plain(flow::VerificationTask& task, const CliOptions& opts) {
+  mc::KInductionEngine engine(task.ts, {.max_k = opts.max_k});
+  const mc::InductionResult result = engine.prove_all(task.target_exprs());
+  std::printf("plain k-induction: %s\n", result.summary().c_str());
+  if (result.step_cex.has_value()) {
+    sim::WaveformOptions wave;
+    wave.failure_frame = result.step_cex->size() - 1;
+    std::printf("%s\n", sim::render_waveform(*result.step_cex,
+                                             sim::default_signals(task.ts), wave)
+                            .c_str());
+    if (!opts.vcd_path.empty()) {
+      write_file(opts.vcd_path, sim::render_vcd(*result.step_cex,
+                                                sim::default_signals(task.ts),
+                                                task.name));
+    }
+  }
+  return result.verdict == mc::Verdict::Proven ? 0 : 1;
+}
+
+int run_task(flow::VerificationTask& task, const CliOptions& opts) {
+  if (!opts.dump_ts_path.empty()) {
+    write_file(opts.dump_ts_path, ir::serialize(task.ts));
+  }
+  if (opts.flow == "plain") return run_plain(task, opts);
+
+  flow::FlowOptions options;
+  options.engine.max_k = opts.max_k;
+  options.review.sim_screen = opts.sim_screen;
+
+  flow::FlowReport report;
+  if (opts.flow == "direct") {
+    flow::DirectMinerFlow direct({options.engine, options.review, true, 48, 6, opts.seed});
+    report = direct.run(task);
+  } else {
+    genai::SimulatedLlm llm(genai::profile_by_name(opts.model), opts.seed);
+    if (opts.flow == "helper") {
+      flow::HelperGenFlow helper(llm, options);
+      report = helper.run(task);
+    } else if (opts.flow == "cex") {
+      flow::CexRepairFlow repair(llm, options);
+      report = repair.run(task);
+    } else {
+      usage(("unknown flow '" + opts.flow + "'").c_str());
+    }
+  }
+  report.seed = opts.seed;
+  std::printf("%s\n", report.to_string().c_str());
+  return report.all_targets_proven() ? 0 : 1;
+}
+
+int cmd_designs() {
+  std::printf("%-18s %-10s %-12s %s\n", "name", "category", "key insight", "description");
+  for (const auto& d : designs::all_designs()) {
+    std::printf("%-18s %-10s %-12s %s\n", d.name.c_str(), d.category.c_str(),
+                d.key_insight.empty() ? "-" : d.key_insight.c_str(),
+                d.description.c_str());
+  }
+  return 0;
+}
+
+int cmd_models() {
+  for (const auto& name : genai::known_models()) {
+    const auto& p = genai::profile_by_name(name);
+    std::printf("%-16s vendor=%-7s insight=%d/7 hallucination=%.0f%% syntax-err=%.0f%% "
+                "self-check=%s\n",
+                p.name.c_str(), p.vendor.c_str(), p.insight,
+                p.hallucination_rate * 100, p.syntax_error_rate * 100,
+                p.self_check ? "yes" : "no");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opts = parse_args(argc, argv);
+  if (opts.verbose) util::set_log_level(util::LogLevel::Info);
+
+  try {
+    if (opts.command == "designs") return cmd_designs();
+    if (opts.command == "models") return cmd_models();
+    if (opts.command == "demo") {
+      auto task = designs::make_task(opts.design);
+      return run_task(task, opts);
+    }
+    if (opts.command == "prove") {
+      if (opts.rtl_path.empty()) usage("prove requires --rtl");
+      if (opts.properties.empty()) usage("prove requires at least one --property");
+      std::vector<flow::TargetSpec> targets;
+      for (std::size_t i = 0; i < opts.properties.size(); ++i) {
+        targets.push_back({"target_" + std::to_string(i + 1), opts.properties[i]});
+      }
+      auto task = flow::VerificationTask::from_rtl(
+          opts.rtl_path, /*spec=*/"", read_file(opts.rtl_path), targets);
+      return run_task(task, opts);
+    }
+    usage(("unknown command '" + opts.command + "'").c_str());
+  } catch (const genfv::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
