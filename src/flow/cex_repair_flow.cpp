@@ -2,6 +2,7 @@
 
 #include "genai/prompt.hpp"
 #include "genai/response_parser.hpp"
+#include "ir/printer.hpp"
 #include "sim/waveform.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -18,18 +19,36 @@ FlowReport CexRepairFlow::run(VerificationTask& task) {
   report.flow = "cex_repair";
   report.design = task.name;
   report.model = llm_.model_name();
+  report.engine = mc::to_string(options_.target_engine);
 
   LemmaManager lemmas(task, {options_.engine, options_.review, options_.joint_induction});
 
-  mc::InductionResult last_result;
+  mc::EngineResult last_result;
   for (std::size_t iter = 1; iter <= options_.max_iterations + 1; ++iter) {
     // Attempt the proof with everything admitted so far.
-    mc::KInductionOptions opts = options_.engine;
+    mc::EngineOptions opts = mc::to_engine_options(options_.engine);
     opts.lemmas.insert(opts.lemmas.end(), lemmas.lemma_exprs().begin(),
                        lemmas.lemma_exprs().end());
-    mc::KInductionEngine engine(task.ts, opts);
-    last_result = engine.prove_all(task.target_exprs());
+    auto engine = mc::make_engine(options_.target_engine, task.ts, opts);
+    last_result = engine->prove_all(task.target_exprs());
     report.prove_seconds += last_result.stats.seconds;
+
+    // Engines without a step-case artefact (BMC, PDR) cannot feed the
+    // repair prompt. When they stall on Unknown, harvest the step CEX from
+    // a k-induction run under the same lemmas — or adopt its verdict
+    // outright if it concludes — so the repair loop keeps working.
+    if (last_result.verdict == mc::Verdict::Unknown &&
+        !last_result.step_cex.has_value() &&
+        options_.target_engine != mc::EngineKind::KInduction) {
+      auto kind = mc::make_engine(mc::EngineKind::KInduction, task.ts, opts);
+      mc::EngineResult fallback = kind->prove_all(task.target_exprs());
+      report.prove_seconds += fallback.stats.seconds;
+      if (fallback.verdict != mc::Verdict::Unknown) {
+        last_result = std::move(fallback);
+      } else {
+        last_result.step_cex = std::move(fallback.step_cex);
+      }
+    }
 
     if (last_result.verdict != mc::Verdict::Unknown || !last_result.step_cex.has_value() ||
         iter > options_.max_iterations) {
@@ -51,7 +70,7 @@ FlowReport CexRepairFlow::run(VerificationTask& task) {
     inputs.proven_lemmas = lemmas.lemma_svas();
     inputs.failed_property = util::join(task.target_svas(), " && ");
     inputs.cex_waveform = waveform;
-    inputs.induction_depth = last_result.k;
+    inputs.induction_depth = last_result.depth;
     const genai::Prompt prompt = genai::render_cex_repair_prompt(inputs);
 
     const genai::Completion completion = llm_.complete(prompt);
@@ -79,12 +98,18 @@ FlowReport CexRepairFlow::run(VerificationTask& task) {
     }
   }
 
+  // A PDR proof exports its inductive-frame clauses as proven lemmas, so a
+  // follow-up helper-generation run (or a later target) can assume them.
+  for (const ir::NodeRef clause : last_result.invariant) {
+    lemmas.admit_proven(clause, ir::to_string(clause));
+  }
   report.admitted_lemmas = lemmas.lemma_svas();
   report.prove_seconds += lemmas.prove_seconds();
   for (const std::size_t i : task.target_indices) {
     TargetReport tr;
     tr.name = task.ts.property(i).name;
-    tr.result = last_result;  // joint verdict applies to every target
+    // Joint verdict applies to every target.
+    tr.result = mc::to_induction_result(last_result);
     report.targets.push_back(std::move(tr));
   }
   report.total_seconds = watch.seconds() + report.llm_seconds;

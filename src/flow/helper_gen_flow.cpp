@@ -2,6 +2,7 @@
 
 #include "genai/prompt.hpp"
 #include "genai/response_parser.hpp"
+#include "ir/printer.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 
@@ -16,6 +17,7 @@ FlowReport HelperGenFlow::run(VerificationTask& task) {
   report.flow = "helper_generation";
   report.design = task.name;
   report.model = llm_.model_name();
+  report.engine = mc::to_string(options_.target_engine);
 
   // 1. Render the Fig. 1 prompt: specification + RTL (+ targets).
   genai::PromptInputs inputs;
@@ -42,22 +44,28 @@ FlowReport HelperGenFlow::run(VerificationTask& task) {
     if (c.status == CandidateStatus::Proven) ++iteration.lemmas_admitted;
   }
   report.iterations.push_back(std::move(iteration));
-  report.admitted_lemmas = lemmas.lemma_svas();
   report.prove_seconds += lemmas.prove_seconds();
 
-  // 4. Prove every target with the admitted lemmas as assumptions.
-  mc::KInductionOptions target_opts = options_.engine;
-  target_opts.lemmas.insert(target_opts.lemmas.end(), lemmas.lemma_exprs().begin(),
-                            lemmas.lemma_exprs().end());
+  // 4. Prove every target with the admitted lemmas as assumptions, using the
+  // selected engine. A PDR proof pays its discovery back: the clauses of its
+  // final inductive frame are admitted as lemmas for later targets.
   for (const std::size_t i : task.target_indices) {
     const auto& prop = task.ts.property(i);
-    mc::KInductionEngine engine(task.ts, target_opts);
+    mc::EngineOptions target_opts = mc::to_engine_options(options_.engine);
+    target_opts.lemmas.insert(target_opts.lemmas.end(), lemmas.lemma_exprs().begin(),
+                              lemmas.lemma_exprs().end());
+    auto engine = mc::make_engine(options_.target_engine, task.ts, target_opts);
+    const mc::EngineResult result = engine->prove(prop.expr);
+    for (const ir::NodeRef clause : result.invariant) {
+      lemmas.admit_proven(clause, ir::to_string(clause));
+    }
     TargetReport tr;
     tr.name = prop.name;
-    tr.result = engine.prove(prop.expr);
+    tr.result = mc::to_induction_result(result);
     report.prove_seconds += tr.result.stats.seconds;
     report.targets.push_back(std::move(tr));
   }
+  report.admitted_lemmas = lemmas.lemma_svas();
 
   report.total_seconds = watch.seconds() + report.llm_seconds;
   GENFV_LOG(Info, "flow") << "helper_generation on " << task.name << ": "

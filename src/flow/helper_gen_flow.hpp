@@ -6,6 +6,7 @@
 
 #include "flow/lemma_manager.hpp"
 #include "genai/llm_client.hpp"
+#include "mc/engine.hpp"
 
 namespace genfv::flow {
 
@@ -17,6 +18,12 @@ struct FlowOptions {
   std::size_t max_iterations = 4;
   /// Include target SVA in the prompt (paper's flows do).
   bool targets_in_prompt = true;
+  /// Engine used for the *target* proofs; candidate/lemma proofs stay on
+  /// k-induction. The repair loop needs a step CEX to prompt with — when a
+  /// step-CEX-less engine (BMC, PDR) stalls on Unknown, the flow harvests
+  /// one from a k-induction run under the same lemmas. When PDR proves a
+  /// target, its inductive-frame clauses are admitted back as lemmas.
+  mc::EngineKind target_engine = mc::EngineKind::KInduction;
 };
 
 class HelperGenFlow {

@@ -26,6 +26,13 @@ mc::KInductionOptions LemmaManager::engine_with_lemmas() const {
   return opts;
 }
 
+bool LemmaManager::admit_proven(ir::NodeRef expr, std::string sva) {
+  if (expr == nullptr || expr->is_const() || known_fact(expr)) return false;
+  lemma_exprs_.push_back(expr);
+  lemma_svas_.push_back(std::move(sva));
+  return true;
+}
+
 std::vector<CandidateOutcome> LemmaManager::process(
     const std::vector<std::string>& candidate_texts) {
   std::vector<CandidateOutcome> outcomes;

@@ -32,6 +32,11 @@ class LemmaManager {
   /// (and are treated as known facts for dedupe purposes).
   std::vector<CandidateOutcome> process(const std::vector<std::string>& candidate_texts);
 
+  /// Admit an invariant proven outside the candidate pipeline — e.g. a
+  /// clause of PDR's final inductive frame. Deduplicates against known
+  /// facts; returns true when the lemma was actually added.
+  bool admit_proven(ir::NodeRef expr, std::string sva);
+
   const std::vector<ir::NodeRef>& lemma_exprs() const noexcept { return lemma_exprs_; }
   const std::vector<std::string>& lemma_svas() const noexcept { return lemma_svas_; }
 

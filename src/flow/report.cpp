@@ -44,8 +44,9 @@ std::size_t FlowReport::candidates_with(CandidateStatus status) const {
 
 std::string FlowReport::to_string() const {
   std::ostringstream out;
-  out << "=== " << flow << " | design=" << design << " | model=" << model
-      << " | seed=" << seed << " ===\n";
+  out << "=== " << flow << " | design=" << design << " | model=" << model;
+  if (!engine.empty()) out << " | engine=" << engine;
+  out << " | seed=" << seed << " ===\n";
   for (const auto& it : iterations) {
     out << "iteration " << it.index << ": " << it.candidates.size() << " candidates, "
         << it.lemmas_admitted << " admitted (" << it.prompt_tokens << " prompt tok, "

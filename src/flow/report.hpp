@@ -52,6 +52,7 @@ struct FlowReport {
   std::string flow;    ///< "helper_generation" (Fig. 1) / "cex_repair" (Fig. 2)
   std::string design;
   std::string model;
+  std::string engine;  ///< target-proof engine ("k-induction", "pdr", ...)
   std::uint64_t seed = 0;
 
   std::vector<IterationReport> iterations;

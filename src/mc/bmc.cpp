@@ -24,7 +24,6 @@ BmcResult BmcEngine::check(ir::NodeRef property) {
 
     // Query: can the property fail exactly at `depth`?
     const sat::Lit bad = ~unroller.lit_at(property, depth);
-    ++result.stats.sat_calls;
     const sat::LBool answer = solver.solve({bad});
 
     if (answer == sat::LBool::True) {
@@ -44,9 +43,7 @@ BmcResult BmcEngine::check(ir::NodeRef property) {
     result.depth = depth;
   }
 
-  result.stats.conflicts = solver.stats().conflicts;
-  result.stats.decisions = solver.stats().decisions;
-  result.stats.propagations = solver.stats().propagations;
+  result.stats.absorb(solver.stats());
   result.stats.seconds = watch.seconds();
   return result;
 }

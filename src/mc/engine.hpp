@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file engine.hpp
+/// The abstract model-checking engine interface. BMC, k-induction and
+/// IC3/PDR all implement it, so the flows, the CLI and the benches can
+/// select an engine at runtime (and a future portfolio can run several in
+/// parallel). Engine-specific entry points (`BmcEngine`, `KInductionEngine`,
+/// `PdrEngine`) remain available for callers that need the native result
+/// shapes.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/transition_system.hpp"
+#include "mc/result.hpp"
+
+namespace genfv::mc {
+
+enum class EngineKind {
+  Bmc,         ///< bounded search for counterexamples (never Proven)
+  KInduction,  ///< Sheeran-Singh-Stålmarck k-induction
+  Pdr,         ///< IC3/property-directed reachability
+};
+
+std::string to_string(EngineKind kind);
+
+/// Parse an engine name as accepted by the CLI `--engine` flag:
+/// "bmc", "kind"/"kinduction"/"k-induction", "pdr"/"ic3".
+std::optional<EngineKind> engine_kind_from_string(const std::string& name);
+
+/// Engine-independent knobs. Each engine maps `max_steps` onto its own bound:
+/// BMC depth, induction k, PDR frame count.
+struct EngineOptions {
+  std::size_t max_steps = 32;
+  /// Proven invariants assumed everywhere (sound: they restrict nothing
+  /// reachable). PDR additionally uses them to strengthen every frame.
+  std::vector<ir::NodeRef> lemmas;
+  /// k-induction only: pairwise state-distinctness in the step case.
+  bool simple_path = false;
+  /// Best-effort SAT conflict cap per run; -1 = unlimited.
+  std::int64_t conflict_budget = -1;
+};
+
+/// Engine-independent verdict. Engines fill the fields that apply to them.
+struct EngineResult {
+  Verdict verdict = Verdict::Unknown;
+  /// BMC: deepest frame explored; k-induction: final k; PDR: frontier frame.
+  std::size_t depth = 0;
+  /// Real counterexample from the initial states (verdict == Falsified).
+  std::optional<sim::Trace> cex;
+  /// k-induction step-case artefact (the trace the GenAI flow analyzes).
+  std::optional<sim::Trace> step_cex;
+  /// PDR, verdict == Proven: clauses of the final inductive frame. Each
+  /// clause individually holds in every reachable state, so each can be
+  /// re-used as a lemma (and printed as SVA via ir::Printer); the
+  /// conjunction is inductive and implies the property relative to any
+  /// lemmas that seeded the run.
+  std::vector<ir::NodeRef> invariant;
+  EngineStats stats;
+
+  bool proven() const noexcept { return verdict == Verdict::Proven; }
+  std::string summary() const;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual EngineKind kind() const noexcept = 0;
+  virtual std::string name() const = 0;
+
+  /// Decide the conjunction of `properties` (a single property is the
+  /// common case). Proving the conjunction proves every conjunct.
+  virtual EngineResult prove_all(const std::vector<ir::NodeRef>& properties) = 0;
+
+  EngineResult prove(ir::NodeRef property) { return prove_all({property}); }
+};
+
+/// Instantiate an engine over `ts`. The transition system must outlive the
+/// returned engine.
+std::unique_ptr<Engine> make_engine(EngineKind kind, const ir::TransitionSystem& ts,
+                                    const EngineOptions& options = {});
+
+struct KInductionOptions;
+
+/// Map the k-induction option shape (what FlowOptions carries) onto the
+/// engine-independent one: max_k becomes max_steps, lemmas/simple_path/
+/// budget carry over.
+EngineOptions to_engine_options(const KInductionOptions& options);
+
+/// Adapt an engine-independent result to the k-induction shape stored in
+/// FlowReport::TargetReport (depth becomes k).
+InductionResult to_induction_result(const EngineResult& result);
+
+}  // namespace genfv::mc

@@ -13,18 +13,12 @@ InductionResult KInductionEngine::prove(ir::NodeRef property) {
 }
 
 InductionResult KInductionEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
-  GENFV_ASSERT(!properties.empty(), "prove_all requires at least one property");
   util::Stopwatch watch;
   InductionResult result;
 
   // The conjunction of all properties (and it is what gets assumed on
   // earlier frames, making this *mutual* induction).
-  auto nm = ts_.nm_ptr();
-  ir::NodeRef prop = nm->mk_true();
-  for (const ir::NodeRef p : properties) {
-    GENFV_ASSERT(p->width() == 1, "property must have width 1");
-    prop = nm->mk_and(prop, p);
-  }
+  const ir::NodeRef prop = conjoin_properties(ts_, properties);
 
   sat::Solver base_solver;
   base_solver.set_conflict_budget(options_.conflict_budget);
@@ -47,10 +41,8 @@ InductionResult KInductionEngine::prove_all(const std::vector<ir::NodeRef>& prop
   auto finish = [&](Verdict verdict, std::size_t k) {
     result.verdict = verdict;
     result.k = k;
-    result.stats.conflicts = base_solver.stats().conflicts + step_solver.stats().conflicts;
-    result.stats.decisions = base_solver.stats().decisions + step_solver.stats().decisions;
-    result.stats.propagations =
-        base_solver.stats().propagations + step_solver.stats().propagations;
+    result.stats.absorb(base_solver.stats());
+    result.stats.absorb(step_solver.stats());
     result.stats.seconds = watch.seconds();
     return result;
   };
@@ -60,7 +52,6 @@ InductionResult KInductionEngine::prove_all(const std::vector<ir::NodeRef>& prop
     base.extend_to(k - 1);
     assert_lemmas(base, base_lemma_frames, k - 1);
     const sat::Lit bad_base = ~base.lit_at(prop, k - 1);
-    ++result.stats.sat_calls;
     const sat::LBool base_answer = base_solver.solve({bad_base});
     if (base_answer == sat::LBool::True) {
       result.base_cex = base.extract_trace(k);
@@ -80,7 +71,6 @@ InductionResult KInductionEngine::prove_all(const std::vector<ir::NodeRef>& prop
     }
     step_solver.add_clause(step.lit_at(prop, k - 1));  // assume P at frame k-1
     const sat::Lit bad_step = ~step.lit_at(prop, k);
-    ++result.stats.sat_calls;
     const sat::LBool step_answer = step_solver.solve({bad_step});
     if (step_answer == sat::LBool::False) {
       return finish(Verdict::Proven, k);

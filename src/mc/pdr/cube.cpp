@@ -1,0 +1,32 @@
+#include "mc/pdr/cube.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace genfv::mc::pdr {
+
+void canonicalize(Cube& cube) {
+  std::sort(cube.begin(), cube.end());
+  cube.erase(std::unique(cube.begin(), cube.end()), cube.end());
+}
+
+bool subsumes(const Cube& a, const Cube& b) {
+  if (a.size() > b.size()) return false;
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+ir::NodeRef clause_expr(const ir::TransitionSystem& ts, const Cube& cube) {
+  GENFV_ASSERT(!cube.empty(), "cannot render the empty clause");
+  auto nm = ts.nm_ptr();
+  ir::NodeRef clause = nm->mk_false();
+  for (const StateLit& lit : cube) {
+    const ir::NodeRef var = ts.states().at(lit.state).var;
+    ir::NodeRef bit = nm->mk_bit(var, lit.bit);
+    // The clause literal is the negation of the cube literal.
+    clause = nm->mk_or(clause, lit.negated ? bit : nm->mk_not(bit));
+  }
+  return clause;
+}
+
+}  // namespace genfv::mc::pdr

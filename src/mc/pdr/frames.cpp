@@ -1,0 +1,52 @@
+#include "mc/pdr/frames.hpp"
+
+#include "util/status.hpp"
+
+namespace genfv::mc::pdr {
+
+FrameTrace::FrameTrace(sat::Solver& solver, sat::Lit init_activation) : solver_(solver) {
+  levels_.push_back({init_activation, {}});
+}
+
+void FrameTrace::push_level() {
+  levels_.push_back({sat::mk_lit(solver_.new_var()), {}});
+}
+
+std::vector<sat::Lit> FrameTrace::assumptions(std::size_t level) const {
+  GENFV_ASSERT(level < levels_.size(), "frame level out of range");
+  std::vector<sat::Lit> out;
+  out.reserve(levels_.size() - level);
+  for (std::size_t i = level; i < levels_.size(); ++i) {
+    out.push_back(levels_[i].activation);
+  }
+  return out;
+}
+
+void FrameTrace::add_blocked(Cube cube, std::size_t level) {
+  GENFV_ASSERT(level >= 1 && level < levels_.size(), "cubes live at levels 1..N");
+  // The new clause subsumes any weaker clause it implies at this level or
+  // below; drop those from the bookkeeping (their solver clauses remain,
+  // which is sound — merely redundant).
+  for (std::size_t i = 1; i <= level; ++i) {
+    auto& blocked = levels_[i].blocked;
+    std::erase_if(blocked, [&](const Cube& old) { return subsumes(cube, old); });
+  }
+  levels_[level].blocked.push_back(std::move(cube));
+}
+
+bool FrameTrace::is_blocked(const Cube& cube, std::size_t level) const {
+  for (std::size_t i = level; i < levels_.size(); ++i) {
+    for (const Cube& blocked : levels_[i].blocked) {
+      if (subsumes(blocked, cube)) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t FrameTrace::total_cubes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& level : levels_) n += level.blocked.size();
+  return n;
+}
+
+}  // namespace genfv::mc::pdr

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file frames.hpp
+/// The PDR frame trace F_0 ⊆ F_1 ⊆ … ⊆ F_N in delta encoding: each blocked
+/// cube is stored only at the highest level where its clause is known to
+/// hold, and the semantic frame F_i is the conjunction of all clauses stored
+/// at levels ≥ i. Every level owns a solver activation literal; a query
+/// against F_i assumes the activation literals of levels i..N, so one
+/// incremental solver serves every frame.
+///
+/// Level 0 is the initial-state frame: its activation literal gates the
+/// init-value equalities (created by the engine), and no cubes are ever
+/// stored there.
+
+#include <vector>
+
+#include "mc/pdr/cube.hpp"
+#include "sat/solver.hpp"
+
+namespace genfv::mc::pdr {
+
+class FrameTrace {
+ public:
+  /// `init_activation` is the literal gating the init-state constraint.
+  FrameTrace(sat::Solver& solver, sat::Lit init_activation);
+
+  /// Number of levels, counting level 0; the frontier is levels() - 1.
+  std::size_t levels() const noexcept { return levels_.size(); }
+  std::size_t frontier() const noexcept { return levels_.size() - 1; }
+
+  /// Append a new (empty) frontier level with a fresh activation literal.
+  void push_level();
+
+  sat::Lit activation(std::size_t level) const { return levels_.at(level).activation; }
+
+  /// Assumptions activating F_level: activation literals of levels i ≥ level.
+  std::vector<sat::Lit> assumptions(std::size_t level) const;
+
+  /// Record `cube` as blocked at `level` (its clause holds in F_1..F_level).
+  /// Drops cubes at levels ≤ level that the new cube subsumes. Call
+  /// is_blocked first if double-adding is possible; this does not re-check.
+  void add_blocked(Cube cube, std::size_t level);
+
+  /// True iff some recorded cube at a level ≥ `level` subsumes `cube`.
+  bool is_blocked(const Cube& cube, std::size_t level) const;
+
+  const std::vector<Cube>& cubes_at(std::size_t level) const {
+    return levels_.at(level).blocked;
+  }
+
+  /// Total number of live (non-subsumed) cubes across all levels.
+  std::size_t total_cubes() const noexcept;
+
+ private:
+  struct Level {
+    sat::Lit activation;
+    std::vector<Cube> blocked;
+  };
+
+  sat::Solver& solver_;
+  std::vector<Level> levels_;
+};
+
+}  // namespace genfv::mc::pdr

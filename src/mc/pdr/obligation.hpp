@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file obligation.hpp
+/// Proof obligations and their priority queue. An obligation is a concrete
+/// bad (or bad-reaching) state that must be blocked at a frame level; the
+/// queue hands out the lowest-level obligation first, so counterexample
+/// construction proceeds backwards towards the initial states before the
+/// engine resumes work near the frontier.
+///
+/// Obligations live in an arena and carry parent links towards the property
+/// violation plus the concrete model values needed to rebuild a `sim::Trace`
+/// when a chain reaches level 0.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "mc/pdr/cube.hpp"
+
+namespace genfv::mc::pdr {
+
+struct Obligation {
+  /// Full state cube (every bit of every state variable) to block.
+  Cube cube;
+  /// Frame level the cube must be blocked at.
+  std::size_t level = 0;
+  /// Concrete state values, one per ts.states() entry.
+  std::vector<std::uint64_t> state_values;
+  /// Concrete input values (one per ts.inputs() entry) that drive this state
+  /// into the parent's state — or, for the root obligation, the inputs under
+  /// which the property fails.
+  std::vector<std::uint64_t> input_values;
+  /// Arena index of the successor obligation (towards the violation); -1 for
+  /// the root bad state.
+  std::ptrdiff_t parent = -1;
+};
+
+class ObligationQueue {
+ public:
+  /// Move an obligation into the arena; returns its arena index.
+  std::size_t add(Obligation obligation) {
+    arena_.push_back(std::move(obligation));
+    return arena_.size() - 1;
+  }
+
+  /// (Re-)schedule an arena entry at its current level. An entry must not be
+  /// scheduled twice without an intervening pop.
+  void push(std::size_t index) {
+    heap_.push({arena_[index].level, seq_++, index});
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+
+  /// Arena index of the lowest-level (oldest-first on ties) obligation.
+  std::size_t pop() {
+    const std::size_t index = heap_.top().index;
+    heap_.pop();
+    return index;
+  }
+
+  Obligation& at(std::size_t index) { return arena_.at(index); }
+  const Obligation& at(std::size_t index) const { return arena_.at(index); }
+
+  /// Total obligations ever created (safety-valve metric).
+  std::size_t created() const noexcept { return arena_.size(); }
+
+ private:
+  struct Entry {
+    std::size_t level;
+    std::uint64_t seq;
+    std::size_t index;
+    /// std::priority_queue is a max-heap; invert for min-(level, seq).
+    bool operator<(const Entry& other) const noexcept {
+      if (level != other.level) return level > other.level;
+      return seq > other.seq;
+    }
+  };
+
+  std::vector<Obligation> arena_;
+  std::priority_queue<Entry> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace genfv::mc::pdr

@@ -1,0 +1,405 @@
+#include "mc/pdr/pdr.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "mc/pdr/frames.hpp"
+#include "mc/pdr/obligation.hpp"
+#include "util/status.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace genfv::mc::pdr {
+
+namespace {
+
+/// True iff an Input leaf is reachable from `root`. PDR treats the initial
+/// states as a pure state predicate; input-dependent initial values would
+/// make "is this cube initial" ill-defined.
+bool references_input(ir::NodeRef root) {
+  std::vector<ir::NodeRef> stack{root};
+  std::unordered_set<ir::NodeRef> seen;
+  while (!stack.empty()) {
+    const ir::NodeRef n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    if (n->op() == ir::Op::Input) return true;
+    for (const ir::NodeRef c : n->children()) stack.push_back(c);
+  }
+  return false;
+}
+
+/// All mutable state of one prove_all() run.
+struct PdrRun {
+  const ir::TransitionSystem& ts;
+  const PdrOptions& options;
+
+  sat::Solver solver;       ///< transition solver: frame 0 -> frame 1
+  sat::Solver init_solver;  ///< initiation solver: frame 0 under init
+  Unroller unr;
+  Unroller init_unr;
+  sat::Lit init_gate;  ///< activates the init-value equalities in `solver`
+  FrameTrace frames;
+  ObligationQueue queue;
+  sat::Lit prop0, init_prop;
+
+  PdrRun(const ir::TransitionSystem& ts_in, const PdrOptions& options_in, ir::NodeRef prop)
+      : ts(ts_in),
+        options(options_in),
+        unr(ts_in, solver),
+        init_unr(ts_in, init_solver),
+        init_gate(sat::mk_lit(solver.new_var())),
+        frames(solver, init_gate) {
+    solver.set_conflict_budget(options.conflict_budget);
+    init_solver.set_conflict_budget(options.conflict_budget);
+    unr.extend_to(1);
+    init_unr.assert_init();
+
+    // Init-value equalities, gated behind the level-0 activation literal so
+    // the same solver answers both init-relative and frame-relative queries.
+    for (const auto& s : ts.states()) {
+      if (s.init == nullptr) continue;
+      const bitblast::Bits state_bits = unr.bits_at(s.var, 0);
+      const bitblast::Bits init_bits = unr.bits_at(s.init, 0);
+      for (std::size_t b = 0; b < state_bits.size(); ++b) {
+        solver.add_clause(~init_gate, state_bits[b], ~init_bits[b]);
+        solver.add_clause(~init_gate, ~state_bits[b], init_bits[b]);
+      }
+    }
+
+    // Lemma seeding: proven invariants hold everywhere, i.e. they are
+    // clauses of F_∞ and strengthen every frame of every query.
+    for (const ir::NodeRef lemma : options.lemmas) {
+      unr.assert_at(lemma, 0);
+      unr.assert_at(lemma, 1);
+      init_unr.assert_at(lemma, 0);
+    }
+
+    prop0 = unr.lit_at(prop, 0);
+    init_prop = init_unr.lit_at(prop, 0);
+    frames.push_level();  // level 1: the first frontier
+  }
+
+  // --- literal plumbing ------------------------------------------------------
+
+  /// Solver literal that is true iff cube literal `l` holds at `frame`.
+  sat::Lit cube_lit(std::size_t frame, const StateLit& l) {
+    const bitblast::Bits& bits = unr.bits_at(ts.states()[l.state].var, frame);
+    return bits[l.bit] ^ l.negated;
+  }
+
+  /// Fill `out` with the full frame-0 state cube and the concrete
+  /// state/input values of the current model of `solver`.
+  void extract_state(Obligation& out) {
+    out.cube.clear();
+    out.state_values.clear();
+    out.input_values.clear();
+    for (std::size_t si = 0; si < ts.states().size(); ++si) {
+      const auto& s = ts.states()[si];
+      const bitblast::Bits bits = unr.bits_at(s.var, 0);
+      std::uint64_t value = 0;
+      for (std::size_t b = 0; b < bits.size(); ++b) {
+        const bool one = solver.model_value(bits[b]) == sat::LBool::True;
+        if (one) value |= 1ULL << b;
+        out.cube.push_back({static_cast<std::uint32_t>(si), static_cast<std::uint32_t>(b),
+                            !one});
+      }
+      out.state_values.push_back(value);
+    }
+    for (const ir::NodeRef in : ts.inputs()) {
+      out.input_values.push_back(unr.model_value(in, 0));
+    }
+  }
+
+  // --- queries ---------------------------------------------------------------
+
+  /// SAT(init ∧ cube)? — does the cube contain an initial state.
+  sat::LBool intersects_init(const Cube& cube) {
+    std::vector<sat::Lit> assumptions;
+    assumptions.reserve(cube.size());
+    for (const StateLit& l : cube) {
+      const bitblast::Bits& bits = init_unr.bits_at(ts.states()[l.state].var, 0);
+      assumptions.push_back(bits[l.bit] ^ l.negated);
+    }
+    return init_solver.solve(assumptions);
+  }
+
+  /// Undef counts as "may intersect" — conservative for generalization,
+  /// which must never block a potentially-initial state.
+  bool may_intersect_init(const Cube& cube) {
+    return intersects_init(cube) != sat::LBool::False;
+  }
+
+  /// SAT(F_{level-1} ∧ [¬cube] ∧ T ∧ cube')? On UNSAT, `core_out` (if given)
+  /// receives the failed assumptions; intersect with the primed cube
+  /// literals to find which were needed.
+  sat::LBool relative_query(const Cube& cube, std::size_t level, bool assume_not_cube,
+                            std::vector<sat::Lit>* core_out) {
+    GENFV_ASSERT(level >= 1, "relative queries start at level 1");
+    std::vector<sat::Lit> assumptions = frames.assumptions(level - 1);
+    sat::Lit gate = sat::kUndefLit;
+    if (assume_not_cube) {
+      gate = sat::mk_lit(solver.new_var());
+      std::vector<sat::Lit> clause{~gate};
+      for (const StateLit& l : cube) clause.push_back(~cube_lit(0, l));
+      solver.add_clause(std::move(clause));
+      assumptions.push_back(gate);
+    }
+    for (const StateLit& l : cube) assumptions.push_back(cube_lit(1, l));
+    const sat::LBool answer = solver.solve(assumptions);
+    if (answer == sat::LBool::False && core_out != nullptr) {
+      *core_out = solver.failed_assumptions();
+    }
+    if (assume_not_cube) solver.add_clause(~gate);  // retire the query gate
+    return answer;
+  }
+
+  /// Record `cube` as blocked at `level`: bookkeeping + the activation-gated
+  /// solver clause.
+  void block(const Cube& cube, std::size_t level) {
+    std::vector<sat::Lit> clause{~frames.activation(level)};
+    for (const StateLit& l : cube) clause.push_back(~cube_lit(0, l));
+    solver.add_clause(std::move(clause));
+    frames.add_blocked(cube, level);
+  }
+
+  // --- generalization --------------------------------------------------------
+
+  /// Shrink a relatively-inductive cube: unsat-core filter, initiation
+  /// repair, then (optionally) greedy literal dropping.
+  Cube generalize(const Cube& cube, std::size_t level, const std::vector<sat::Lit>& core) {
+    std::unordered_set<std::int32_t> needed;
+    for (const sat::Lit p : core) needed.insert(p.code);
+    Cube g;
+    for (const StateLit& l : cube) {
+      if (needed.count(cube_lit(1, l).code) != 0) g.push_back(l);
+    }
+    if (g.empty()) g = cube;
+    repair_initiation(g, cube);
+
+    if (options.generalize_drop) {
+      for (std::size_t i = 0; i < g.size() && g.size() > 1;) {
+        Cube cand = g;
+        cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+        if (!may_intersect_init(cand) &&
+            relative_query(cand, level, /*assume_not_cube=*/true, nullptr) ==
+                sat::LBool::False) {
+          g = std::move(cand);
+        } else {
+          ++i;
+        }
+      }
+    }
+    return g;
+  }
+
+  /// Re-add literals of `full` until `g` no longer intersects the initial
+  /// states. `full` itself is known disjoint from init, so this terminates.
+  void repair_initiation(Cube& g, const Cube& full) {
+    if (!may_intersect_init(g)) return;
+    for (const StateLit& l : full) {
+      if (std::binary_search(g.begin(), g.end(), l)) continue;
+      g.insert(std::lower_bound(g.begin(), g.end(), l), l);
+      if (!may_intersect_init(g)) return;
+    }
+  }
+};
+
+enum class BlockOutcome { Blocked, Counterexample, Budget };
+
+}  // namespace
+
+std::string PdrResult::summary() const {
+  std::ostringstream out;
+  out << to_string(verdict) << " (frames=" << depth << ", " << stats.sat_calls
+      << " SAT calls, " << stats.conflicts << " conflicts, "
+      << util::format_duration(stats.seconds) << ")";
+  if (!invariant.empty()) out << " [" << invariant.size() << "-clause invariant]";
+  return out.str();
+}
+
+PdrEngine::PdrEngine(const ir::TransitionSystem& ts, PdrOptions options)
+    : ts_(ts), options_(std::move(options)) {}
+
+PdrResult PdrEngine::prove(ir::NodeRef property) { return prove_all({property}); }
+
+PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
+  util::Stopwatch watch;
+  PdrResult result;
+
+  const ir::NodeRef prop = conjoin_properties(ts_, properties);
+
+  for (const auto& s : ts_.states()) {
+    if (s.init != nullptr && references_input(s.init)) {
+      throw UsageError("pdr requires input-independent initial values (state '" +
+                       s.var->name() + "')");
+    }
+  }
+
+  PdrRun run(ts_, options_, prop);
+
+  auto finish = [&](Verdict verdict, std::size_t depth) {
+    result.verdict = verdict;
+    result.depth = depth;
+    result.stats.absorb(run.solver.stats());
+    result.stats.absorb(run.init_solver.stats());
+    result.stats.seconds = watch.seconds();
+    return result;
+  };
+
+  // 0-step: a property violation inside the initial states themselves.
+  {
+    const sat::LBool answer = run.init_solver.solve({~run.init_prop});
+    if (answer == sat::LBool::True) {
+      result.cex = run.init_unr.extract_trace(1);
+      return finish(Verdict::Falsified, 0);
+    }
+    if (answer == sat::LBool::Undef) return finish(Verdict::Unknown, 0);
+  }
+
+  // Reconstruct a trace from a level-0 obligation chain: the chain's states
+  // run from an initial state to the property violation, and each stored
+  // input vector drives its state into the next one.
+  auto build_cex = [&](std::size_t index) {
+    sim::Trace trace(&ts_);
+    std::vector<std::size_t> chain;
+    for (std::ptrdiff_t at = static_cast<std::ptrdiff_t>(index); at >= 0;
+         at = run.queue.at(static_cast<std::size_t>(at)).parent) {
+      chain.push_back(static_cast<std::size_t>(at));
+    }
+    for (const std::size_t at : chain) {
+      const Obligation& o = run.queue.at(at);
+      sim::Assignment env;
+      for (std::size_t si = 0; si < ts_.states().size(); ++si) {
+        env[ts_.states()[si].var] = o.state_values[si];
+      }
+      for (std::size_t ii = 0; ii < ts_.inputs().size(); ++ii) {
+        env[ts_.inputs()[ii]] = o.input_values[ii];
+      }
+      trace.append(std::move(env));
+    }
+    return trace;
+  };
+
+  // Block every obligation in the queue (backwards reachability from the
+  // frontier's bad states), or find a counterexample chain.
+  auto handle_obligations = [&](std::size_t* cex_index) -> BlockOutcome {
+    while (!run.queue.empty()) {
+      if (run.queue.created() > options_.max_obligations) return BlockOutcome::Budget;
+      const std::size_t index = run.queue.pop();
+      const Cube cube = run.queue.at(index).cube;
+      const std::size_t level = run.queue.at(index).level;
+      GENFV_ASSERT(level >= 1, "level-0 obligations are counterexamples at creation");
+      if (run.frames.is_blocked(cube, level)) continue;
+
+      std::vector<sat::Lit> core;
+      const sat::LBool answer =
+          run.relative_query(cube, level, /*assume_not_cube=*/true, &core);
+      if (answer == sat::LBool::Undef) return BlockOutcome::Budget;
+
+      if (answer == sat::LBool::False) {
+        // Unreachable from F_{level-1}: learn a generalized blocking clause
+        // and push it as far forward as it stays relatively inductive.
+        Cube g = run.generalize(cube, level, core);
+        std::size_t at = level;
+        while (at < run.frames.frontier() &&
+               run.relative_query(g, at + 1, /*assume_not_cube=*/true, nullptr) ==
+                   sat::LBool::False) {
+          ++at;
+        }
+        run.block(g, at);
+        if (at < run.frames.frontier()) {
+          run.queue.at(index).level = at + 1;
+          run.queue.push(index);
+        }
+        continue;
+      }
+
+      // A predecessor inside F_{level-1} extends the chain towards init.
+      Obligation pred;
+      run.extract_state(pred);
+      pred.level = level - 1;
+      pred.parent = static_cast<std::ptrdiff_t>(index);
+      const sat::LBool initial = run.intersects_init(pred.cube);
+      if (initial == sat::LBool::Undef) return BlockOutcome::Budget;
+      if (initial == sat::LBool::True) {
+        // The predecessor is an initial state: a real counterexample.
+        *cex_index = run.queue.add(std::move(pred));
+        return BlockOutcome::Counterexample;
+      }
+      const std::size_t pred_index = run.queue.add(std::move(pred));
+      run.queue.push(pred_index);
+      run.queue.push(index);  // retry once the predecessor is blocked
+    }
+    return BlockOutcome::Blocked;
+  };
+
+  while (true) {
+    const std::size_t frontier = run.frames.frontier();
+
+    // Clean the frontier: block every state that violates the property.
+    while (true) {
+      std::vector<sat::Lit> assumptions = run.frames.assumptions(frontier);
+      assumptions.push_back(~run.prop0);
+      const sat::LBool answer = run.solver.solve(assumptions);
+      if (answer == sat::LBool::Undef) return finish(Verdict::Unknown, frontier);
+      if (answer == sat::LBool::False) break;
+
+      Obligation bad;
+      run.extract_state(bad);
+      bad.level = frontier;
+      bad.parent = -1;
+      const sat::LBool initial = run.intersects_init(bad.cube);
+      if (initial == sat::LBool::Undef) return finish(Verdict::Unknown, frontier);
+      if (initial == sat::LBool::True) {
+        // Defensive: with input-independent init values the 0-step check
+        // already excludes initial bad states, so this cannot trigger; if
+        // it ever does, the state itself is a 1-frame counterexample.
+        const std::size_t index = run.queue.add(std::move(bad));
+        result.cex = build_cex(index);
+        return finish(Verdict::Falsified, result.cex->size() - 1);
+      }
+      const std::size_t index = run.queue.add(std::move(bad));
+      run.queue.push(index);
+
+      std::size_t cex_index = 0;
+      switch (handle_obligations(&cex_index)) {
+        case BlockOutcome::Blocked: break;
+        case BlockOutcome::Counterexample:
+          result.cex = build_cex(cex_index);
+          return finish(Verdict::Falsified, result.cex->size() - 1);
+        case BlockOutcome::Budget: return finish(Verdict::Unknown, frontier);
+      }
+    }
+
+    // Propagation: push clauses that remain inductive at their level.
+    for (std::size_t i = 1; i < frontier; ++i) {
+      const std::vector<Cube> snapshot = run.frames.cubes_at(i);
+      for (const Cube& cube : snapshot) {
+        if (run.frames.is_blocked(cube, i + 1)) continue;
+        const sat::LBool answer =
+            run.relative_query(cube, i + 1, /*assume_not_cube=*/false, nullptr);
+        if (answer == sat::LBool::Undef) return finish(Verdict::Unknown, frontier);
+        if (answer == sat::LBool::False) run.block(cube, i + 1);
+      }
+    }
+
+    // Convergence: an empty level means two adjacent frames agree, and the
+    // agreeing frame is an inductive invariant implying the property.
+    for (std::size_t i = 1; i < frontier; ++i) {
+      if (!run.frames.cubes_at(i).empty()) continue;
+      for (std::size_t j = i + 1; j <= frontier; ++j) {
+        for (const Cube& cube : run.frames.cubes_at(j)) {
+          result.invariant.push_back(clause_expr(ts_, cube));
+        }
+      }
+      return finish(Verdict::Proven, frontier);
+    }
+
+    if (frontier >= options_.max_frames) return finish(Verdict::Unknown, frontier);
+    run.frames.push_level();
+  }
+}
+
+}  // namespace genfv::mc::pdr

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file pdr.hpp
+/// IC3 / property-directed reachability (Bradley; Een-Mishchenko-Brayton
+/// style implementation) over the shared Unroller/BitBlaster/CDCL substrate.
+///
+/// Where k-induction over-approximates with "any k good frames" and relies
+/// on externally supplied helper lemmas to cut the unreachable step states,
+/// PDR *discovers* such strengthenings itself: it maintains a trace of
+/// over-approximating frames, blocks concrete bad states backwards with
+/// relatively-inductive clauses (generalized via `Solver::failed_assumptions`
+/// unsat cores), and pushes clauses forward until two adjacent frames agree
+/// — at which point the agreeing frame is an inductive invariant.
+///
+/// Integration with the GenAI flow is bidirectional:
+///  * admitted lemmas (`PdrOptions::lemmas`) seed every frame as initial
+///    strengthenings, and
+///  * on Proven the final frame's clauses are exported (`PdrResult::
+///    invariant`) so the helper-generation flow can re-use them as proven
+///    lemmas.
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/result.hpp"
+#include "mc/unroller.hpp"
+
+namespace genfv::mc::pdr {
+
+struct PdrOptions {
+  /// Maximum frame-trace length before giving up (Unknown).
+  std::size_t max_frames = 64;
+  /// Proven invariants: asserted on every frame of the transition relation
+  /// (equivalently, clauses of F_∞), shrinking every approximation.
+  std::vector<ir::NodeRef> lemmas;
+  /// Best-effort cap on SAT conflicts per solve; -1 = unlimited.
+  std::int64_t conflict_budget = -1;
+  /// After the unsat-core shrink, greedily try dropping the remaining cube
+  /// literals one at a time (MIC-style). More SAT calls, stronger clauses.
+  bool generalize_drop = true;
+  /// Safety valve: total proof obligations before giving up (Unknown).
+  std::size_t max_obligations = 100000;
+};
+
+struct PdrResult {
+  Verdict verdict = Verdict::Unknown;
+  std::size_t depth = 0;  ///< frontier frame reached / CEX length - 1
+  /// Real counterexample from the initial states (verdict == Falsified).
+  std::optional<sim::Trace> cex;
+  /// verdict == Proven: clauses of the final inductive frame. Every clause
+  /// individually holds in all reachable states (unconditionally, so each
+  /// is safe to assume as a lemma); the conjunction is inductive and
+  /// implies the property *relative to any seeded PdrOptions::lemmas* — a
+  /// standalone certificate check must conjoin those lemmas too.
+  std::vector<ir::NodeRef> invariant;
+  EngineStats stats;
+
+  bool proven() const noexcept { return verdict == Verdict::Proven; }
+  std::string summary() const;
+};
+
+class PdrEngine {
+ public:
+  PdrEngine(const ir::TransitionSystem& ts, PdrOptions options = {});
+
+  /// Decide a single width-1 property.
+  PdrResult prove(ir::NodeRef property);
+
+  /// Decide the conjunction of `properties`.
+  PdrResult prove_all(const std::vector<ir::NodeRef>& properties);
+
+ private:
+  const ir::TransitionSystem& ts_;
+  PdrOptions options_;
+};
+
+}  // namespace genfv::mc::pdr

@@ -2,9 +2,31 @@
 
 #include <sstream>
 
+#include "sat/solver.hpp"
+#include "util/status.hpp"
 #include "util/strings.hpp"
 
 namespace genfv::mc {
+
+ir::NodeRef conjoin_properties(const ir::TransitionSystem& ts,
+                               const std::vector<ir::NodeRef>& properties) {
+  GENFV_ASSERT(!properties.empty(), "prove_all requires at least one property");
+  auto nm = ts.nm_ptr();
+  ir::NodeRef prop = nm->mk_true();
+  for (const ir::NodeRef p : properties) {
+    GENFV_ASSERT(p->width() == 1, "property must have width 1");
+    prop = nm->mk_and(prop, p);
+  }
+  return prop;
+}
+
+void EngineStats::absorb(const sat::SolverStats& solver) {
+  sat_calls += solver.solves;
+  conflicts += solver.conflicts;
+  decisions += solver.decisions;
+  propagations += solver.propagations;
+  restarts += solver.restarts;
+}
 
 std::string to_string(Verdict v) {
   switch (v) {

@@ -6,8 +6,13 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/trace.hpp"
+
+namespace genfv::sat {
+struct SolverStats;
+}
 
 namespace genfv::mc {
 
@@ -19,19 +24,32 @@ enum class Verdict {
 
 std::string to_string(Verdict v);
 
-/// Aggregate effort counters for one engine run.
+/// Conjunction of width-1 properties in the system's node manager; proving
+/// the conjunction proves every conjunct. Shared by all engines' prove_all.
+ir::NodeRef conjoin_properties(const ir::TransitionSystem& ts,
+                               const std::vector<ir::NodeRef>& properties);
+
+/// Aggregate effort counters for one engine run. Every engine fills this the
+/// same way — by absorbing the `sat::SolverStats` of each solver it owned —
+/// so FlowReport and the benches compare like with like across engines.
 struct EngineStats {
   std::size_t sat_calls = 0;
   std::uint64_t conflicts = 0;
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
   double seconds = 0.0;
+
+  /// Fold one solver's lifetime counters into this record (sat_calls gains
+  /// the solver's solve() count).
+  void absorb(const sat::SolverStats& solver);
 
   EngineStats& operator+=(const EngineStats& other) {
     sat_calls += other.sat_calls;
     conflicts += other.conflicts;
     decisions += other.decisions;
     propagations += other.propagations;
+    restarts += other.restarts;
     seconds += other.seconds;
     return *this;
   }

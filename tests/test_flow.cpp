@@ -246,6 +246,56 @@ property helper; count1 == count2; endproperty
   EXPECT_EQ(report.admitted_lemmas.size(), 1u);
 }
 
+TEST(CexRepairFlow, PdrEngineProvesWithoutLlmHelpAndExportsLemmas) {
+  // Engine selection end to end: with PDR as the target engine, token_ring
+  // closes with zero LLM round trips, and the inductive frame's clauses
+  // come back as admitted lemmas the helper flow can reuse.
+  auto task = designs::make_task("token_ring");
+  ScriptedLlm llm({});
+  FlowOptions options;
+  options.engine.max_k = 8;
+  options.target_engine = mc::EngineKind::Pdr;
+  CexRepairFlow flow(llm, options);
+  const FlowReport report = flow.run(task);
+
+  EXPECT_EQ(report.engine, "pdr");
+  EXPECT_TRUE(report.all_targets_proven());
+  EXPECT_TRUE(llm.prompts().empty());
+  EXPECT_FALSE(report.admitted_lemmas.empty());
+  // Exported lemmas are well-formed SVA: they feed back into a second flow
+  // run as provable candidates (the bidirectional exchange).
+  auto task2 = designs::make_task("token_ring");
+  LemmaManager manager(task2, {{.max_k = 8}, ReviewPolicy{}, true});
+  const auto outcomes = manager.process(report.admitted_lemmas);
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.status == CandidateStatus::Proven ||
+                outcome.status == CandidateStatus::Duplicate)
+        << outcome.sva << " -> " << to_string(outcome.status);
+  }
+}
+
+TEST(CexRepairFlow, PdrUnknownFallsBackToStepCexAndRepairs) {
+  // PDR alone is stuck on sync_counters (the equality invariant is not
+  // clause-compact), so the flow must harvest a k-induction step CEX to
+  // prompt with; the admitted helper then seeds PDR's frames and the proof
+  // closes — the full bidirectional loop in one run.
+  auto task = counters_task();
+  ScriptedLlm llm({R"(```sva
+property helper; count1 == count2; endproperty
+```
+)"});
+  FlowOptions options;
+  options.engine.max_k = 4;
+  options.target_engine = mc::EngineKind::Pdr;
+  CexRepairFlow flow(llm, options);
+  const FlowReport report = flow.run(task);
+
+  EXPECT_EQ(report.engine, "pdr");
+  ASSERT_EQ(llm.prompts().size(), 1u);  // one repair round trip happened
+  EXPECT_TRUE(report.all_targets_proven());
+  EXPECT_FALSE(report.admitted_lemmas.empty());
+}
+
 TEST(FlowReport, CountsByStatus) {
   FlowReport report;
   IterationReport it;

@@ -15,6 +15,7 @@
 
 #include "mc/bmc.hpp"
 #include "mc/kinduction.hpp"
+#include "mc/pdr/pdr.hpp"
 #include "sim/random_sim.hpp"
 #include "util/rng.hpp"
 
@@ -165,6 +166,54 @@ TEST_P(RandomSystems, BmcAndInductionAgreeOnFalsified) {
       ASSERT_NE(r_kind.verdict, mc::Verdict::Proven) << "instance " << instance;
     }
   }
+}
+
+TEST_P(RandomSystems, PdrAgreesWithBmcAndSimulation) {
+  // Unlike BMC/k-induction, PDR concludes Proven on many random designs, so
+  // this sweep exercises both verdicts: Proven must survive BMC and random
+  // simulation, Falsified must replay concretely and be no shorter than
+  // BMC's (shortest) counterexample.
+  util::Xoshiro256 rng(GetParam() ^ 0x9D12);
+  int proven = 0;
+  int falsified = 0;
+  for (int instance = 0; instance < 10; ++instance) {
+    RandomSystem sys(rng);
+    const NodeRef prop = sys.random_property(rng);
+    mc::pdr::PdrEngine pdr(sys.ts, {.max_frames = 12,
+                                    .conflict_budget = 50'000,
+                                    .max_obligations = 5000});
+    const mc::pdr::PdrResult r = pdr.prove(prop);
+    mc::BmcEngine bmc(sys.ts, {.max_depth = 14});
+    const mc::BmcResult r_bmc = bmc.check(prop);
+
+    if (r.verdict == mc::Verdict::Proven) {
+      ++proven;
+      ASSERT_NE(r_bmc.verdict, mc::Verdict::Falsified) << "instance " << instance;
+      sim::RandomSimulator simulator(sys.ts, rng.next());
+      ASSERT_FALSE(simulator.falsify(prop, 200, 4).has_value())
+          << "PDR claimed 'proven' but simulation falsified (instance " << instance
+          << ")";
+    } else if (r.verdict == mc::Verdict::Falsified) {
+      ++falsified;
+      ASSERT_TRUE(r.cex.has_value());
+      ASSERT_TRUE(r.cex->is_consistent()) << "instance " << instance;
+      ASSERT_EQ(r.cex->value(prop, r.cex->size() - 1), 0u) << "instance " << instance;
+      // ... and the replay starts from the initial states.
+      for (const auto& s : sys.ts.states()) {
+        if (s.init != nullptr) {
+          ASSERT_EQ(r.cex->value(s.var, 0), s.init->value()) << "instance " << instance;
+        }
+      }
+      // PDR counterexamples need not be shortest (obligation chains can
+      // outgrow the frontier); when BMC's bound covers one, it must agree
+      // with a no-longer counterexample.
+      if (r.cex->size() <= 15) {
+        ASSERT_EQ(r_bmc.verdict, mc::Verdict::Falsified) << "instance " << instance;
+        ASSERT_LE(r_bmc.cex->size(), r.cex->size()) << "instance " << instance;
+      }
+    }
+  }
+  EXPECT_GT(proven + falsified, 0);
 }
 
 TEST_P(RandomSystems, UnrolledEncodingMatchesSimulatorFrameByFrame) {

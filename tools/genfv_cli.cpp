@@ -10,11 +10,13 @@
 ///   genfv_cli models
 ///       List the simulated model profiles.
 ///
-/// Options:
+/// Options (--opt value and --opt=value are both accepted):
 ///   --flow cex|helper|direct|plain   (default: cex — the paper's Fig. 2 loop)
+///   --engine bmc|kind|pdr            target-proof engine (default: kind)
 ///   --model <name>                   (default: gpt-4o)
 ///   --seed <n>                       (default: 42)
-///   --max-k <n>                      (default: 8)
+///   --max-k <n>                      step bound: BMC depth / induction k /
+///                                    PDR frames (default: 8)
 ///   --no-screen                      disable the simulation review screen
 ///   --dump-ts <file>                 serialize the elaborated system
 ///   --vcd <file>                     dump the last step-CEX (plain flow) as VCD
@@ -30,8 +32,9 @@
 #include "flow/direct_miner_flow.hpp"
 #include "flow/helper_gen_flow.hpp"
 #include "genai/simulated_llm.hpp"
+#include "ir/printer.hpp"
 #include "ir/serialize.hpp"
-#include "mc/kinduction.hpp"
+#include "mc/engine.hpp"
 #include "sim/vcd.hpp"
 #include "util/log.hpp"
 
@@ -45,6 +48,7 @@ struct CliOptions {
   std::vector<std::string> properties;
   std::string design;
   std::string flow = "cex";
+  mc::EngineKind engine = mc::EngineKind::KInduction;
   std::string model = "gpt-4o";
   std::uint64_t seed = 42;
   std::size_t max_k = 8;
@@ -61,9 +65,9 @@ struct CliOptions {
                "  genfv_cli prove --rtl <file.sv> --property \"<sva>\" [options]\n"
                "  genfv_cli demo <design> [options]\n"
                "  genfv_cli designs | models\n"
-               "options: --flow cex|helper|direct|plain  --model <name>  --seed <n>\n"
-               "         --max-k <n>  --no-screen  --dump-ts <file>  --vcd <file>\n"
-               "         --verbose\n");
+               "options: --flow cex|helper|direct|plain  --engine bmc|kind|pdr\n"
+               "         --model <name>  --seed <n>  --max-k <n>  --no-screen\n"
+               "         --dump-ts <file>  --vcd <file>  --verbose\n");
   std::exit(2);
 }
 
@@ -76,22 +80,44 @@ CliOptions parse_args(int argc, char** argv) {
     if (i >= argc) usage("demo requires a design name");
     opts.design = argv[i++];
   }
+  // Support both "--opt value" and "--opt=value".
+  std::string inline_value;
+  bool has_inline_value = false;
   auto need_value = [&](const char* flag) -> std::string {
+    if (has_inline_value) return inline_value;
     if (i >= argc) usage((std::string(flag) + " requires a value").c_str());
     return argv[i++];
   };
   while (i < argc) {
-    const std::string arg = argv[i++];
+    std::string arg = argv[i++];
+    has_inline_value = false;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        has_inline_value = true;
+        arg = arg.substr(0, eq);
+      }
+    }
+    auto no_value = [&](const char* flag) {
+      if (has_inline_value) usage((std::string(flag) + " takes no value").c_str());
+    };
     if (arg == "--rtl") opts.rtl_path = need_value("--rtl");
     else if (arg == "--property") opts.properties.push_back(need_value("--property"));
     else if (arg == "--flow") opts.flow = need_value("--flow");
+    else if (arg == "--engine") {
+      const std::string name = need_value("--engine");
+      const auto kind = mc::engine_kind_from_string(name);
+      if (!kind.has_value()) usage(("unknown engine '" + name + "'").c_str());
+      opts.engine = *kind;
+    }
     else if (arg == "--model") opts.model = need_value("--model");
     else if (arg == "--seed") opts.seed = std::stoull(need_value("--seed"));
     else if (arg == "--max-k") opts.max_k = std::stoull(need_value("--max-k"));
-    else if (arg == "--no-screen") opts.sim_screen = false;
+    else if (arg == "--no-screen") { no_value("--no-screen"); opts.sim_screen = false; }
     else if (arg == "--dump-ts") opts.dump_ts_path = need_value("--dump-ts");
     else if (arg == "--vcd") opts.vcd_path = need_value("--vcd");
-    else if (arg == "--verbose") opts.verbose = true;
+    else if (arg == "--verbose") { no_value("--verbose"); opts.verbose = true; }
     else usage(("unknown option " + arg).c_str());
   }
   return opts;
@@ -119,17 +145,27 @@ void write_file(const std::string& path, const std::string& content) {
 }
 
 int run_plain(flow::VerificationTask& task, const CliOptions& opts) {
-  mc::KInductionEngine engine(task.ts, {.max_k = opts.max_k});
-  const mc::InductionResult result = engine.prove_all(task.target_exprs());
-  std::printf("plain k-induction: %s\n", result.summary().c_str());
-  if (result.step_cex.has_value()) {
+  auto engine = mc::make_engine(opts.engine, task.ts, {.max_steps = opts.max_k});
+  const mc::EngineResult result = engine->prove_all(task.target_exprs());
+  std::printf("plain %s: %s\n", engine->name().c_str(), result.summary().c_str());
+  if (!result.invariant.empty()) {
+    std::printf("inductive invariant (%zu clauses, reusable as proven lemmas):\n",
+                result.invariant.size());
+    for (const ir::NodeRef clause : result.invariant) {
+      std::printf("  assert property (%s);\n", ir::to_string(clause).c_str());
+    }
+  }
+  const sim::Trace* wave_trace = nullptr;
+  if (result.cex.has_value()) wave_trace = &*result.cex;
+  else if (result.step_cex.has_value()) wave_trace = &*result.step_cex;
+  if (wave_trace != nullptr) {
     sim::WaveformOptions wave;
-    wave.failure_frame = result.step_cex->size() - 1;
-    std::printf("%s\n", sim::render_waveform(*result.step_cex,
+    wave.failure_frame = wave_trace->size() - 1;
+    std::printf("%s\n", sim::render_waveform(*wave_trace,
                                              sim::default_signals(task.ts), wave)
                             .c_str());
     if (!opts.vcd_path.empty()) {
-      write_file(opts.vcd_path, sim::render_vcd(*result.step_cex,
+      write_file(opts.vcd_path, sim::render_vcd(*wave_trace,
                                                 sim::default_signals(task.ts),
                                                 task.name));
     }
@@ -146,6 +182,7 @@ int run_task(flow::VerificationTask& task, const CliOptions& opts) {
   flow::FlowOptions options;
   options.engine.max_k = opts.max_k;
   options.review.sim_screen = opts.sim_screen;
+  options.target_engine = opts.engine;
 
   flow::FlowReport report;
   if (opts.flow == "direct") {
