@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitblast/bitblaster.cpp" "CMakeFiles/genfv.dir/src/bitblast/bitblaster.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/bitblast/bitblaster.cpp.o.d"
+  "/root/repo/src/designs/counters.cpp" "CMakeFiles/genfv.dir/src/designs/counters.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/designs/counters.cpp.o.d"
+  "/root/repo/src/designs/datapath.cpp" "CMakeFiles/genfv.dir/src/designs/datapath.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/designs/datapath.cpp.o.d"
+  "/root/repo/src/designs/ecc.cpp" "CMakeFiles/genfv.dir/src/designs/ecc.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/designs/ecc.cpp.o.d"
+  "/root/repo/src/designs/fsm.cpp" "CMakeFiles/genfv.dir/src/designs/fsm.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/designs/fsm.cpp.o.d"
+  "/root/repo/src/designs/registry.cpp" "CMakeFiles/genfv.dir/src/designs/registry.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/designs/registry.cpp.o.d"
+  "/root/repo/src/flow/cex_repair_flow.cpp" "CMakeFiles/genfv.dir/src/flow/cex_repair_flow.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/flow/cex_repair_flow.cpp.o.d"
+  "/root/repo/src/flow/direct_miner_flow.cpp" "CMakeFiles/genfv.dir/src/flow/direct_miner_flow.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/flow/direct_miner_flow.cpp.o.d"
+  "/root/repo/src/flow/helper_gen_flow.cpp" "CMakeFiles/genfv.dir/src/flow/helper_gen_flow.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/flow/helper_gen_flow.cpp.o.d"
+  "/root/repo/src/flow/lemma_manager.cpp" "CMakeFiles/genfv.dir/src/flow/lemma_manager.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/flow/lemma_manager.cpp.o.d"
+  "/root/repo/src/flow/report.cpp" "CMakeFiles/genfv.dir/src/flow/report.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/flow/report.cpp.o.d"
+  "/root/repo/src/flow/review_policy.cpp" "CMakeFiles/genfv.dir/src/flow/review_policy.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/flow/review_policy.cpp.o.d"
+  "/root/repo/src/flow/session.cpp" "CMakeFiles/genfv.dir/src/flow/session.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/flow/session.cpp.o.d"
+  "/root/repo/src/genai/mining/bounds.cpp" "CMakeFiles/genfv.dir/src/genai/mining/bounds.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/genai/mining/bounds.cpp.o.d"
+  "/root/repo/src/genai/mining/difference.cpp" "CMakeFiles/genfv.dir/src/genai/mining/difference.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/genai/mining/difference.cpp.o.d"
+  "/root/repo/src/genai/mining/equality.cpp" "CMakeFiles/genfv.dir/src/genai/mining/equality.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/genai/mining/equality.cpp.o.d"
+  "/root/repo/src/genai/mining/implication.cpp" "CMakeFiles/genfv.dir/src/genai/mining/implication.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/genai/mining/implication.cpp.o.d"
+  "/root/repo/src/genai/mining/miner.cpp" "CMakeFiles/genfv.dir/src/genai/mining/miner.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/genai/mining/miner.cpp.o.d"
+  "/root/repo/src/genai/mining/onehot.cpp" "CMakeFiles/genfv.dir/src/genai/mining/onehot.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/genai/mining/onehot.cpp.o.d"
+  "/root/repo/src/genai/mining/reset_value.cpp" "CMakeFiles/genfv.dir/src/genai/mining/reset_value.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/genai/mining/reset_value.cpp.o.d"
+  "/root/repo/src/genai/mining/xor_linear.cpp" "CMakeFiles/genfv.dir/src/genai/mining/xor_linear.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/genai/mining/xor_linear.cpp.o.d"
+  "/root/repo/src/genai/model_profile.cpp" "CMakeFiles/genfv.dir/src/genai/model_profile.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/genai/model_profile.cpp.o.d"
+  "/root/repo/src/genai/prompt.cpp" "CMakeFiles/genfv.dir/src/genai/prompt.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/genai/prompt.cpp.o.d"
+  "/root/repo/src/genai/response_parser.cpp" "CMakeFiles/genfv.dir/src/genai/response_parser.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/genai/response_parser.cpp.o.d"
+  "/root/repo/src/genai/simulated_llm.cpp" "CMakeFiles/genfv.dir/src/genai/simulated_llm.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/genai/simulated_llm.cpp.o.d"
+  "/root/repo/src/hdl/elaborator.cpp" "CMakeFiles/genfv.dir/src/hdl/elaborator.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/hdl/elaborator.cpp.o.d"
+  "/root/repo/src/hdl/lexer.cpp" "CMakeFiles/genfv.dir/src/hdl/lexer.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/hdl/lexer.cpp.o.d"
+  "/root/repo/src/hdl/parser.cpp" "CMakeFiles/genfv.dir/src/hdl/parser.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/hdl/parser.cpp.o.d"
+  "/root/repo/src/ir/fold.cpp" "CMakeFiles/genfv.dir/src/ir/fold.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/ir/fold.cpp.o.d"
+  "/root/repo/src/ir/node_manager.cpp" "CMakeFiles/genfv.dir/src/ir/node_manager.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/ir/node_manager.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "CMakeFiles/genfv.dir/src/ir/printer.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/serialize.cpp" "CMakeFiles/genfv.dir/src/ir/serialize.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/ir/serialize.cpp.o.d"
+  "/root/repo/src/ir/substitute.cpp" "CMakeFiles/genfv.dir/src/ir/substitute.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/ir/substitute.cpp.o.d"
+  "/root/repo/src/ir/transition_system.cpp" "CMakeFiles/genfv.dir/src/ir/transition_system.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/ir/transition_system.cpp.o.d"
+  "/root/repo/src/mc/bmc.cpp" "CMakeFiles/genfv.dir/src/mc/bmc.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/mc/bmc.cpp.o.d"
+  "/root/repo/src/mc/engine.cpp" "CMakeFiles/genfv.dir/src/mc/engine.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/mc/engine.cpp.o.d"
+  "/root/repo/src/mc/kinduction.cpp" "CMakeFiles/genfv.dir/src/mc/kinduction.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/mc/kinduction.cpp.o.d"
+  "/root/repo/src/mc/pdr/cube.cpp" "CMakeFiles/genfv.dir/src/mc/pdr/cube.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/mc/pdr/cube.cpp.o.d"
+  "/root/repo/src/mc/pdr/frames.cpp" "CMakeFiles/genfv.dir/src/mc/pdr/frames.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/mc/pdr/frames.cpp.o.d"
+  "/root/repo/src/mc/pdr/pdr.cpp" "CMakeFiles/genfv.dir/src/mc/pdr/pdr.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/mc/pdr/pdr.cpp.o.d"
+  "/root/repo/src/mc/result.cpp" "CMakeFiles/genfv.dir/src/mc/result.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/mc/result.cpp.o.d"
+  "/root/repo/src/mc/unroller.cpp" "CMakeFiles/genfv.dir/src/mc/unroller.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/mc/unroller.cpp.o.d"
+  "/root/repo/src/sat/dimacs.cpp" "CMakeFiles/genfv.dir/src/sat/dimacs.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/sat/dimacs.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "CMakeFiles/genfv.dir/src/sat/solver.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/sat/solver.cpp.o.d"
+  "/root/repo/src/sim/interpreter.cpp" "CMakeFiles/genfv.dir/src/sim/interpreter.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/sim/interpreter.cpp.o.d"
+  "/root/repo/src/sim/random_sim.cpp" "CMakeFiles/genfv.dir/src/sim/random_sim.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/sim/random_sim.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "CMakeFiles/genfv.dir/src/sim/trace.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "CMakeFiles/genfv.dir/src/sim/vcd.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/sim/vcd.cpp.o.d"
+  "/root/repo/src/sim/waveform.cpp" "CMakeFiles/genfv.dir/src/sim/waveform.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/sim/waveform.cpp.o.d"
+  "/root/repo/src/sva/compiler.cpp" "CMakeFiles/genfv.dir/src/sva/compiler.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/sva/compiler.cpp.o.d"
+  "/root/repo/src/sva/parser.cpp" "CMakeFiles/genfv.dir/src/sva/parser.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/sva/parser.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/genfv.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "CMakeFiles/genfv.dir/src/util/strings.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/genfv.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/genfv.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genfv_cli.dir/tools/genfv_cli.cpp.o"
+  "CMakeFiles/genfv_cli.dir/tools/genfv_cli.cpp.o.d"
+  "genfv_cli"
+  "genfv_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genfv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

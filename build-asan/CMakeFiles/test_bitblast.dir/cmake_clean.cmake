@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitblast.dir/tests/test_bitblast.cpp.o"
+  "CMakeFiles/test_bitblast.dir/tests/test_bitblast.cpp.o.d"
+  "test_bitblast"
+  "test_bitblast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitblast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_designs.dir/tests/test_designs.cpp.o"
+  "CMakeFiles/test_designs.dir/tests/test_designs.cpp.o.d"
+  "test_designs"
+  "test_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elaborator.dir/tests/test_elaborator.cpp.o"
+  "CMakeFiles/test_elaborator.dir/tests/test_elaborator.cpp.o.d"
+  "test_elaborator"
+  "test_elaborator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elaborator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

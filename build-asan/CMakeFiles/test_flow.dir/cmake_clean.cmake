@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow.dir/tests/test_flow.cpp.o"
+  "CMakeFiles/test_flow.dir/tests/test_flow.cpp.o.d"
+  "test_flow"
+  "test_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genai.dir/tests/test_genai.cpp.o"
+  "CMakeFiles/test_genai.dir/tests/test_genai.cpp.o.d"
+  "test_genai"
+  "test_genai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

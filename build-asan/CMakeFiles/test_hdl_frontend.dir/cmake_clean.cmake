@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdl_frontend.dir/tests/test_hdl_frontend.cpp.o"
+  "CMakeFiles/test_hdl_frontend.dir/tests/test_hdl_frontend.cpp.o.d"
+  "test_hdl_frontend"
+  "test_hdl_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdl_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

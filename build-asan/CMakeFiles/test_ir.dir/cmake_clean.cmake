@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir.dir/tests/test_ir.cpp.o"
+  "CMakeFiles/test_ir.dir/tests/test_ir.cpp.o.d"
+  "test_ir"
+  "test_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

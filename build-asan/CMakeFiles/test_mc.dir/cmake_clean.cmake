@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc.dir/tests/test_mc.cpp.o"
+  "CMakeFiles/test_mc.dir/tests/test_mc.cpp.o.d"
+  "test_mc"
+  "test_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

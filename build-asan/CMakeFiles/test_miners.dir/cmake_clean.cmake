@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miners.dir/tests/test_miners.cpp.o"
+  "CMakeFiles/test_miners.dir/tests/test_miners.cpp.o.d"
+  "test_miners"
+  "test_miners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdr.dir/tests/test_pdr.cpp.o"
+  "CMakeFiles/test_pdr.dir/tests/test_pdr.cpp.o.d"
+  "test_pdr"
+  "test_pdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_random.dir/tests/test_property_random.cpp.o"
+  "CMakeFiles/test_property_random.dir/tests/test_property_random.cpp.o.d"
+  "test_property_random"
+  "test_property_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sat.dir/tests/test_sat.cpp.o"
+  "CMakeFiles/test_sat.dir/tests/test_sat.cpp.o.d"
+  "test_sat"
+  "test_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

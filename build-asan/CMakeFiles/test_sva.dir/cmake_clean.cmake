@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sva.dir/tests/test_sva.cpp.o"
+  "CMakeFiles/test_sva.dir/tests/test_sva.cpp.o.d"
+  "test_sva"
+  "test_sva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

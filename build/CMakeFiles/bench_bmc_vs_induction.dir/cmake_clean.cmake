@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bmc_vs_induction.dir/bench/bench_bmc_vs_induction.cpp.o"
+  "CMakeFiles/bench_bmc_vs_induction.dir/bench/bench_bmc_vs_induction.cpp.o.d"
+  "bench_bmc_vs_induction"
+  "bench_bmc_vs_induction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bmc_vs_induction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_bmc_vs_induction.
+# This may be replaced when dependencies are built.

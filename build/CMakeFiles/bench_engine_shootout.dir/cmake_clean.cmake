@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_shootout.dir/bench/bench_engine_shootout.cpp.o"
+  "CMakeFiles/bench_engine_shootout.dir/bench/bench_engine_shootout.cpp.o.d"
+  "bench_engine_shootout"
+  "bench_engine_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_engine_shootout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_helper_flow.dir/bench/bench_fig1_helper_flow.cpp.o"
+  "CMakeFiles/bench_fig1_helper_flow.dir/bench/bench_fig1_helper_flow.cpp.o.d"
+  "bench_fig1_helper_flow"
+  "bench_fig1_helper_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_helper_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

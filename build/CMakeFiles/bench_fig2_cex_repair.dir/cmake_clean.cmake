@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cex_repair.dir/bench/bench_fig2_cex_repair.cpp.o"
+  "CMakeFiles/bench_fig2_cex_repair.dir/bench/bench_fig2_cex_repair.cpp.o.d"
+  "bench_fig2_cex_repair"
+  "bench_fig2_cex_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cex_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gate_ablation.dir/bench/bench_gate_ablation.cpp.o"
+  "CMakeFiles/bench_gate_ablation.dir/bench/bench_gate_ablation.cpp.o.d"
+  "bench_gate_ablation"
+  "bench_gate_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gate_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_results_models.dir/bench/bench_results_models.cpp.o"
+  "CMakeFiles/bench_results_models.dir/bench/bench_results_models.cpp.o.d"
+  "bench_results_models"
+  "bench_results_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_results_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_results_speedup.dir/bench/bench_results_speedup.cpp.o"
+  "CMakeFiles/bench_results_speedup.dir/bench/bench_results_speedup.cpp.o.d"
+  "bench_results_speedup"
+  "bench_results_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_results_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_substrate.dir/bench/bench_substrate.cpp.o"
+  "CMakeFiles/bench_substrate.dir/bench/bench_substrate.cpp.o.d"
+  "bench_substrate"
+  "bench_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

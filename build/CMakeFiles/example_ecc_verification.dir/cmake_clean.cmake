@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ecc_verification.dir/examples/ecc_verification.cpp.o"
+  "CMakeFiles/example_ecc_verification.dir/examples/ecc_verification.cpp.o.d"
+  "example_ecc_verification"
+  "example_ecc_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ecc_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_ecc_verification.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_induction_debug.dir/examples/induction_debug.cpp.o"
+  "CMakeFiles/example_induction_debug.dir/examples/induction_debug.cpp.o.d"
+  "example_induction_debug"
+  "example_induction_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_induction_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

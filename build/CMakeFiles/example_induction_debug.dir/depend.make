@@ -1,0 +1,2 @@
+# Empty dependencies file for example_induction_debug.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_comparison.dir/examples/model_comparison.cpp.o"
+  "CMakeFiles/example_model_comparison.dir/examples/model_comparison.cpp.o.d"
+  "example_model_comparison"
+  "example_model_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
