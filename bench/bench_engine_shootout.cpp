@@ -28,13 +28,16 @@ void run_experiment() {
                                           "updown_pair",   "lfsr16",    "gray_counter"};
   for (const std::string& name : names) {
     for (const mc::EngineKind kind :
-         {mc::EngineKind::Bmc, mc::EngineKind::KInduction, mc::EngineKind::Pdr}) {
+         {mc::EngineKind::Bmc, mc::EngineKind::KInduction, mc::EngineKind::Pdr,
+          mc::EngineKind::Portfolio}) {
       auto task = designs::make_task(name);
       mc::EngineOptions options;
       options.max_steps = kMaxSteps;
       auto engine = mc::make_engine(kind, task.ts, options);
       const mc::EngineResult r = engine->prove_all(task.target_exprs());
-      table.add_row({name, engine->name(), mc::to_string(r.verdict),
+      std::string shown = engine->name();
+      if (!r.winner.empty()) shown += " (" + r.winner + ")";
+      table.add_row({name, shown, mc::to_string(r.verdict),
                      std::to_string(r.depth), std::to_string(r.stats.sat_calls),
                      std::to_string(r.stats.conflicts),
                      util::format_duration(r.stats.seconds)});
@@ -56,7 +59,8 @@ void BM_EngineProve(benchmark::State& state) {
 BENCHMARK(BM_EngineProve)
     ->Arg(static_cast<int>(mc::EngineKind::Bmc))
     ->Arg(static_cast<int>(mc::EngineKind::KInduction))
-    ->Arg(static_cast<int>(mc::EngineKind::Pdr));
+    ->Arg(static_cast<int>(mc::EngineKind::Pdr))
+    ->Arg(static_cast<int>(mc::EngineKind::Portfolio));
 
 }  // namespace
 }  // namespace genfv

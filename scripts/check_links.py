@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in Markdown files.
+
+Usage: check_links.py <file-or-dir> [<file-or-dir> ...]
+
+Checks every inline Markdown link ``[text](target)`` whose target is not an
+absolute URL or an in-page anchor: the referenced file (or directory) must
+exist relative to the Markdown file that links to it. Anchors on relative
+links are stripped before the existence check (heading anchors are not
+validated — file moves are the failure mode this guards against).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links, skipping images. Good enough for this repo's docs; fenced
+# code blocks are stripped before matching so example links don't trip it.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+
+def markdown_files(args):
+    for arg in args:
+        path = Path(arg)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        else:
+            yield path
+
+
+def check_file(md: Path) -> list:
+    errors = []
+    text = FENCE_RE.sub("", md.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (md.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(f"{md}: broken link '{target}' -> {resolved}")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    count = 0
+    for md in markdown_files(argv[1:]):
+        if not md.exists():
+            errors.append(f"{md}: no such file")
+            continue
+        count += 1
+        errors.extend(check_file(md))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {count} markdown file(s), {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

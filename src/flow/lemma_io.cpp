@@ -1,0 +1,56 @@
+#include "flow/lemma_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace genfv::flow {
+
+std::string render_lemma_file(const std::string& design,
+                              const std::vector<std::string>& lemma_svas) {
+  std::ostringstream out;
+  out << "# genfv-lemmas 1\n";
+  if (!design.empty()) out << "# design: " << design << '\n';
+  for (const std::string& sva : lemma_svas) {
+    // One lemma per line; flatten any embedded newline so the file stays
+    // line-oriented.
+    std::string one_line = sva;
+    for (char& ch : one_line) {
+      if (ch == '\n') ch = ' ';
+    }
+    out << util::trim(one_line) << '\n';
+  }
+  return out.str();
+}
+
+std::vector<std::string> parse_lemma_file(const std::string& text) {
+  std::vector<std::string> lemmas;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    lemmas.push_back(trimmed);
+  }
+  return lemmas;
+}
+
+void write_lemma_file(const std::string& path, const std::string& design,
+                      const std::vector<std::string>& lemma_svas) {
+  std::ofstream out(path);
+  if (!out) throw UsageError("cannot write lemma file '" + path + "'");
+  out << render_lemma_file(design, lemma_svas);
+  if (!out) throw UsageError("failed writing lemma file '" + path + "'");
+}
+
+std::vector<std::string> read_lemma_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw UsageError("cannot open lemma file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_lemma_file(buffer.str());
+}
+
+}  // namespace genfv::flow

@@ -23,18 +23,33 @@ struct LemmaManagerOptions {
   bool joint_induction = true;    ///< attempt the mutual-induction rescue pass
 };
 
+/// Not thread-safe. Holds a reference to `task` (which must outlive the
+/// manager) and mutates it: compiling candidates may add `$past` auxiliary
+/// state to `task.ts`. All admitted lemma expressions live in `task.ts`'s
+/// NodeManager.
+///
+/// Soundness invariant: `lemma_exprs()` only ever contains expressions that
+/// were (a) proven by k-induction inside `process` — alone or in the joint
+/// pass — or (b) handed to `admit_proven` by a caller holding a proof. The
+/// lemma-file path (`flow/lemma_io.hpp`) deliberately re-enters through
+/// `process`, never `admit_proven`, so file contents are re-proven.
 class LemmaManager {
  public:
   LemmaManager(VerificationTask& task, LemmaManagerOptions options);
 
-  /// Run every candidate text through the gate. Admitted lemmas accumulate
-  /// across calls. `targets` participate in the joint-induction rescue pass
-  /// (and are treated as known facts for dedupe purposes).
+  /// Run every candidate text through the gate: parse -> compile -> dedupe
+  /// -> simulation screen -> k-induction proof -> admit. Admitted lemmas
+  /// accumulate across calls and are assumed in later candidates' proofs.
+  /// `targets` participate in the joint-induction rescue pass (and are
+  /// treated as known facts for dedupe purposes). Returns one outcome per
+  /// input text, in order.
   std::vector<CandidateOutcome> process(const std::vector<std::string>& candidate_texts);
 
   /// Admit an invariant proven outside the candidate pipeline — e.g. a
-  /// clause of PDR's final inductive frame. Deduplicates against known
-  /// facts; returns true when the lemma was actually added.
+  /// clause of PDR's (or the portfolio winner's) final inductive frame.
+  /// `expr` must already live in `task.ts`'s NodeManager and the caller
+  /// vouches for its proof. Deduplicates against known facts; returns true
+  /// when the lemma was actually added.
   bool admit_proven(ir::NodeRef expr, std::string sva);
 
   const std::vector<ir::NodeRef>& lemma_exprs() const noexcept { return lemma_exprs_; }

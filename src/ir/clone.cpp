@@ -1,0 +1,79 @@
+#include "ir/clone.hpp"
+
+#include <vector>
+
+#include "ir/substitute.hpp"
+#include "util/status.hpp"
+
+namespace genfv::ir {
+
+NodeRef translate(NodeRef root, NodeManager& nm,
+                  std::unordered_map<NodeRef, NodeRef>& map) {
+  GENFV_ASSERT(root != nullptr, "translate: null expression");
+  // Iterative post-order over the DAG: expand children first, then rebuild.
+  std::vector<std::pair<NodeRef, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    const auto [n, expanded] = stack.back();
+    stack.pop_back();
+    if (map.contains(n)) continue;
+    if (!expanded) {
+      if (n->op() == Op::Const) {
+        map.emplace(n, nm.mk_const(n->value(), n->width()));
+        continue;
+      }
+      if (n->is_leaf()) {
+        throw UsageError("translate: unmapped " +
+                         std::string(op_name(n->op())) + " leaf '" + n->name() +
+                         "'");
+      }
+      stack.push_back({n, true});
+      for (const NodeRef c : n->children()) {
+        if (!map.contains(c)) stack.push_back({c, false});
+      }
+      continue;
+    }
+    std::vector<NodeRef> kids;
+    kids.reserve(n->arity());
+    for (const NodeRef c : n->children()) kids.push_back(map.at(c));
+    map.emplace(n, rebuild_node(nm, n, kids));
+  }
+  return map.at(root);
+}
+
+SystemClone::SystemClone(const TransitionSystem& original)
+    : original_nm_(original.nm_ptr()) {
+  clone_.set_name(original.name());
+  for (const NodeRef in : original.inputs()) {
+    const NodeRef c = clone_.add_input(in->name(), in->width());
+    fwd_.emplace(in, c);
+    bwd_.emplace(c, in);
+  }
+  for (const auto& s : original.states()) {
+    const NodeRef c = clone_.add_state(s.var->name(), s.var->width());
+    fwd_.emplace(s.var, c);
+    bwd_.emplace(c, s.var);
+  }
+  for (const auto& s : original.states()) {
+    if (s.init != nullptr) clone_.set_init(fwd_.at(s.var), to_clone(s.init));
+    if (s.next != nullptr) clone_.set_next(fwd_.at(s.var), to_clone(s.next));
+  }
+  for (const NodeRef c : original.constraints()) {
+    clone_.add_constraint(to_clone(c));
+  }
+  for (const auto& p : original.properties()) {
+    clone_.add_property({p.name, to_clone(p.expr), p.role, p.source_text});
+  }
+  for (const auto& [name, expr] : original.signals()) {
+    clone_.add_signal(name, to_clone(expr));
+  }
+}
+
+NodeRef SystemClone::to_clone(NodeRef expr) {
+  return translate(expr, clone_.nm(), fwd_);
+}
+
+NodeRef SystemClone::to_original(NodeRef expr) {
+  return translate(expr, *original_nm_, bwd_);
+}
+
+}  // namespace genfv::ir

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file clone.hpp
+/// Deep copies of transition systems across NodeManagers.
+///
+/// `NodeManager` is not thread-safe: every `mk_*` call may mutate the
+/// hash-cons table, and *any* engine run creates nodes (property
+/// conjunction, PDR clause export, SVA compilation). Engines that must run
+/// concurrently therefore each need a private copy of the system in a
+/// private manager — that is what `SystemClone` provides, together with the
+/// leaf maps needed to translate expressions into the clone (properties,
+/// lemmas) and results back out of it (counterexample traces, invariant
+/// clauses).
+
+#include <unordered_map>
+
+#include "ir/transition_system.hpp"
+
+namespace genfv::ir {
+
+/// Rebuild `root` inside `nm`, rewriting leaves through `map` and extending
+/// `map` with every node translated along the way. Const leaves are rebuilt
+/// directly; Input/State leaves must already be mapped (they are nominal —
+/// re-creating them would produce fresh, unrelated variables). Throws
+/// UsageError on an unmapped nominal leaf.
+NodeRef translate(NodeRef root, NodeManager& nm,
+                  std::unordered_map<NodeRef, NodeRef>& map);
+
+/// A deep copy of a `TransitionSystem` in a fresh `NodeManager`, preserving
+/// input/state/constraint/property/signal declaration order (so index-based
+/// correspondences hold in both directions).
+///
+/// Thread-safety contract: `to_clone` mutates the clone's manager and
+/// `to_original` mutates the *original's* manager, so both must be called
+/// from the thread that owns the respective manager — in practice: build the
+/// clone and translate all inputs before handing `system()` to a worker
+/// thread, and translate results back only after the worker has been
+/// joined. The original system must outlive the clone (the reverse map
+/// holds references into it).
+class SystemClone {
+ public:
+  explicit SystemClone(const TransitionSystem& original);
+
+  TransitionSystem& system() noexcept { return clone_; }
+  const TransitionSystem& system() const noexcept { return clone_; }
+
+  /// Translate an expression over the original system into the clone.
+  NodeRef to_clone(NodeRef expr);
+  /// Translate an expression over the clone back into the original system.
+  NodeRef to_original(NodeRef expr);
+
+ private:
+  std::shared_ptr<NodeManager> original_nm_;  ///< keeps the original alive
+  TransitionSystem clone_;
+  std::unordered_map<NodeRef, NodeRef> fwd_;  ///< original node -> clone node
+  std::unordered_map<NodeRef, NodeRef> bwd_;  ///< clone node -> original node
+};
+
+}  // namespace genfv::ir

@@ -57,42 +57,47 @@ NodeRef substitute(NodeRef root, const Substitution& subst, NodeManager& nm) {
       memo[n] = n;
       return;
     }
-    // Rebuild through the public builders so folding/consing reapply.
-    switch (n->op()) {
-      case Op::Not: memo[n] = nm.mk_not(kids[0]); break;
-      case Op::And: memo[n] = nm.mk_and(kids[0], kids[1]); break;
-      case Op::Or: memo[n] = nm.mk_or(kids[0], kids[1]); break;
-      case Op::Xor: memo[n] = nm.mk_xor(kids[0], kids[1]); break;
-      case Op::Neg: memo[n] = nm.mk_neg(kids[0]); break;
-      case Op::Add: memo[n] = nm.mk_add(kids[0], kids[1]); break;
-      case Op::Sub: memo[n] = nm.mk_sub(kids[0], kids[1]); break;
-      case Op::Mul: memo[n] = nm.mk_mul(kids[0], kids[1]); break;
-      case Op::Udiv: memo[n] = nm.mk_udiv(kids[0], kids[1]); break;
-      case Op::Urem: memo[n] = nm.mk_urem(kids[0], kids[1]); break;
-      case Op::Shl: memo[n] = nm.mk_shl(kids[0], kids[1]); break;
-      case Op::Lshr: memo[n] = nm.mk_lshr(kids[0], kids[1]); break;
-      case Op::Ashr: memo[n] = nm.mk_ashr(kids[0], kids[1]); break;
-      case Op::Eq: memo[n] = nm.mk_eq(kids[0], kids[1]); break;
-      case Op::Ult: memo[n] = nm.mk_ult(kids[0], kids[1]); break;
-      case Op::Ule: memo[n] = nm.mk_ule(kids[0], kids[1]); break;
-      case Op::Slt: memo[n] = nm.mk_slt(kids[0], kids[1]); break;
-      case Op::Sle: memo[n] = nm.mk_sle(kids[0], kids[1]); break;
-      case Op::Concat: memo[n] = nm.mk_concat(kids[0], kids[1]); break;
-      case Op::Extract: memo[n] = nm.mk_extract(kids[0], n->hi(), n->lo()); break;
-      case Op::ZExt: memo[n] = nm.mk_zext(kids[0], n->width()); break;
-      case Op::SExt: memo[n] = nm.mk_sext(kids[0], n->width()); break;
-      case Op::Ite: memo[n] = nm.mk_ite(kids[0], kids[1], kids[2]); break;
-      case Op::RedAnd: memo[n] = nm.mk_redand(kids[0]); break;
-      case Op::RedOr: memo[n] = nm.mk_redor(kids[0]); break;
-      case Op::RedXor: memo[n] = nm.mk_redxor(kids[0]); break;
-      case Op::Implies: memo[n] = nm.mk_implies(kids[0], kids[1]); break;
-      case Op::Const:
-      case Op::Input:
-      case Op::State:
-        GENFV_ASSERT(false, "leaf reached in rebuild branch");
-    }
+    memo[n] = rebuild_node(nm, n, kids);
   });
   return memo.at(root);
+}
+
+NodeRef rebuild_node(NodeManager& nm, NodeRef n, const std::vector<NodeRef>& kids) {
+  switch (n->op()) {
+    case Op::Not: return nm.mk_not(kids[0]);
+    case Op::And: return nm.mk_and(kids[0], kids[1]);
+    case Op::Or: return nm.mk_or(kids[0], kids[1]);
+    case Op::Xor: return nm.mk_xor(kids[0], kids[1]);
+    case Op::Neg: return nm.mk_neg(kids[0]);
+    case Op::Add: return nm.mk_add(kids[0], kids[1]);
+    case Op::Sub: return nm.mk_sub(kids[0], kids[1]);
+    case Op::Mul: return nm.mk_mul(kids[0], kids[1]);
+    case Op::Udiv: return nm.mk_udiv(kids[0], kids[1]);
+    case Op::Urem: return nm.mk_urem(kids[0], kids[1]);
+    case Op::Shl: return nm.mk_shl(kids[0], kids[1]);
+    case Op::Lshr: return nm.mk_lshr(kids[0], kids[1]);
+    case Op::Ashr: return nm.mk_ashr(kids[0], kids[1]);
+    case Op::Eq: return nm.mk_eq(kids[0], kids[1]);
+    case Op::Ult: return nm.mk_ult(kids[0], kids[1]);
+    case Op::Ule: return nm.mk_ule(kids[0], kids[1]);
+    case Op::Slt: return nm.mk_slt(kids[0], kids[1]);
+    case Op::Sle: return nm.mk_sle(kids[0], kids[1]);
+    case Op::Concat: return nm.mk_concat(kids[0], kids[1]);
+    case Op::Extract: return nm.mk_extract(kids[0], n->hi(), n->lo());
+    case Op::ZExt: return nm.mk_zext(kids[0], n->width());
+    case Op::SExt: return nm.mk_sext(kids[0], n->width());
+    case Op::Ite: return nm.mk_ite(kids[0], kids[1], kids[2]);
+    case Op::RedAnd: return nm.mk_redand(kids[0]);
+    case Op::RedOr: return nm.mk_redor(kids[0]);
+    case Op::RedXor: return nm.mk_redxor(kids[0]);
+    case Op::Implies: return nm.mk_implies(kids[0], kids[1]);
+    case Op::Const:
+    case Op::Input:
+    case Op::State:
+      break;
+  }
+  GENFV_ASSERT(false, "rebuild_node: leaf op");
+  return nullptr;
 }
 
 std::vector<NodeRef> collect_leaves(NodeRef root) {

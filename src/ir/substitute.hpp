@@ -17,6 +17,13 @@ using Substitution = std::unordered_map<NodeRef, NodeRef>;
 /// Replacement images must have the same width as their keys.
 NodeRef substitute(NodeRef root, const Substitution& subst, NodeManager& nm);
 
+/// Rebuild `original`'s operator in `nm` over the (already translated)
+/// `children`, through the public builders so folding and hash-consing
+/// reapply. `original` must be a non-leaf; this is the single op-dispatch
+/// table shared by `substitute` and `ir::translate` (clone.hpp).
+NodeRef rebuild_node(NodeManager& nm, NodeRef original,
+                     const std::vector<NodeRef>& children);
+
 /// Collect the set of Input/State leaves reachable from `root`.
 std::vector<NodeRef> collect_leaves(NodeRef root);
 

@@ -13,10 +13,15 @@ BmcResult BmcEngine::check(ir::NodeRef property) {
 
   sat::Solver solver;
   solver.set_conflict_budget(options_.conflict_budget);
+  solver.set_stop_flag(options_.stop.get());
   Unroller unroller(ts_, solver);
   unroller.assert_init();
 
   for (std::size_t depth = 0; depth <= options_.max_depth; ++depth) {
+    if (options_.stop != nullptr && options_.stop->load(std::memory_order_relaxed)) {
+      result.verdict = Verdict::Unknown;
+      break;
+    }
     unroller.extend_to(depth);
     for (const ir::NodeRef lemma : options_.lemmas) {
       unroller.assert_at(lemma, depth);

@@ -7,7 +7,9 @@
 /// analysis bound" (paper §II-A) — the E6 bench demonstrates exactly that
 /// contrast against k-induction.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mc/result.hpp"
@@ -22,6 +24,10 @@ struct BmcOptions {
   std::vector<ir::NodeRef> lemmas;
   /// Best-effort cap on SAT conflicts per solve; -1 = unlimited.
   std::int64_t conflict_budget = -1;
+  /// Cooperative cancellation: polled at every depth and at SAT restart
+  /// boundaries; when it reads true the run returns Unknown. See
+  /// EngineOptions::stop for the full contract.
+  std::shared_ptr<std::atomic<bool>> stop;
 };
 
 class BmcEngine {

@@ -5,6 +5,7 @@
 #include "mc/bmc.hpp"
 #include "mc/kinduction.hpp"
 #include "mc/pdr/pdr.hpp"
+#include "mc/portfolio.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
 
@@ -15,6 +16,7 @@ std::string to_string(EngineKind kind) {
     case EngineKind::Bmc: return "bmc";
     case EngineKind::KInduction: return "k-induction";
     case EngineKind::Pdr: return "pdr";
+    case EngineKind::Portfolio: return "portfolio";
   }
   return "?";
 }
@@ -25,6 +27,7 @@ std::optional<EngineKind> engine_kind_from_string(const std::string& name) {
     return EngineKind::KInduction;
   }
   if (name == "pdr" || name == "ic3") return EngineKind::Pdr;
+  if (name == "portfolio") return EngineKind::Portfolio;
   return std::nullopt;
 }
 
@@ -33,6 +36,7 @@ std::string EngineResult::summary() const {
   out << to_string(verdict) << " (depth=" << depth << ", " << stats.sat_calls
       << " SAT calls, " << stats.conflicts << " conflicts, "
       << util::format_duration(stats.seconds) << ")";
+  if (!winner.empty()) out << " [winner=" << winner << "]";
   if (step_cex.has_value()) out << " [induction-step CEX available]";
   if (!invariant.empty()) out << " [" << invariant.size() << "-clause invariant]";
   return out.str();
@@ -44,6 +48,7 @@ EngineOptions to_engine_options(const KInductionOptions& options) {
   out.simple_path = options.simple_path;
   out.lemmas = options.lemmas;
   out.conflict_budget = options.conflict_budget;
+  out.stop = options.stop;
   return out;
 }
 
@@ -72,6 +77,7 @@ class BmcEngineAdapter final : public Engine {
     opts.max_depth = options_.max_steps;
     opts.lemmas = options_.lemmas;
     opts.conflict_budget = options_.conflict_budget;
+    opts.stop = options_.stop;
     BmcEngine engine(ts_, std::move(opts));
     BmcResult r = engine.check(conjoin_properties(ts_, properties));
     EngineResult out;
@@ -101,6 +107,7 @@ class KInductionEngineAdapter final : public Engine {
     opts.simple_path = options_.simple_path;
     opts.lemmas = options_.lemmas;
     opts.conflict_budget = options_.conflict_budget;
+    opts.stop = options_.stop;
     KInductionEngine engine(ts_, std::move(opts));
     InductionResult r = engine.prove_all(properties);
     EngineResult out;
@@ -130,6 +137,7 @@ class PdrEngineAdapter final : public Engine {
     opts.max_frames = options_.max_steps;
     opts.lemmas = options_.lemmas;
     opts.conflict_budget = options_.conflict_budget;
+    opts.stop = options_.stop;
     pdr::PdrEngine engine(ts_, std::move(opts));
     pdr::PdrResult r = engine.prove_all(properties);
     EngineResult out;
@@ -155,6 +163,7 @@ std::unique_ptr<Engine> make_engine(EngineKind kind, const ir::TransitionSystem&
     case EngineKind::KInduction:
       return std::make_unique<KInductionEngineAdapter>(ts, options);
     case EngineKind::Pdr: return std::make_unique<PdrEngineAdapter>(ts, options);
+    case EngineKind::Portfolio: return std::make_unique<PortfolioEngine>(ts, options);
   }
   throw UsageError("unknown engine kind");
 }

@@ -1,13 +1,26 @@
 #pragma once
 
 /// \file engine.hpp
-/// The abstract model-checking engine interface. BMC, k-induction and
-/// IC3/PDR all implement it, so the flows, the CLI and the benches can
-/// select an engine at runtime (and a future portfolio can run several in
-/// parallel). Engine-specific entry points (`BmcEngine`, `KInductionEngine`,
-/// `PdrEngine`) remain available for callers that need the native result
-/// shapes.
+/// The abstract model-checking engine interface. BMC, k-induction, IC3/PDR
+/// and the portfolio scheduler all implement it, so the flows, the CLI and
+/// the benches can select an engine at runtime. Engine-specific entry points
+/// (`BmcEngine`, `KInductionEngine`, `PdrEngine`) remain available for
+/// callers that need the native result shapes.
+///
+/// Contracts shared by every implementation:
+///  * Engines never mutate the transition system, but they DO create nodes
+///    in its NodeManager (property conjunction, invariant export), so two
+///    engines must not run concurrently over the same system — the
+///    portfolio runs its members over private `ir::SystemClone`s instead.
+///  * `Verdict::Proven` means the property holds in every reachable state
+///    (unbounded); `Falsified` comes with a real counterexample trace from
+///    the initial states; `Unknown` covers bound/budget exhaustion and
+///    cooperative cancellation.
+///  * A returned `EngineResult` references nodes of the system the engine
+///    was constructed over, and is only valid while that system's
+///    NodeManager lives.
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -22,12 +35,13 @@ enum class EngineKind {
   Bmc,         ///< bounded search for counterexamples (never Proven)
   KInduction,  ///< Sheeran-Singh-Stålmarck k-induction
   Pdr,         ///< IC3/property-directed reachability
+  Portfolio,   ///< run several engines, adopt the first conclusive verdict
 };
 
 std::string to_string(EngineKind kind);
 
 /// Parse an engine name as accepted by the CLI `--engine` flag:
-/// "bmc", "kind"/"kinduction"/"k-induction", "pdr"/"ic3".
+/// "bmc", "kind"/"kinduction"/"k-induction", "pdr"/"ic3", "portfolio".
 std::optional<EngineKind> engine_kind_from_string(const std::string& name);
 
 /// Engine-independent knobs. Each engine maps `max_steps` onto its own bound:
@@ -41,12 +55,42 @@ struct EngineOptions {
   bool simple_path = false;
   /// Best-effort SAT conflict cap per run; -1 = unlimited.
   std::int64_t conflict_budget = -1;
+  /// Cooperative cancellation. Engines poll the flag between solver queries
+  /// and hand it to their SAT solvers, which poll it at restart boundaries;
+  /// once it reads true the run winds down and reports Verdict::Unknown.
+  /// Thread-safety: engines and solvers only ever *read* the flag (relaxed
+  /// loads), so any thread may set it at any time; shared ownership keeps it
+  /// alive for detached observers. nullptr (the default) disables
+  /// cancellation. The portfolio sets the flag once a member returns a
+  /// conclusive verdict, which is what cancels the losing engines.
+  std::shared_ptr<std::atomic<bool>> stop;
+
+  // --- portfolio only -------------------------------------------------------
+  /// Member engines, in launch (threaded) / slice (time-sliced) order.
+  /// Empty = {Bmc, KInduction, Pdr}. Must not contain Portfolio itself.
+  std::vector<EngineKind> portfolio_engines;
+  /// true: one std::thread per member over a private clone of the system;
+  /// false: deterministic single-threaded round-robin over doubling step
+  /// budgets (reproducible run-to-run; no clones, no threads — meant for CI
+  /// and debugging).
+  bool portfolio_threads = true;
+};
+
+/// One portfolio member's outcome, reported alongside the adopted verdict so
+/// the merged result still names who did what.
+struct EngineBreakdown {
+  std::string engine;  ///< member name ("bmc", "k-induction", "pdr")
+  Verdict verdict = Verdict::Unknown;
+  std::size_t depth = 0;
+  EngineStats stats;
+  std::string note;  ///< non-empty when the member aborted (e.g. threw)
 };
 
 /// Engine-independent verdict. Engines fill the fields that apply to them.
 struct EngineResult {
   Verdict verdict = Verdict::Unknown;
-  /// BMC: deepest frame explored; k-induction: final k; PDR: frontier frame.
+  /// BMC: deepest frame explored; k-induction: final k; PDR: frontier frame;
+  /// portfolio: the winner's depth.
   std::size_t depth = 0;
   /// Real counterexample from the initial states (verdict == Falsified).
   std::optional<sim::Trace> cex;
@@ -56,14 +100,26 @@ struct EngineResult {
   /// clause individually holds in every reachable state, so each can be
   /// re-used as a lemma (and printed as SVA via ir::Printer); the
   /// conjunction is inductive and implies the property relative to any
-  /// lemmas that seeded the run.
+  /// lemmas that seeded the run. The portfolio forwards the winner's
+  /// invariant (translated back into the caller's system).
   std::vector<ir::NodeRef> invariant;
+  /// Aggregate effort. For the portfolio this sums every member's counters,
+  /// while `seconds` is the portfolio's wall-clock time (not the sum — the
+  /// members ran concurrently).
   EngineStats stats;
+  /// Portfolio only: name of the member whose conclusive verdict was
+  /// adopted; empty for single engines and for an inconclusive portfolio.
+  std::string winner;
+  /// Portfolio only: per-member outcome, in launch order.
+  std::vector<EngineBreakdown> breakdown;
 
   bool proven() const noexcept { return verdict == Verdict::Proven; }
   std::string summary() const;
 };
 
+/// Uniform engine façade. Implementations are single-use per construction
+/// but reusable across prove calls; they hold a reference to the transition
+/// system, never own it.
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -79,7 +135,8 @@ class Engine {
 };
 
 /// Instantiate an engine over `ts`. The transition system must outlive the
-/// returned engine.
+/// returned engine. Throws UsageError for a portfolio that lists Portfolio
+/// among its own members.
 std::unique_ptr<Engine> make_engine(EngineKind kind, const ir::TransitionSystem& ts,
                                     const EngineOptions& options = {});
 
@@ -87,7 +144,7 @@ struct KInductionOptions;
 
 /// Map the k-induction option shape (what FlowOptions carries) onto the
 /// engine-independent one: max_k becomes max_steps, lemmas/simple_path/
-/// budget carry over.
+/// budget/stop carry over.
 EngineOptions to_engine_options(const KInductionOptions& options);
 
 /// Adapt an engine-independent result to the k-induction shape stored in

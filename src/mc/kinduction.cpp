@@ -22,11 +22,13 @@ InductionResult KInductionEngine::prove_all(const std::vector<ir::NodeRef>& prop
 
   sat::Solver base_solver;
   base_solver.set_conflict_budget(options_.conflict_budget);
+  base_solver.set_stop_flag(options_.stop.get());
   Unroller base(ts_, base_solver);
   base.assert_init();
 
   sat::Solver step_solver;
   step_solver.set_conflict_budget(options_.conflict_budget);
+  step_solver.set_stop_flag(options_.stop.get());
   Unroller step(ts_, step_solver);  // no init: arbitrary start state
 
   // Lemmas are invariants: assert them on every materialized frame.
@@ -48,6 +50,9 @@ InductionResult KInductionEngine::prove_all(const std::vector<ir::NodeRef>& prop
   };
 
   for (std::size_t k = 1; k <= options_.max_k; ++k) {
+    if (options_.stop != nullptr && options_.stop->load(std::memory_order_relaxed)) {
+      return finish(Verdict::Unknown, k - 1);
+    }
     // ---- Base case: no violation at depth k-1 from the initial states.
     base.extend_to(k - 1);
     assert_lemmas(base, base_lemma_frames, k - 1);

@@ -19,7 +19,9 @@
 /// unlock proofs. Optional simple-path constraints provide the classical
 /// (non-AI) completeness improvement for comparison benches.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mc/result.hpp"
@@ -35,6 +37,10 @@ struct KInductionOptions {
   std::vector<ir::NodeRef> lemmas;
   /// Best-effort SAT conflict cap per run; -1 = unlimited.
   std::int64_t conflict_budget = -1;
+  /// Cooperative cancellation: polled at every k and at SAT restart
+  /// boundaries; when it reads true the run returns Unknown. See
+  /// EngineOptions::stop for the full contract.
+  std::shared_ptr<std::atomic<bool>> stop;
 };
 
 class KInductionEngine {

@@ -40,7 +40,8 @@ void canonicalize(Cube& cube);
 bool subsumes(const Cube& a, const Cube& b);
 
 /// The blocking clause ¬cube as a width-1 IR expression over the system's
-/// state variables, suitable for lemma export / SVA printing.
+/// state variables, suitable for lemma export / SVA printing. Creates nodes
+/// in `ts`'s NodeManager — call only from the thread that owns the system.
 ir::NodeRef clause_expr(const ir::TransitionSystem& ts, const Cube& cube);
 
 }  // namespace genfv::mc::pdr

@@ -19,6 +19,9 @@
 
 namespace genfv::mc::pdr {
 
+/// Not thread-safe; lives on one engine's thread. Holds a reference to the
+/// engine's transition solver (which must outlive it) and allocates one
+/// activation variable in it per level.
 class FrameTrace {
  public:
   /// `init_activation` is the literal gating the init-state constraint.

@@ -35,6 +35,10 @@ struct Obligation {
   std::ptrdiff_t parent = -1;
 };
 
+/// Not thread-safe; owned by one engine run. Arena entries are never
+/// removed, so indices (and the parent links threaded through them) stay
+/// valid for the lifetime of the queue — `at()` references are invalidated
+/// by `add()`, indices are not.
 class ObligationQueue {
  public:
   /// Move an obligation into the arena; returns its arena index.

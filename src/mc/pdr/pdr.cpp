@@ -53,6 +53,8 @@ struct PdrRun {
         frames(solver, init_gate) {
     solver.set_conflict_budget(options.conflict_budget);
     init_solver.set_conflict_budget(options.conflict_budget);
+    solver.set_stop_flag(options.stop.get());
+    init_solver.set_stop_flag(options.stop.get());
     unr.extend_to(1);
     init_unr.assert_init();
 
@@ -79,6 +81,11 @@ struct PdrRun {
     prop0 = unr.lit_at(prop, 0);
     init_prop = init_unr.lit_at(prop, 0);
     frames.push_level();  // level 1: the first frontier
+  }
+
+  /// True once cooperative cancellation has been requested.
+  bool stopped() const noexcept {
+    return options.stop != nullptr && options.stop->load(std::memory_order_relaxed);
   }
 
   // --- literal plumbing ------------------------------------------------------
@@ -287,6 +294,7 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
   auto handle_obligations = [&](std::size_t* cex_index) -> BlockOutcome {
     while (!run.queue.empty()) {
       if (run.queue.created() > options_.max_obligations) return BlockOutcome::Budget;
+      if (run.stopped()) return BlockOutcome::Budget;
       const std::size_t index = run.queue.pop();
       const Cube cube = run.queue.at(index).cube;
       const std::size_t level = run.queue.at(index).level;
@@ -337,9 +345,11 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
 
   while (true) {
     const std::size_t frontier = run.frames.frontier();
+    if (run.stopped()) return finish(Verdict::Unknown, frontier);
 
     // Clean the frontier: block every state that violates the property.
     while (true) {
+      if (run.stopped()) return finish(Verdict::Unknown, frontier);
       std::vector<sat::Lit> assumptions = run.frames.assumptions(frontier);
       assumptions.push_back(~run.prop0);
       const sat::LBool answer = run.solver.solve(assumptions);
@@ -375,6 +385,7 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
 
     // Propagation: push clauses that remain inductive at their level.
     for (std::size_t i = 1; i < frontier; ++i) {
+      if (run.stopped()) return finish(Verdict::Unknown, frontier);
       const std::vector<Cube> snapshot = run.frames.cubes_at(i);
       for (const Cube& cube : snapshot) {
         if (run.frames.is_blocked(cube, i + 1)) continue;

@@ -19,7 +19,9 @@
 ///    invariant`) so the helper-generation flow can re-use them as proven
 ///    lemmas.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mc/result.hpp"
@@ -40,6 +42,10 @@ struct PdrOptions {
   bool generalize_drop = true;
   /// Safety valve: total proof obligations before giving up (Unknown).
   std::size_t max_obligations = 100000;
+  /// Cooperative cancellation: polled per obligation, per propagation pass
+  /// and at SAT restart boundaries; when it reads true the run returns
+  /// Unknown. See EngineOptions::stop for the full contract.
+  std::shared_ptr<std::atomic<bool>> stop;
 };
 
 struct PdrResult {
@@ -59,14 +65,29 @@ struct PdrResult {
   std::string summary() const;
 };
 
+/// Ownership/threading contract: the engine holds a reference to `ts` (which
+/// must outlive it) and *creates nodes in its NodeManager* (property
+/// conjunction, invariant export) — so a PdrEngine must not run concurrently
+/// with anything else touching the same manager; the portfolio gives each
+/// concurrent engine a private `ir::SystemClone` instead. The only state
+/// legally shared with other threads is `PdrOptions::stop`, which is
+/// read-only here and may be set by any thread at any time.
 class PdrEngine {
  public:
   PdrEngine(const ir::TransitionSystem& ts, PdrOptions options = {});
 
   /// Decide a single width-1 property.
+  ///  * Proven: holds in every reachable state; `invariant` is filled.
+  ///  * Falsified: `cex` is a real trace from the initial states (validated
+  ///    shape: frame 0 satisfies init, each frame steps to the next).
+  ///  * Unknown: frame bound, conflict budget, obligation cap, or the stop
+  ///    flag ran out first.
+  /// Throws UsageError when some state's init expression reads an input
+  /// (PDR needs "is this cube initial" to be a pure state predicate).
   PdrResult prove(ir::NodeRef property);
 
-  /// Decide the conjunction of `properties`.
+  /// Decide the conjunction of `properties`; proving it proves every
+  /// conjunct (same result contract as `prove`).
   PdrResult prove_all(const std::vector<ir::NodeRef>& properties);
 
  private:

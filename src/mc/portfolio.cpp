@@ -1,0 +1,241 @@
+#include "mc/portfolio.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "ir/clone.hpp"
+#include "util/status.hpp"
+#include "util/stopwatch.hpp"
+
+namespace genfv::mc {
+
+namespace {
+
+bool conclusive(Verdict v) noexcept { return v != Verdict::Unknown; }
+
+/// Rebuild a trace produced over a clone against the original system. Trace
+/// frames bind only Input/State leaves, which the clone maps one-to-one.
+sim::Trace translate_trace(const sim::Trace& trace, ir::SystemClone& clone,
+                           const ir::TransitionSystem& original) {
+  sim::Trace out(&original);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    sim::Assignment env;
+    env.reserve(trace.frame(i).size());
+    for (const auto& [node, value] : trace.frame(i)) {
+      env.emplace(clone.to_original(node), value);
+    }
+    out.append(std::move(env));
+  }
+  return out;
+}
+
+}  // namespace
+
+PortfolioEngine::PortfolioEngine(const ir::TransitionSystem& ts, EngineOptions options)
+    : ts_(ts), options_(std::move(options)) {
+  members_ = options_.portfolio_engines;
+  if (members_.empty()) {
+    members_ = {EngineKind::Bmc, EngineKind::KInduction, EngineKind::Pdr};
+  }
+  for (const EngineKind kind : members_) {
+    if (kind == EngineKind::Portfolio) {
+      throw UsageError("portfolio cannot contain itself as a member");
+    }
+  }
+}
+
+EngineResult PortfolioEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
+  return options_.portfolio_threads ? run_threaded(properties)
+                                    : run_time_sliced(properties);
+}
+
+EngineResult PortfolioEngine::run_threaded(const std::vector<ir::NodeRef>& properties) {
+  util::Stopwatch watch;
+  const std::size_t n = members_.size();
+
+  // Clone the system once per member and translate every input expression —
+  // all on this thread, before any worker exists (NodeManager is not
+  // thread-safe; each worker then touches only its own clone).
+  std::vector<std::unique_ptr<ir::SystemClone>> clones;
+  std::vector<std::vector<ir::NodeRef>> member_props(n);
+  std::vector<std::vector<ir::NodeRef>> member_lemmas(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clones.push_back(std::make_unique<ir::SystemClone>(ts_));
+    for (const ir::NodeRef p : properties) {
+      member_props[i].push_back(clones[i]->to_clone(p));
+    }
+    for (const ir::NodeRef l : options_.lemmas) {
+      member_lemmas[i].push_back(clones[i]->to_clone(l));
+    }
+  }
+
+  // Shared race state. The first conclusive member records itself as the
+  // winner and raises `cancel`, which every other member's engine polls.
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  std::ptrdiff_t winner = -1;
+  std::vector<EngineResult> results(n);
+  std::vector<std::string> notes(n);
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers.emplace_back([&, i] {
+      EngineResult r;
+      std::string note;
+      try {
+        EngineOptions opts;
+        opts.max_steps = options_.max_steps;
+        opts.simple_path = options_.simple_path;
+        opts.conflict_budget = options_.conflict_budget;
+        opts.lemmas = member_lemmas[i];
+        opts.stop = cancel;
+        auto engine = make_engine(members_[i], clones[i]->system(), opts);
+        r = engine->prove_all(member_props[i]);
+      } catch (const std::exception& e) {
+        // Anything escaping the thread body would std::terminate the whole
+        // process; degrade the member to Unknown instead. Covers UsageError
+        // (e.g. PDR rejecting input-dependent init values) as well as
+        // resource failures like std::bad_alloc from a deep unrolling.
+        note = e.what();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      results[i] = std::move(r);
+      notes[i] = std::move(note);
+      if (conclusive(results[i].verdict) && winner < 0) {
+        winner = static_cast<std::ptrdiff_t>(i);
+        cancel->store(true, std::memory_order_relaxed);
+      }
+      ++done;
+      cv.notify_all();
+    });
+  }
+
+  // Wait for everyone (losers exit quickly once `cancel` is up), forwarding
+  // an external cancellation request into the members' flag.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    while (done < n) {
+      if (options_.stop != nullptr &&
+          options_.stop->load(std::memory_order_relaxed)) {
+        cancel->store(true, std::memory_order_relaxed);
+      }
+      cv.wait_for(lock, std::chrono::milliseconds(10));
+    }
+  }
+  for (std::thread& t : workers) t.join();
+
+  // Merge — single-threaded again, so translating back into the original
+  // system's NodeManager is safe.
+  EngineResult out;
+  for (std::size_t i = 0; i < n; ++i) {
+    EngineBreakdown b;
+    b.engine = to_string(members_[i]);
+    b.verdict = results[i].verdict;
+    b.depth = results[i].depth;
+    b.stats = results[i].stats;
+    b.note = notes[i];
+    out.stats += b.stats;
+    out.breakdown.push_back(std::move(b));
+  }
+  if (winner >= 0) {
+    const std::size_t w = static_cast<std::size_t>(winner);
+    EngineResult& won = results[w];
+    out.verdict = won.verdict;
+    out.depth = won.depth;
+    out.winner = to_string(members_[w]);
+    if (won.cex.has_value()) {
+      out.cex = translate_trace(*won.cex, *clones[w], ts_);
+    }
+    for (const ir::NodeRef clause : won.invariant) {
+      out.invariant.push_back(clones[w]->to_original(clause));
+    }
+  } else {
+    out.verdict = Verdict::Unknown;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.depth = std::max(out.depth, results[i].depth);
+      // Keep the repair loop fed: forward a step CEX if some member (in
+      // practice k-induction) produced one before stalling.
+      if (!out.step_cex.has_value() && results[i].step_cex.has_value()) {
+        out.step_cex = translate_trace(*results[i].step_cex, *clones[i], ts_);
+      }
+    }
+  }
+  out.stats.seconds = watch.seconds();
+  return out;
+}
+
+EngineResult PortfolioEngine::run_time_sliced(const std::vector<ir::NodeRef>& properties) {
+  util::Stopwatch watch;
+  const std::size_t n = members_.size();
+
+  // Iterative deepening: every member gets a slice at each budget before any
+  // member gets a deeper one, so a cheap conclusive verdict at a small bound
+  // beats an expensive one at a large bound — deterministically.
+  std::vector<std::size_t> budgets;
+  for (std::size_t b = 1; b < options_.max_steps; b *= 2) budgets.push_back(b);
+  budgets.push_back(options_.max_steps);
+
+  EngineResult out;
+  std::vector<EngineBreakdown> breakdown(n);
+  for (std::size_t i = 0; i < n; ++i) breakdown[i].engine = to_string(members_[i]);
+
+  auto finish = [&](std::ptrdiff_t winner, EngineResult member_result) {
+    if (winner >= 0) {
+      const std::size_t w = static_cast<std::size_t>(winner);
+      out.verdict = member_result.verdict;
+      out.depth = member_result.depth;
+      out.cex = std::move(member_result.cex);
+      out.invariant = std::move(member_result.invariant);
+      out.winner = to_string(members_[w]);
+      out.step_cex.reset();  // stale artefact from an earlier, shallower slice
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out.stats += breakdown[i].stats;
+      if (winner < 0) out.depth = std::max(out.depth, breakdown[i].depth);
+    }
+    out.breakdown = std::move(breakdown);
+    out.stats.seconds = watch.seconds();
+    return out;
+  };
+
+  for (const std::size_t budget : budgets) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (options_.stop != nullptr &&
+          options_.stop->load(std::memory_order_relaxed)) {
+        return finish(-1, {});
+      }
+      EngineResult r;
+      try {
+        EngineOptions opts;
+        opts.max_steps = budget;
+        opts.simple_path = options_.simple_path;
+        opts.conflict_budget = options_.conflict_budget;
+        opts.lemmas = options_.lemmas;
+        opts.stop = options_.stop;
+        auto engine = make_engine(members_[i], ts_, opts);
+        r = engine->prove_all(properties);
+      } catch (const std::exception& e) {
+        breakdown[i].note = e.what();
+        continue;
+      }
+      breakdown[i].verdict = r.verdict;
+      breakdown[i].depth = std::max(breakdown[i].depth, r.depth);
+      breakdown[i].stats += r.stats;
+      // Keep the *deepest* step CEX: each slice's artefact supersedes the
+      // shallower one from the previous budget, matching what the threaded
+      // mode (one full-depth run) hands the repair loop.
+      if (r.step_cex.has_value()) out.step_cex = std::move(r.step_cex);
+      if (conclusive(r.verdict)) return finish(static_cast<std::ptrdiff_t>(i), std::move(r));
+    }
+  }
+  return finish(-1, {});
+}
+
+}  // namespace genfv::mc

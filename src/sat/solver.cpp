@@ -371,7 +371,8 @@ LBool Solver::search(int conflicts_before_restart, const std::vector<Lit>& assum
         conflict_budget_ >= 0 &&
         stats_.conflicts - conflicts_at_solve_start_ >=
             static_cast<std::uint64_t>(conflict_budget_);
-    if (conflict_count >= conflicts_before_restart || budget_exhausted) {
+    if (conflict_count >= conflicts_before_restart || budget_exhausted ||
+        interrupted()) {
       ++stats_.restarts;
       cancel_until(0);
       return LBool::Undef;
@@ -425,7 +426,7 @@ LBool Solver::solve(const std::vector<Lit>& assumptions) {
         conflict_budget_ >= 0 &&
         stats_.conflicts - conflicts_at_solve_start_ >=
             static_cast<std::uint64_t>(conflict_budget_);
-    if (budget_exhausted) break;
+    if (budget_exhausted || interrupted()) break;
     const double base = luby(2.0, restarts) * 100.0;
     status = search(static_cast<int>(base), assumptions);
   }

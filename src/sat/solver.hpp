@@ -17,6 +17,7 @@
 /// with new frames between `solve()` calls; clauses may be added whenever the
 /// solver is at decision level 0 (which it always is between calls).
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -77,6 +78,15 @@ class Solver {
   /// Limit the next solve() calls to roughly `budget` conflicts; -1 removes
   /// the limit.
   void set_conflict_budget(std::int64_t budget) noexcept { conflict_budget_ = budget; }
+
+  /// Cooperative cancellation: while `*stop` reads true, solve() abandons the
+  /// search and returns Undef (indistinguishable from budget exhaustion, and
+  /// handled identically by every engine). The solver only ever *reads* the
+  /// flag, with relaxed ordering, so any number of solvers may share one flag
+  /// and any thread may set it. The pointee must outlive the solver or be
+  /// detached with `set_stop_flag(nullptr)` first; nullptr (the default)
+  /// disables the check.
+  void set_stop_flag(const std::atomic<bool>* stop) noexcept { stop_ = stop; }
 
   /// True iff the clause database has been proven UNSAT outright.
   bool inconsistent() const noexcept { return !ok_; }
@@ -163,8 +173,13 @@ class Solver {
   std::vector<LBool> model_;
   std::vector<Lit> core_;
 
+  bool interrupted() const noexcept {
+    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
+  }
+
   double max_learnts_ = 0.0;
   std::int64_t conflict_budget_ = -1;
+  const std::atomic<bool>* stop_ = nullptr;
   std::uint64_t conflicts_at_solve_start_ = 0;
 
   Var true_var_ = kUndefVar;

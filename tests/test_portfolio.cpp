@@ -1,0 +1,343 @@
+/// Portfolio engine tests: first-conclusive-verdict scheduling in both the
+/// threaded and the deterministic time-sliced mode, cooperative stop-flag
+/// cancellation of every member engine, system cloning across NodeManagers,
+/// result translation back into the caller's system, the lemma-file round
+/// trip through LemmaManager, and flow-level engine selection.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "designs/design.hpp"
+#include "flow/cex_repair_flow.hpp"
+#include "flow/lemma_io.hpp"
+#include "flow/lemma_manager.hpp"
+#include "genai/simulated_llm.hpp"
+#include "ir/clone.hpp"
+#include "ir/printer.hpp"
+#include "mc/engine.hpp"
+#include "mc/portfolio.hpp"
+#include "sva/compiler.hpp"
+#include "util/status.hpp"
+
+namespace genfv::mc {
+namespace {
+
+using ir::NodeRef;
+
+bool conclusive(Verdict v) { return v != Verdict::Unknown; }
+
+/// Width-4 counter pair in lockstep; `bound_prop` makes a falsifiable
+/// property available (`a != 10` fails at frame 10).
+flow::VerificationTask counter_task(const std::string& property) {
+  return flow::VerificationTask::from_rtl(
+      "toy_counters", "two lockstep counters",
+      R"(module toy_counters (input clk, rst, output logic [3:0] a, b);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      a <= 4'b0;
+      b <= 4'b0;
+    end else begin
+      a <= a + 1;
+      b <= b + 1;
+    end
+  end
+endmodule
+)",
+      {{"target", property}});
+}
+
+// --- SystemClone -------------------------------------------------------------
+
+TEST(SystemClone, DeepCopyPreservesStructureAndRoundTripsExpressions) {
+  auto task = designs::make_task("token_ring");
+  ir::SystemClone clone(task.ts);
+  const ir::TransitionSystem& copy = clone.system();
+
+  EXPECT_NE(task.ts.nm_ptr().get(), copy.nm_ptr().get());
+  ASSERT_EQ(copy.inputs().size(), task.ts.inputs().size());
+  ASSERT_EQ(copy.states().size(), task.ts.states().size());
+  ASSERT_EQ(copy.constraints().size(), task.ts.constraints().size());
+  ASSERT_EQ(copy.num_properties(), task.ts.num_properties());
+  copy.validate();
+
+  // Declaration order and leaf identity carry over; every copied expression
+  // translates back to the *pointer-identical* original node (hash-consing
+  // makes structural equality pointer equality within one manager). Note the
+  // serialized text may differ: commutative operands sort by node id, and
+  // ids are manager-local.
+  for (std::size_t i = 0; i < task.ts.states().size(); ++i) {
+    const auto& orig = task.ts.states()[i];
+    const auto& cloned = copy.states()[i];
+    EXPECT_EQ(cloned.var->name(), orig.var->name());
+    EXPECT_EQ(cloned.var->width(), orig.var->width());
+    EXPECT_EQ(clone.to_original(cloned.next), orig.next);
+    if (orig.init != nullptr) EXPECT_EQ(clone.to_original(cloned.init), orig.init);
+  }
+  for (std::size_t i = 0; i < task.ts.num_properties(); ++i) {
+    EXPECT_EQ(clone.to_original(copy.property(i).expr), task.ts.property(i).expr);
+  }
+  for (const NodeRef expr : task.target_exprs()) {
+    const NodeRef there = clone.to_clone(expr);
+    EXPECT_NE(there, expr);
+    EXPECT_EQ(clone.to_original(there), expr);
+  }
+}
+
+TEST(SystemClone, TranslateRejectsUnmappedLeaves) {
+  ir::TransitionSystem a;
+  const NodeRef x = a.add_state("x", 4);
+  ir::TransitionSystem b;
+  std::unordered_map<NodeRef, NodeRef> empty_map;
+  EXPECT_THROW(ir::translate(a.nm().mk_eq(x, a.nm().mk_const(0, 4)), b.nm(), empty_map),
+               UsageError);
+}
+
+// --- cooperative cancellation ------------------------------------------------
+
+TEST(StopFlag, PresetFlagYieldsUnknownForEveryEngine) {
+  for (const EngineKind kind :
+       {EngineKind::Bmc, EngineKind::KInduction, EngineKind::Pdr}) {
+    auto task = designs::make_task("token_ring");
+    EngineOptions options;
+    options.max_steps = 64;
+    options.stop = std::make_shared<std::atomic<bool>>(true);
+    auto engine = make_engine(kind, task.ts, options);
+    const EngineResult result = engine->prove_all(task.target_exprs());
+    EXPECT_EQ(result.verdict, Verdict::Unknown) << to_string(kind);
+    // A cancelled run must not have done any real exploration.
+    EXPECT_LE(result.depth, 1u) << to_string(kind);
+  }
+}
+
+TEST(Portfolio, WinnerCancelsLosers) {
+  // At an absurd step budget, BMC alone would unroll for a very long time;
+  // the only way it reports far fewer frames is the winner's stop flag.
+  auto task = designs::make_task("token_ring");
+  EngineOptions options;
+  options.max_steps = 100000;
+  auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+  const EngineResult result = engine->prove_all(task.target_exprs());
+
+  EXPECT_EQ(result.verdict, Verdict::Proven);
+  EXPECT_EQ(result.winner, "pdr");
+  ASSERT_EQ(result.breakdown.size(), 3u);
+  for (const EngineBreakdown& member : result.breakdown) {
+    if (member.engine == "bmc") {
+      EXPECT_EQ(member.verdict, Verdict::Unknown);
+      EXPECT_LT(member.depth, 100000u);  // cancelled, not exhausted
+    }
+  }
+}
+
+TEST(Portfolio, ExternalStopCancelsTheWholeRace) {
+  auto task = designs::make_task("token_ring");
+  EngineOptions options;
+  options.max_steps = 64;
+  options.stop = std::make_shared<std::atomic<bool>>(true);  // pre-cancelled
+  for (const bool threads : {true, false}) {
+    options.portfolio_threads = threads;
+    auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+    const EngineResult result = engine->prove_all(task.target_exprs());
+    EXPECT_EQ(result.verdict, Verdict::Unknown) << "threads=" << threads;
+    EXPECT_TRUE(result.winner.empty()) << "threads=" << threads;
+  }
+}
+
+// --- first-conclusive-verdict scheduling -------------------------------------
+
+TEST(Portfolio, AgreesWithSingleEnginesOnTheRegistry) {
+  const std::vector<std::string> names = {"sync_counters", "sequencer", "token_ring",
+                                          "updown_pair",   "lfsr16",    "gray_counter"};
+  constexpr std::size_t kMaxSteps = 12;
+  for (const std::string& name : names) {
+    std::optional<Verdict> single_conclusive;
+    for (const EngineKind kind :
+         {EngineKind::Bmc, EngineKind::KInduction, EngineKind::Pdr}) {
+      auto task = designs::make_task(name);
+      auto engine = make_engine(kind, task.ts, {.max_steps = kMaxSteps});
+      const EngineResult r = engine->prove_all(task.target_exprs());
+      if (conclusive(r.verdict)) {
+        // Soundness: conclusive single-engine verdicts can never disagree.
+        if (single_conclusive.has_value()) EXPECT_EQ(*single_conclusive, r.verdict);
+        single_conclusive = r.verdict;
+      }
+    }
+    for (const bool threads : {true, false}) {
+      auto task = designs::make_task(name);
+      EngineOptions options;
+      options.max_steps = kMaxSteps;
+      options.portfolio_threads = threads;
+      auto portfolio = make_engine(EngineKind::Portfolio, task.ts, options);
+      const EngineResult r = portfolio->prove_all(task.target_exprs());
+      if (single_conclusive.has_value()) {
+        EXPECT_EQ(r.verdict, *single_conclusive)
+            << name << " threads=" << threads;
+        EXPECT_FALSE(r.winner.empty()) << name;
+      } else {
+        EXPECT_EQ(r.verdict, Verdict::Unknown) << name << " threads=" << threads;
+        EXPECT_TRUE(r.winner.empty()) << name;
+      }
+      EXPECT_EQ(r.breakdown.size(), 3u) << name;
+    }
+  }
+}
+
+TEST(Portfolio, FalsifiedCexTranslatesBackToTheOriginalSystem) {
+  auto task = counter_task("property bound; a != 4'd10; endproperty");
+  EngineOptions options;
+  options.max_steps = 16;
+  auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+  const EngineResult result = engine->prove_all(task.target_exprs());
+
+  EXPECT_EQ(result.verdict, Verdict::Falsified);
+  ASSERT_TRUE(result.cex.has_value());
+  // The trace must be expressed over the *caller's* system (the threaded
+  // portfolio found it on a clone) and be a genuine execution of it.
+  EXPECT_EQ(result.cex->system(), &task.ts);
+  EXPECT_TRUE(result.cex->is_consistent());
+  const NodeRef target = task.target_exprs().front();
+  ASSERT_TRUE(result.cex->first_violation(target).has_value());
+}
+
+TEST(Portfolio, TimeSlicedIsDeterministic) {
+  auto run_once = [] {
+    auto task = designs::make_task("token_ring");
+    EngineOptions options;
+    options.max_steps = 16;
+    options.portfolio_threads = false;
+    auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+    return engine->prove_all(task.target_exprs());
+  };
+  const EngineResult a = run_once();
+  const EngineResult b = run_once();
+  EXPECT_EQ(a.verdict, Verdict::Proven);
+  EXPECT_EQ(a.winner, "pdr");
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.depth, b.depth);
+  EXPECT_EQ(a.stats.sat_calls, b.stats.sat_calls);
+  EXPECT_EQ(a.invariant.size(), b.invariant.size());
+}
+
+TEST(Portfolio, SeededLemmasReachEveryMemberClone) {
+  // sync_counters is not inductive and not clause-compact, so no member
+  // concludes alone at this bound; with the equality lemma translated into
+  // every clone, k-induction closes immediately.
+  auto task = designs::make_task("sync_counters");
+  sva::PropertyCompiler compiler(task.ts);
+  const NodeRef lemma = compiler.compile_expr("count1 == count2");
+
+  EngineOptions options;
+  options.max_steps = 6;
+  options.lemmas = {lemma};
+  auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+  const EngineResult result = engine->prove_all(task.target_exprs());
+  EXPECT_EQ(result.verdict, Verdict::Proven);
+  EXPECT_FALSE(result.winner.empty());
+}
+
+TEST(Portfolio, RejectsItselfAsMember) {
+  auto task = designs::make_task("token_ring");
+  EngineOptions options;
+  options.portfolio_engines = {EngineKind::Pdr, EngineKind::Portfolio};
+  EXPECT_THROW(make_engine(EngineKind::Portfolio, task.ts, options), UsageError);
+}
+
+TEST(Portfolio, UnknownRaceForwardsAStepCexForTheRepairLoop) {
+  // No member concludes on sync_counters without help, but k-induction
+  // produces the induction-step artefact — the portfolio must forward it so
+  // the GenAI repair loop stays usable behind EngineKind::Portfolio.
+  auto task = designs::make_task("sync_counters");
+  EngineOptions options;
+  options.max_steps = 4;
+  for (const bool threads : {true, false}) {
+    options.portfolio_threads = threads;
+    auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+    const EngineResult result = engine->prove_all(task.target_exprs());
+    EXPECT_EQ(result.verdict, Verdict::Unknown) << "threads=" << threads;
+    ASSERT_TRUE(result.step_cex.has_value()) << "threads=" << threads;
+    EXPECT_GT(result.step_cex->size(), 0u);
+  }
+}
+
+// --- lemma-file round trip ---------------------------------------------------
+
+TEST(LemmaFile, PortfolioInvariantRoundTripsThroughLemmaManager) {
+  auto task = designs::make_task("token_ring");
+  auto engine = make_engine(EngineKind::Portfolio, task.ts, {.max_steps = 16});
+  const EngineResult result = engine->prove_all(task.target_exprs());
+  ASSERT_EQ(result.verdict, Verdict::Proven);
+  ASSERT_FALSE(result.invariant.empty());
+
+  std::vector<std::string> svas;
+  for (const NodeRef clause : result.invariant) svas.push_back(ir::to_string(clause));
+  const std::string path = testing::TempDir() + "genfv_portfolio_lemmas.txt";
+  flow::write_lemma_file(path, task.name, svas);
+
+  const std::vector<std::string> loaded = flow::read_lemma_file(path);
+  ASSERT_EQ(loaded.size(), svas.size());
+
+  // Re-ingestion re-proves every clause before assuming it.
+  auto task2 = designs::make_task("token_ring");
+  flow::LemmaManager manager(task2, {{.max_k = 8}, flow::ReviewPolicy{}, true});
+  const auto outcomes = manager.process(loaded);
+  ASSERT_EQ(outcomes.size(), loaded.size());
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.status == flow::CandidateStatus::Proven ||
+                outcome.status == flow::CandidateStatus::Duplicate)
+        << outcome.sva << " -> " << to_string(outcome.status);
+  }
+  EXPECT_FALSE(manager.lemma_exprs().empty());
+}
+
+TEST(LemmaFile, ParserSkipsCommentsAndBlankLines) {
+  const std::string text =
+      "# genfv-lemmas 1\n# design: x\n\n a == b \n\n# trailing comment\nc != d\n";
+  const std::vector<std::string> lemmas = flow::parse_lemma_file(text);
+  ASSERT_EQ(lemmas.size(), 2u);
+  EXPECT_EQ(lemmas[0], "a == b");
+  EXPECT_EQ(lemmas[1], "c != d");
+}
+
+}  // namespace
+}  // namespace genfv::mc
+
+// --- flow-level engine selection ---------------------------------------------
+
+namespace genfv::flow {
+namespace {
+
+/// Always-empty LLM: the flow must close without any model help.
+class SilentLlm : public genai::LlmClient {
+ public:
+  genai::Completion complete(const genai::Prompt&) override {
+    ++calls_;
+    return {};
+  }
+  std::string model_name() const override { return "silent"; }
+  std::size_t calls() const noexcept { return calls_; }
+
+ private:
+  std::size_t calls_ = 0;
+};
+
+TEST(FlowEngineSelection, PortfolioProvesTokenRingAndExportsLemmas) {
+  auto task = designs::make_task("token_ring");
+  SilentLlm llm;
+  FlowOptions options;
+  options.engine.max_k = 8;
+  options.target_engine = mc::EngineKind::Portfolio;
+  CexRepairFlow flow(llm, options);
+  const FlowReport report = flow.run(task);
+
+  EXPECT_EQ(report.engine, "portfolio");
+  EXPECT_TRUE(report.all_targets_proven());
+  EXPECT_EQ(llm.calls(), 0u);  // the portfolio's PDR member wins outright
+  // The winner's inductive invariant comes back as admitted lemmas — the
+  // bidirectional exchange works behind the portfolio façade too.
+  EXPECT_FALSE(report.admitted_lemmas.empty());
+}
+
+}  // namespace
+}  // namespace genfv::flow

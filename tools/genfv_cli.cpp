@@ -12,7 +12,16 @@
 ///
 /// Options (--opt value and --opt=value are both accepted):
 ///   --flow cex|helper|direct|plain   (default: cex — the paper's Fig. 2 loop)
-///   --engine bmc|kind|pdr            target-proof engine (default: kind)
+///   --engine bmc|kind|pdr|portfolio  target-proof engine (default: kind)
+///   --property "<sva>"               may repeat; an `<engine>:` prefix (e.g.
+///                                    "pdr:count <= 8") overrides the engine
+///                                    for that property (plain flow only)
+///   --emit-lemmas <file>             export proven lemmas / the winning
+///                                    engine's inductive invariant as a lemma
+///                                    file (docs/cli.md) for later re-use
+///   --use-lemmas <file>              re-ingest a lemma file: every line is
+///                                    re-proven via LemmaManager before it is
+///                                    assumed (sound even for stale files)
 ///   --model <name>                   (default: gpt-4o)
 ///   --seed <n>                       (default: 42)
 ///   --max-k <n>                      step bound: BMC depth / induction k /
@@ -24,6 +33,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -31,6 +41,7 @@
 #include "flow/cex_repair_flow.hpp"
 #include "flow/direct_miner_flow.hpp"
 #include "flow/helper_gen_flow.hpp"
+#include "flow/lemma_io.hpp"
 #include "genai/simulated_llm.hpp"
 #include "ir/printer.hpp"
 #include "ir/serialize.hpp"
@@ -46,6 +57,8 @@ struct CliOptions {
   std::string command;
   std::string rtl_path;
   std::vector<std::string> properties;
+  /// Parallel to `properties`: per-property engine override (plain flow).
+  std::vector<std::optional<mc::EngineKind>> property_engines;
   std::string design;
   std::string flow = "cex";
   mc::EngineKind engine = mc::EngineKind::KInduction;
@@ -55,6 +68,8 @@ struct CliOptions {
   bool sim_screen = true;
   std::string dump_ts_path;
   std::string vcd_path;
+  std::string emit_lemmas_path;
+  std::string use_lemmas_path;
   bool verbose = false;
 };
 
@@ -62,12 +77,14 @@ struct CliOptions {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
                "usage:\n"
-               "  genfv_cli prove --rtl <file.sv> --property \"<sva>\" [options]\n"
+               "  genfv_cli prove --rtl <file.sv> --property \"[engine:]<sva>\" [options]\n"
                "  genfv_cli demo <design> [options]\n"
                "  genfv_cli designs | models\n"
-               "options: --flow cex|helper|direct|plain  --engine bmc|kind|pdr\n"
+               "options: --flow cex|helper|direct|plain  --engine bmc|kind|pdr|portfolio\n"
+               "         --emit-lemmas <file>  --use-lemmas <file>\n"
                "         --model <name>  --seed <n>  --max-k <n>  --no-screen\n"
-               "         --dump-ts <file>  --vcd <file>  --verbose\n");
+               "         --dump-ts <file>  --vcd <file>  --verbose\n"
+               "full reference: docs/cli.md\n");
   std::exit(2);
 }
 
@@ -103,7 +120,22 @@ CliOptions parse_args(int argc, char** argv) {
       if (has_inline_value) usage((std::string(flag) + " takes no value").c_str());
     };
     if (arg == "--rtl") opts.rtl_path = need_value("--rtl");
-    else if (arg == "--property") opts.properties.push_back(need_value("--property"));
+    else if (arg == "--property") {
+      // Optional per-property engine override: "<engine>:<sva>". Only a
+      // prefix that names a known engine is treated as an override, so SVA
+      // containing ':' elsewhere is unaffected.
+      std::string value = need_value("--property");
+      std::optional<mc::EngineKind> override_kind;
+      const std::size_t colon = value.find(':');
+      if (colon != std::string::npos) {
+        if (const auto kind = mc::engine_kind_from_string(value.substr(0, colon))) {
+          override_kind = *kind;
+          value = value.substr(colon + 1);
+        }
+      }
+      opts.properties.push_back(value);
+      opts.property_engines.push_back(override_kind);
+    }
     else if (arg == "--flow") opts.flow = need_value("--flow");
     else if (arg == "--engine") {
       const std::string name = need_value("--engine");
@@ -117,6 +149,8 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--no-screen") { no_value("--no-screen"); opts.sim_screen = false; }
     else if (arg == "--dump-ts") opts.dump_ts_path = need_value("--dump-ts");
     else if (arg == "--vcd") opts.vcd_path = need_value("--vcd");
+    else if (arg == "--emit-lemmas") opts.emit_lemmas_path = need_value("--emit-lemmas");
+    else if (arg == "--use-lemmas") opts.use_lemmas_path = need_value("--use-lemmas");
     else if (arg == "--verbose") { no_value("--verbose"); opts.verbose = true; }
     else usage(("unknown option " + arg).c_str());
   }
@@ -144,20 +178,101 @@ void write_file(const std::string& path, const std::string& content) {
   std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
 }
 
+/// Re-ingest a lemma file: every line goes through the full LemmaManager
+/// gate (parse -> screen -> prove -> admit), so only re-proven lemmas come
+/// back. Returns the admitted expressions; prints a one-line summary.
+std::vector<ir::NodeRef> ingest_lemma_file(flow::VerificationTask& task,
+                                           const std::string& path, std::size_t max_k) {
+  const std::vector<std::string> texts = flow::read_lemma_file(path);
+  flow::LemmaManagerOptions options;
+  options.engine.max_k = max_k;
+  flow::LemmaManager manager(task, options);
+  manager.process(texts);
+  std::printf("lemma file %s: %zu line(s), %zu re-proven and assumed\n", path.c_str(),
+              texts.size(), manager.lemma_exprs().size());
+  return manager.lemma_exprs();
+}
+
+void emit_lemmas(const std::string& path, const std::string& design,
+                 const std::vector<std::string>& lemma_svas) {
+  flow::write_lemma_file(path, design, lemma_svas);
+  std::printf("wrote %s (%zu lemma(s))\n", path.c_str(), lemma_svas.size());
+}
+
+void print_result(const std::string& label, const mc::EngineResult& result) {
+  std::printf("%s: %s\n", label.c_str(), result.summary().c_str());
+  for (const mc::EngineBreakdown& member : result.breakdown) {
+    std::printf("  %-12s %s (depth=%zu, %zu SAT calls)%s%s\n", member.engine.c_str(),
+                mc::to_string(member.verdict).c_str(), member.depth,
+                member.stats.sat_calls, member.note.empty() ? "" : " — ",
+                member.note.c_str());
+  }
+}
+
 int run_plain(flow::VerificationTask& task, const CliOptions& opts) {
-  auto engine = mc::make_engine(opts.engine, task.ts, {.max_steps = opts.max_k});
-  const mc::EngineResult result = engine->prove_all(task.target_exprs());
-  std::printf("plain %s: %s\n", engine->name().c_str(), result.summary().c_str());
-  if (!result.invariant.empty()) {
-    std::printf("inductive invariant (%zu clauses, reusable as proven lemmas):\n",
-                result.invariant.size());
-    for (const ir::NodeRef clause : result.invariant) {
-      std::printf("  assert property (%s);\n", ir::to_string(clause).c_str());
+  mc::EngineOptions base;
+  base.max_steps = opts.max_k;
+  if (!opts.use_lemmas_path.empty()) {
+    base.lemmas = ingest_lemma_file(task, opts.use_lemmas_path, opts.max_k);
+  }
+
+  const bool has_overrides = [&] {
+    for (const auto& e : opts.property_engines) {
+      if (e.has_value()) return true;
+    }
+    return false;
+  }();
+
+  bool all_proven = true;
+  std::vector<std::string> exported;
+  const sim::Trace* wave_trace = nullptr;
+  mc::EngineResult joint;  // keeps the trace alive for waveform rendering
+  std::vector<mc::EngineResult> per_target;
+
+  if (!has_overrides) {
+    auto engine = mc::make_engine(opts.engine, task.ts, base);
+    joint = engine->prove_all(task.target_exprs());
+    print_result("plain " + engine->name(), joint);
+    all_proven = joint.verdict == mc::Verdict::Proven;
+    for (const ir::NodeRef clause : joint.invariant) {
+      exported.push_back(ir::to_string(clause));
+    }
+    if (joint.cex.has_value()) wave_trace = &*joint.cex;
+    else if (joint.step_cex.has_value()) wave_trace = &*joint.step_cex;
+  } else {
+    // Per-property engine overrides: prove each target on its own engine.
+    per_target.reserve(task.target_indices.size());
+    for (std::size_t t = 0; t < task.target_indices.size(); ++t) {
+      const auto& prop = task.ts.property(task.target_indices[t]);
+      const mc::EngineKind kind = t < opts.property_engines.size() &&
+                                          opts.property_engines[t].has_value()
+                                      ? *opts.property_engines[t]
+                                      : opts.engine;
+      auto engine = mc::make_engine(kind, task.ts, base);
+      per_target.push_back(engine->prove(prop.expr));
+      const mc::EngineResult& result = per_target.back();
+      print_result(prop.name + " [" + engine->name() + "]", result);
+      all_proven = all_proven && result.verdict == mc::Verdict::Proven;
+      for (const ir::NodeRef clause : result.invariant) {
+        exported.push_back(ir::to_string(clause));
+      }
+      if (wave_trace == nullptr) {
+        if (result.cex.has_value()) wave_trace = &*result.cex;
+        else if (result.step_cex.has_value()) wave_trace = &*result.step_cex;
+      }
     }
   }
-  const sim::Trace* wave_trace = nullptr;
-  if (result.cex.has_value()) wave_trace = &*result.cex;
-  else if (result.step_cex.has_value()) wave_trace = &*result.step_cex;
+
+  if (!exported.empty()) {
+    std::printf("inductive invariant (%zu clauses, reusable as proven lemmas):\n",
+                exported.size());
+    for (const std::string& clause : exported) {
+      std::printf("  assert property (%s);\n", clause.c_str());
+    }
+  }
+  if (!opts.emit_lemmas_path.empty()) {
+    emit_lemmas(opts.emit_lemmas_path, task.name, exported);
+  }
   if (wave_trace != nullptr) {
     sim::WaveformOptions wave;
     wave.failure_frame = wave_trace->size() - 1;
@@ -170,7 +285,7 @@ int run_plain(flow::VerificationTask& task, const CliOptions& opts) {
                                                 task.name));
     }
   }
-  return result.verdict == mc::Verdict::Proven ? 0 : 1;
+  return all_proven ? 0 : 1;
 }
 
 int run_task(flow::VerificationTask& task, const CliOptions& opts) {
@@ -178,11 +293,17 @@ int run_task(flow::VerificationTask& task, const CliOptions& opts) {
     write_file(opts.dump_ts_path, ir::serialize(task.ts));
   }
   if (opts.flow == "plain") return run_plain(task, opts);
+  for (const auto& e : opts.property_engines) {
+    if (e.has_value()) usage("per-property engine overrides require --flow plain");
+  }
 
   flow::FlowOptions options;
   options.engine.max_k = opts.max_k;
   options.review.sim_screen = opts.sim_screen;
   options.target_engine = opts.engine;
+  if (!opts.use_lemmas_path.empty()) {
+    options.engine.lemmas = ingest_lemma_file(task, opts.use_lemmas_path, opts.max_k);
+  }
 
   flow::FlowReport report;
   if (opts.flow == "direct") {
@@ -202,6 +323,9 @@ int run_task(flow::VerificationTask& task, const CliOptions& opts) {
   }
   report.seed = opts.seed;
   std::printf("%s\n", report.to_string().c_str());
+  if (!opts.emit_lemmas_path.empty()) {
+    emit_lemmas(opts.emit_lemmas_path, task.name, report.admitted_lemmas);
+  }
   return report.all_targets_proven() ? 0 : 1;
 }
 
