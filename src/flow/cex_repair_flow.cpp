@@ -27,6 +27,7 @@ FlowReport CexRepairFlow::run(VerificationTask& task) {
   for (std::size_t iter = 1; iter <= options_.max_iterations + 1; ++iter) {
     // Attempt the proof with everything admitted so far.
     mc::EngineOptions opts = mc::to_engine_options(options_.engine);
+    opts.exchange = options_.exchange;
     opts.lemmas.insert(opts.lemmas.end(), lemmas.lemma_exprs().begin(),
                        lemmas.lemma_exprs().end());
     auto engine = mc::make_engine(options_.target_engine, task.ts, opts);

@@ -52,6 +52,7 @@ FlowReport HelperGenFlow::run(VerificationTask& task) {
   for (const std::size_t i : task.target_indices) {
     const auto& prop = task.ts.property(i);
     mc::EngineOptions target_opts = mc::to_engine_options(options_.engine);
+    target_opts.exchange = options_.exchange;
     target_opts.lemmas.insert(target_opts.lemmas.end(), lemmas.lemma_exprs().begin(),
                               lemmas.lemma_exprs().end());
     auto engine = mc::make_engine(options_.target_engine, task.ts, target_opts);

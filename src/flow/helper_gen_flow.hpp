@@ -24,6 +24,9 @@ struct FlowOptions {
   /// one from a k-induction run under the same lemmas. When PDR proves a
   /// target, its inductive-frame clauses are admitted back as lemmas.
   mc::EngineKind target_engine = mc::EngineKind::KInduction;
+  /// Live lemma exchange between portfolio members (only meaningful when
+  /// `target_engine` is Portfolio); mirrors EngineOptions::exchange.
+  bool exchange = true;
 };
 
 class HelperGenFlow {

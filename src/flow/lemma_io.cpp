@@ -1,6 +1,7 @@
 #include "flow/lemma_io.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "util/status.hpp"
@@ -13,6 +14,7 @@ std::string render_lemma_file(const std::string& design,
   std::ostringstream out;
   out << "# genfv-lemmas 1\n";
   if (!design.empty()) out << "# design: " << design << '\n';
+  out << "# lemmas: " << lemma_svas.size() << '\n';
   for (const std::string& sva : lemma_svas) {
     // One lemma per line; flatten any embedded newline so the file stays
     // line-oriented.
@@ -20,19 +22,51 @@ std::string render_lemma_file(const std::string& design,
     for (char& ch : one_line) {
       if (ch == '\n') ch = ' ';
     }
-    out << util::trim(one_line) << '\n';
+    one_line = util::trim(one_line);
+    // A lemma that would read back as a blank or comment line vanishes on
+    // re-parse — a silent loss the count header cannot repair. Reject it
+    // here, at the writer, where the caller can still see which lemma.
+    if (one_line.empty()) {
+      throw UsageError("render_lemma_file: lemma flattens to an empty line");
+    }
+    if (one_line[0] == '#') {
+      throw UsageError("render_lemma_file: lemma '" + one_line +
+                       "' would re-parse as a comment");
+    }
+    out << one_line << '\n';
   }
   return out.str();
 }
 
 std::vector<std::string> parse_lemma_file(const std::string& text) {
   std::vector<std::string> lemmas;
+  std::optional<std::size_t> declared;
   std::istringstream in(text);
   std::string line;
   while (std::getline(in, line)) {
     const std::string trimmed = util::trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '#') {
+      // Honor the writer's count header so truncated or hand-mangled files
+      // fail loudly instead of silently dropping lemmas.
+      const std::string prefix = "# lemmas:";
+      if (trimmed.rfind(prefix, 0) == 0) {
+        try {
+          declared = static_cast<std::size_t>(
+              std::stoull(util::trim(trimmed.substr(prefix.size()))));
+        } catch (const std::exception&) {
+          throw UsageError("lemma file has an unreadable count header: '" +
+                           trimmed + "'");
+        }
+      }
+      continue;
+    }
     lemmas.push_back(trimmed);
+  }
+  if (declared.has_value() && *declared != lemmas.size()) {
+    throw UsageError("lemma file declares " + std::to_string(*declared) +
+                     " lemma(s) but " + std::to_string(lemmas.size()) +
+                     " parsed — truncated or edited file?");
   }
   return lemmas;
 }

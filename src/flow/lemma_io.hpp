@@ -11,8 +11,13 @@
 /// Example:
 ///   # genfv-lemmas 1
 ///   # design: token_ring
+///   # lemmas: 2
 ///   !(token[0] & token[1])
 ///   token[0] | token[1] | token[2]
+///
+/// The `# lemmas:` header records how many lemmas the writer emitted;
+/// `parse_lemma_file` cross-checks it so a truncated or hand-mangled file
+/// fails loudly instead of silently dropping lines.
 
 #include <string>
 #include <vector>
@@ -20,7 +25,9 @@
 namespace genfv::flow {
 
 /// Render `lemma_svas` into the file format above. `design` is recorded as
-/// an informational comment only.
+/// an informational comment only. Throws UsageError for a lemma that could
+/// not survive the round trip (flattens to an empty line, or would re-parse
+/// as a `#` comment).
 std::string render_lemma_file(const std::string& design,
                               const std::vector<std::string>& lemma_svas);
 

@@ -298,6 +298,15 @@ void Elaborator::collect_signals() {
     if (decl.dir == PortDir::Inout) {
       elab_error(decl.line, "inout ports are not supported");
     }
+    if (decl.width < 1 || decl.width > 64) {
+      // The IR's bit-vector discipline (and every downstream 64-bit value
+      // path: simulation assignments, trace frames, PDR state packing) caps
+      // signals at 64 bits. Reject here with the declaration's location
+      // instead of letting NodeManager throw a context-free SortError.
+      elab_error(decl.line, "signal '" + decl.name + "' is " +
+                                std::to_string(decl.width) +
+                                " bits wide; supported widths are 1..64");
+    }
     SigInfo info;
     info.decl.name = decl.name;
     info.decl.dir = decl.dir;

@@ -40,6 +40,35 @@ NodeRef translate(NodeRef root, NodeManager& nm,
   return map.at(root);
 }
 
+std::unordered_map<NodeRef, NodeRef> leaf_correspondence(const TransitionSystem& from,
+                                                         const TransitionSystem& to) {
+  if (from.inputs().size() != to.inputs().size() ||
+      from.states().size() != to.states().size()) {
+    throw UsageError("leaf_correspondence: systems declare different leaf counts");
+  }
+  std::unordered_map<NodeRef, NodeRef> map;
+  map.reserve(from.inputs().size() + from.states().size());
+  auto pair_up = [&map](NodeRef a, NodeRef b) {
+    if (a->width() != b->width()) {
+      throw UsageError("leaf_correspondence: width mismatch on '" + a->name() + "'");
+    }
+    map.emplace(a, b);
+  };
+  for (std::size_t i = 0; i < from.inputs().size(); ++i) {
+    pair_up(from.inputs()[i], to.inputs()[i]);
+  }
+  for (std::size_t i = 0; i < from.states().size(); ++i) {
+    pair_up(from.states()[i].var, to.states()[i].var);
+  }
+  return map;
+}
+
+NodeRef translate_between(NodeRef root, const TransitionSystem& from,
+                          TransitionSystem& to) {
+  std::unordered_map<NodeRef, NodeRef> map = leaf_correspondence(from, to);
+  return translate(root, to.nm(), map);
+}
+
 SystemClone::SystemClone(const TransitionSystem& original)
     : original_nm_(original.nm_ptr()) {
   clone_.set_name(original.name());

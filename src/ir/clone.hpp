@@ -26,6 +26,23 @@ namespace genfv::ir {
 NodeRef translate(NodeRef root, NodeManager& nm,
                   std::unordered_map<NodeRef, NodeRef>& map);
 
+/// The nominal-leaf correspondence between two structural copies of the same
+/// system, keyed by declaration index: `from.inputs()[i] -> to.inputs()[i]`,
+/// same for states. This is what makes clone-to-clone translation possible
+/// without going through the original system (whose manager may belong to a
+/// different thread). Throws UsageError when the declaration lists disagree
+/// in length, or when a corresponding pair differs in width.
+std::unordered_map<NodeRef, NodeRef> leaf_correspondence(const TransitionSystem& from,
+                                                         const TransitionSystem& to);
+
+/// Rebuild `root` (an expression over `from`) inside `to`, mapping nominal
+/// leaves by declaration index. `from` and `to` must be structural copies of
+/// one system (e.g. two `SystemClone`s of the same original) — the
+/// cross-clone translate path. Creates nodes only in `to`'s manager, so it
+/// must run on the thread that owns `to`; `from` is only read.
+NodeRef translate_between(NodeRef root, const TransitionSystem& from,
+                          TransitionSystem& to);
+
 /// A deep copy of a `TransitionSystem` in a fresh `NodeManager`, preserving
 /// input/state/constraint/property/signal declaration order (so index-based
 /// correspondences hold in both directions).

@@ -17,14 +17,48 @@ BmcResult BmcEngine::check(ir::NodeRef property) {
   Unroller unroller(ts_, solver);
   unroller.assert_init();
 
+  // Invariants (seeded lemmas + absorbed proven exchange clauses) asserted
+  // at every frame; level-tagged exchange clauses only at frames <= level.
+  // Both are sound here — every BMC frame is init-rooted, so frame f only
+  // holds states reachable in exactly f steps.
+  std::vector<ir::NodeRef> invariants = options_.lemmas;
+  std::vector<std::pair<ir::NodeRef, std::size_t>> bounded;
+  std::size_t exchange_cursor = 0;
+  auto poll_exchange = [&](std::size_t depth) {
+    if (options_.exchange == nullptr) return;
+    std::size_t absorbed = 0;
+    for (const ExchangedClause& clause :
+         options_.exchange->fetch(options_.exchange_slot, &exchange_cursor)) {
+      const ir::NodeRef expr = materialize(clause, ts_);
+      if (expr == nullptr) continue;
+      // Back-fill the frames materialized before this clause arrived; the
+      // per-depth loop below covers the current and future frames.
+      if (clause.proven()) {
+        invariants.push_back(expr);
+        for (std::size_t f = 0; f < depth; ++f) unroller.assert_at(expr, f);
+      } else {
+        bounded.emplace_back(expr, clause.level);
+        for (std::size_t f = 0; f < depth && f <= clause.level; ++f) {
+          unroller.assert_at(expr, f);
+        }
+      }
+      ++absorbed;
+    }
+    options_.exchange->note_absorbed(options_.exchange_slot, absorbed);
+  };
+
   for (std::size_t depth = 0; depth <= options_.max_depth; ++depth) {
     if (options_.stop != nullptr && options_.stop->load(std::memory_order_relaxed)) {
       result.verdict = Verdict::Unknown;
       break;
     }
     unroller.extend_to(depth);
-    for (const ir::NodeRef lemma : options_.lemmas) {
-      unroller.assert_at(lemma, depth);
+    poll_exchange(depth);
+    for (const ir::NodeRef inv : invariants) {
+      unroller.assert_at(inv, depth);
+    }
+    for (const auto& [expr, level] : bounded) {
+      if (depth <= level) unroller.assert_at(expr, depth);
     }
 
     // Query: can the property fail exactly at `depth`?

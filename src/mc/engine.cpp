@@ -58,6 +58,7 @@ InductionResult to_induction_result(const EngineResult& result) {
   out.k = result.depth;
   out.base_cex = result.cex;
   out.step_cex = result.step_cex;
+  out.invariant = result.invariant;
   out.stats = result.stats;
   return out;
 }
@@ -78,6 +79,8 @@ class BmcEngineAdapter final : public Engine {
     opts.lemmas = options_.lemmas;
     opts.conflict_budget = options_.conflict_budget;
     opts.stop = options_.stop;
+    opts.exchange = options_.exchange_mailbox;
+    opts.exchange_slot = options_.exchange_slot;
     BmcEngine engine(ts_, std::move(opts));
     BmcResult r = engine.check(conjoin_properties(ts_, properties));
     EngineResult out;
@@ -108,6 +111,8 @@ class KInductionEngineAdapter final : public Engine {
     opts.lemmas = options_.lemmas;
     opts.conflict_budget = options_.conflict_budget;
     opts.stop = options_.stop;
+    opts.exchange = options_.exchange_mailbox;
+    opts.exchange_slot = options_.exchange_slot;
     KInductionEngine engine(ts_, std::move(opts));
     InductionResult r = engine.prove_all(properties);
     EngineResult out;
@@ -115,6 +120,7 @@ class KInductionEngineAdapter final : public Engine {
     out.depth = r.k;
     out.cex = std::move(r.base_cex);
     out.step_cex = std::move(r.step_cex);
+    out.invariant = std::move(r.invariant);
     out.stats = r.stats;
     return out;
   }
@@ -138,6 +144,9 @@ class PdrEngineAdapter final : public Engine {
     opts.lemmas = options_.lemmas;
     opts.conflict_budget = options_.conflict_budget;
     opts.stop = options_.stop;
+    opts.exchange = options_.exchange_mailbox;
+    opts.exchange_slot = options_.exchange_slot;
+    opts.publish_frame_clauses = options_.exchange_frame_clauses;
     pdr::PdrEngine engine(ts_, std::move(opts));
     pdr::PdrResult r = engine.prove_all(properties);
     EngineResult out;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "ir/transition_system.hpp"
+#include "mc/exchange.hpp"
 #include "mc/result.hpp"
 
 namespace genfv::mc {
@@ -74,6 +75,21 @@ struct EngineOptions {
   /// budgets (reproducible run-to-run; no clones, no threads — meant for CI
   /// and debugging).
   bool portfolio_threads = true;
+  /// Live in-flight lemma exchange between members (mc/exchange.hpp): PDR
+  /// publishes clauses the moment they are proven invariant; the other
+  /// members absorb them mid-race. Sound — exchange can change which member
+  /// wins and how fast, never the verdict. Ignored outside the portfolio.
+  bool exchange = true;
+  /// Additionally exchange PDR's level-tagged frame clauses (facts bounded
+  /// to "reachable in <= level steps"). Consumers assert them only on
+  /// init-rooted frames <= level — see exchange.hpp for the soundness rules.
+  bool exchange_frame_clauses = false;
+
+  // --- portfolio-member wiring (set by the portfolio, not by callers) -------
+  /// Mailbox this engine publishes to / polls from; nullptr = no exchange.
+  std::shared_ptr<LemmaMailbox> exchange_mailbox;
+  /// This engine's slot in `exchange_mailbox`.
+  std::size_t exchange_slot = 0;
 };
 
 /// One portfolio member's outcome, reported alongside the adopted verdict so
@@ -84,6 +100,12 @@ struct EngineBreakdown {
   std::size_t depth = 0;
   EngineStats stats;
   std::string note;  ///< non-empty when the member aborted (e.g. threw)
+  /// Live-exchange traffic (EngineOptions::exchange): clauses this member
+  /// published into / asserted out of the portfolio mailbox. A time-sliced
+  /// member re-absorbs the backlog each slice, so `lemmas_absorbed` counts
+  /// assertion work, not distinct clauses.
+  std::size_t lemmas_published = 0;
+  std::size_t lemmas_absorbed = 0;
 };
 
 /// Engine-independent verdict. Engines fill the fields that apply to them.

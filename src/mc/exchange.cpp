@@ -1,0 +1,71 @@
+#include "mc/exchange.hpp"
+
+#include "util/status.hpp"
+
+namespace genfv::mc {
+
+ir::NodeRef materialize(const ExchangedClause& clause, const ir::TransitionSystem& ts) {
+  if (clause.lits.empty()) return nullptr;
+  auto nm = ts.nm_ptr();
+  ir::NodeRef expr = nm->mk_false();
+  for (const ExchangedLit& lit : clause.lits) {
+    if (lit.state >= ts.states().size()) return nullptr;
+    const ir::NodeRef var = ts.states()[lit.state].var;
+    if (lit.bit >= var->width()) return nullptr;
+    const ir::NodeRef bit = nm->mk_bit(var, lit.bit);
+    // The clause literal is the negation of the cube literal.
+    expr = nm->mk_or(expr, lit.negated ? bit : nm->mk_not(bit));
+  }
+  return expr;
+}
+
+LemmaMailbox::LemmaMailbox(std::size_t member_count)
+    : members_(member_count), counters_(member_count) {
+  GENFV_ASSERT(member_count >= 1, "a mailbox needs at least one member slot");
+}
+
+void LemmaMailbox::publish(std::size_t member, ExchangedClause clause) {
+  GENFV_ASSERT(member < members_, "mailbox slot out of range");
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back({std::move(clause), member});
+  ++counters_[member].published;
+}
+
+std::vector<ExchangedClause> LemmaMailbox::fetch(std::size_t member,
+                                                 std::size_t* cursor) const {
+  GENFV_ASSERT(member < members_, "mailbox slot out of range");
+  GENFV_ASSERT(cursor != nullptr, "fetch needs a caller-owned cursor");
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ExchangedClause> out;
+  for (std::size_t i = *cursor; i < entries_.size(); ++i) {
+    if (entries_[i].publisher != member) out.push_back(entries_[i].clause);
+  }
+  *cursor = entries_.size();
+  return out;
+}
+
+void LemmaMailbox::note_absorbed(std::size_t member, std::size_t count) {
+  GENFV_ASSERT(member < members_, "mailbox slot out of range");
+  if (count == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[member].absorbed += count;
+}
+
+std::size_t LemmaMailbox::published_by(std::size_t member) const {
+  GENFV_ASSERT(member < members_, "mailbox slot out of range");
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[member].published;
+}
+
+std::size_t LemmaMailbox::absorbed_by(std::size_t member) const {
+  GENFV_ASSERT(member < members_, "mailbox slot out of range");
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[member].absorbed;
+}
+
+std::size_t LemmaMailbox::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace genfv::mc

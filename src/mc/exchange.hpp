@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file exchange.hpp
+/// Live in-flight lemma exchange between portfolio members.
+///
+/// `LemmaMailbox` is the first (and only) cross-thread data path in the
+/// engine stack. Portfolio members publish clauses they have established
+/// mid-run and poll for clauses published by the other members, so e.g. the
+/// k-induction member can absorb PDR's freshly proven invariant clauses
+/// while both are still racing — the synergetic lemma sharing of the
+/// helper-invariant loop, applied *inside* one portfolio call.
+///
+/// Thread-safety / ownership rules (the contract that keeps TSan quiet):
+///  * `NodeManager` is not thread-safe and is never shared. The mailbox
+///    stores clauses in a manager-neutral form (`ExchangedClause`: state
+///    declaration index + bit + polarity per literal) that carries no
+///    `NodeRef`. Publishers serialize out of their own clone; consumers call
+///    `materialize()` to re-create nodes exclusively in *their* clone's
+///    manager. `ir::SystemClone` preserves state declaration order, so the
+///    indices mean the same thing in every member's clone.
+///  * Every mailbox method is internally synchronized by one mutex; any
+///    thread may publish or fetch at any time.
+///  * Consumers own their read cursor (`fetch`'s in/out parameter), so a
+///    fresh engine instance (e.g. a new time slice of the deterministic
+///    portfolio) starts at 0 and sees the full backlog.
+///
+/// Soundness rules for absorbing a clause:
+///  * `proven()` clauses are invariants — they hold in every reachable
+///    state. Consumers may assert them on every frame of every query
+///    (exactly like `EngineOptions::lemmas`).
+///  * Level-tagged clauses (level = k) only over-approximate the states
+///    reachable in at most k steps (PDR's frame F_k). They may be asserted
+///    only on *init-rooted* frames f <= k (BMC frames, the k-induction base
+///    case): a state at such a frame is reachable in exactly f steps, hence
+///    inside F_k. They must never reach the k-induction *step* case, whose
+///    frames start from an arbitrary state of unbounded reachability depth.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "ir/transition_system.hpp"
+
+namespace genfv::mc {
+
+/// Level tag of a clause that holds in every reachable state (F_∞).
+inline constexpr std::size_t kExchangeProvenLevel =
+    std::numeric_limits<std::size_t>::max();
+
+/// One cube literal in manager-neutral form: bit `bit` of the state variable
+/// at declaration index `state`; `negated` means the cube requires 0. The
+/// shared fact is the clause ¬cube.
+struct ExchangedLit {
+  std::uint32_t state = 0;
+  std::uint32_t bit = 0;
+  bool negated = false;
+};
+
+/// A clause published into the mailbox, as the cube it blocks.
+struct ExchangedClause {
+  std::vector<ExchangedLit> lits;
+  /// `kExchangeProvenLevel`: holds in every reachable state. Otherwise the
+  /// clause holds in PDR's frame F_level (all states reachable in <= level
+  /// steps) — see the soundness rules above.
+  std::size_t level = kExchangeProvenLevel;
+
+  bool proven() const noexcept { return level == kExchangeProvenLevel; }
+};
+
+/// Re-create the clause ¬cube as a width-1 expression over `ts`, creating
+/// nodes only in `ts`'s NodeManager — call from the thread that owns it.
+/// Returns nullptr when the clause does not fit `ts` (state index or bit out
+/// of range), which a consumer treats as "skip, do not absorb".
+ir::NodeRef materialize(const ExchangedClause& clause,
+                        const ir::TransitionSystem& ts);
+
+/// Thread-safe multi-producer multi-consumer clause board, one slot per
+/// portfolio member. Publishing appends; fetching returns every clause
+/// published by *other* members since the caller's cursor. Per-slot
+/// published/absorbed counters feed `EngineBreakdown`.
+class LemmaMailbox {
+ public:
+  explicit LemmaMailbox(std::size_t member_count);
+
+  std::size_t member_count() const noexcept { return members_; }
+
+  /// Append `clause` on behalf of `member` and bump its published counter.
+  void publish(std::size_t member, ExchangedClause clause);
+
+  /// Everything published by members other than `member` since `*cursor`;
+  /// advances `*cursor` past the end. The cursor is caller-owned state (a
+  /// fresh consumer passes 0 and receives the full backlog).
+  std::vector<ExchangedClause> fetch(std::size_t member, std::size_t* cursor) const;
+
+  /// Record that `member` asserted `count` fetched clauses into its solvers.
+  void note_absorbed(std::size_t member, std::size_t count);
+
+  std::size_t published_by(std::size_t member) const;
+  std::size_t absorbed_by(std::size_t member) const;
+  /// Total clauses on the board (all publishers).
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    ExchangedClause clause;
+    std::size_t publisher;
+  };
+  struct Counters {
+    std::size_t published = 0;
+    std::size_t absorbed = 0;
+  };
+
+  const std::size_t members_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::vector<Counters> counters_;
+};
+
+}  // namespace genfv::mc

@@ -31,18 +31,58 @@ InductionResult KInductionEngine::prove_all(const std::vector<ir::NodeRef>& prop
   step_solver.set_stop_flag(options_.stop.get());
   Unroller step(ts_, step_solver);  // no init: arbitrary start state
 
-  // Lemmas are invariants: assert them on every materialized frame.
+  // Invariants asserted on every materialized frame of both cases: the
+  // seeded lemmas plus any proven clauses absorbed from the live exchange.
+  std::vector<ir::NodeRef> invariants = options_.lemmas;
+  // Level-tagged exchange clauses: sound only on init-rooted frames <= level
+  // (base case), never in the arbitrary-start step case.
+  std::vector<std::pair<ir::NodeRef, std::size_t>> bounded;
   std::size_t base_lemma_frames = 0;
   std::size_t step_lemma_frames = 0;
-  auto assert_lemmas = [this](Unroller& u, std::size_t& upto, std::size_t frame) {
-    for (; upto <= frame; ++upto) {
-      for (const ir::NodeRef lemma : options_.lemmas) u.assert_at(lemma, upto);
+  auto assert_base_upto = [&](std::size_t frame) {
+    for (; base_lemma_frames <= frame; ++base_lemma_frames) {
+      for (const ir::NodeRef inv : invariants) base.assert_at(inv, base_lemma_frames);
+      for (const auto& [expr, level] : bounded) {
+        if (base_lemma_frames <= level) base.assert_at(expr, base_lemma_frames);
+      }
     }
+  };
+  auto assert_step_upto = [&](std::size_t frame) {
+    for (; step_lemma_frames <= frame; ++step_lemma_frames) {
+      for (const ir::NodeRef inv : invariants) step.assert_at(inv, step_lemma_frames);
+    }
+  };
+
+  // Absorb newly published exchange clauses: materialize them in our own
+  // manager and back-fill every frame the run has already built.
+  std::size_t exchange_cursor = 0;
+  auto poll_exchange = [&] {
+    if (options_.exchange == nullptr) return;
+    std::size_t absorbed = 0;
+    for (const ExchangedClause& clause :
+         options_.exchange->fetch(options_.exchange_slot, &exchange_cursor)) {
+      const ir::NodeRef expr = materialize(clause, ts_);
+      if (expr == nullptr) continue;
+      if (clause.proven()) {
+        invariants.push_back(expr);
+        result.invariant.push_back(expr);
+        for (std::size_t f = 0; f < base_lemma_frames; ++f) base.assert_at(expr, f);
+        for (std::size_t f = 0; f < step_lemma_frames; ++f) step.assert_at(expr, f);
+      } else {
+        bounded.emplace_back(expr, clause.level);
+        for (std::size_t f = 0; f < base_lemma_frames && f <= clause.level; ++f) {
+          base.assert_at(expr, f);
+        }
+      }
+      ++absorbed;
+    }
+    options_.exchange->note_absorbed(options_.exchange_slot, absorbed);
   };
 
   auto finish = [&](Verdict verdict, std::size_t k) {
     result.verdict = verdict;
     result.k = k;
+    if (verdict != Verdict::Proven) result.invariant.clear();
     result.stats.absorb(base_solver.stats());
     result.stats.absorb(step_solver.stats());
     result.stats.seconds = watch.seconds();
@@ -53,9 +93,10 @@ InductionResult KInductionEngine::prove_all(const std::vector<ir::NodeRef>& prop
     if (options_.stop != nullptr && options_.stop->load(std::memory_order_relaxed)) {
       return finish(Verdict::Unknown, k - 1);
     }
+    poll_exchange();
     // ---- Base case: no violation at depth k-1 from the initial states.
     base.extend_to(k - 1);
-    assert_lemmas(base, base_lemma_frames, k - 1);
+    assert_base_upto(k - 1);
     const sat::Lit bad_base = ~base.lit_at(prop, k - 1);
     const sat::LBool base_answer = base_solver.solve({bad_base});
     if (base_answer == sat::LBool::True) {
@@ -69,7 +110,7 @@ InductionResult KInductionEngine::prove_all(const std::vector<ir::NodeRef>& prop
 
     // ---- Inductive step: P on frames 0..k-1 forces P at frame k.
     step.extend_to(k);
-    assert_lemmas(step, step_lemma_frames, k);
+    assert_step_upto(k);
     if (options_.simple_path) {
       // New frame k must differ from every earlier frame.
       for (std::size_t i = 0; i < k; ++i) step.assert_states_differ(i, k);

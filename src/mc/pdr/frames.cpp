@@ -43,6 +43,11 @@ bool FrameTrace::is_blocked(const Cube& cube, std::size_t level) const {
   return false;
 }
 
+void FrameTrace::erase_blocked(const Cube& cube, std::size_t level) {
+  auto& blocked = levels_.at(level).blocked;
+  std::erase_if(blocked, [&](const Cube& old) { return old == cube; });
+}
+
 std::size_t FrameTrace::total_cubes() const noexcept {
   std::size_t n = 0;
   for (const auto& level : levels_) n += level.blocked.size();

@@ -47,6 +47,11 @@ class FrameTrace {
   /// True iff some recorded cube at a level ≥ `level` subsumes `cube`.
   bool is_blocked(const Cube& cube, std::size_t level) const;
 
+  /// Remove one exact cube from `level`'s bookkeeping (no-op when absent).
+  /// Used when a clause graduates to F_∞: the engine re-asserts it ungated,
+  /// so the gated solver clause left behind is redundant, not wrong.
+  void erase_blocked(const Cube& cube, std::size_t level);
+
   const std::vector<Cube>& cubes_at(std::size_t level) const {
     return levels_.at(level).blocked;
   }

@@ -43,6 +43,11 @@ struct PdrRun {
   FrameTrace frames;
   ObligationQueue queue;
   sat::Lit prop0, init_prop;
+  /// F_∞: clauses certified invariant by the post-propagation
+  /// mutual-induction fixpoint. Asserted ungated at both frames of `solver`
+  /// (so every frame query is strengthened) and published to the exchange
+  /// mailbox the moment they arrive here.
+  std::vector<Cube> inf;
 
   PdrRun(const ir::TransitionSystem& ts_in, const PdrOptions& options_in, ir::NodeRef prop)
       : ts(ts_in),
@@ -105,6 +110,10 @@ struct PdrRun {
     for (std::size_t si = 0; si < ts.states().size(); ++si) {
       const auto& s = ts.states()[si];
       const bitblast::Bits bits = unr.bits_at(s.var, 0);
+      // `value` packs the state into the same uint64 currency sim::Trace
+      // uses. NodeManager::mk_state caps widths at 64 (and prove_all
+      // re-checks), so the shift below can never reach UB territory.
+      GENFV_ASSERT(bits.size() <= 64, "state wider than the 64-bit value path");
       std::uint64_t value = 0;
       for (std::size_t b = 0; b < bits.size(); ++b) {
         const bool one = solver.model_value(bits[b]) == sat::LBool::True;
@@ -169,6 +178,79 @@ struct PdrRun {
     for (const StateLit& l : cube) clause.push_back(~cube_lit(0, l));
     solver.add_clause(std::move(clause));
     frames.add_blocked(cube, level);
+    if (options.exchange != nullptr && options.publish_frame_clauses) {
+      options.exchange->publish(options.exchange_slot, to_exchanged(cube, level));
+    }
+  }
+
+  // --- F_∞ / lemma exchange --------------------------------------------------
+
+  static ExchangedClause to_exchanged(const Cube& cube, std::size_t level) {
+    ExchangedClause out;
+    out.level = level;
+    out.lits.reserve(cube.size());
+    for (const StateLit& l : cube) out.lits.push_back({l.state, l.bit, l.negated});
+    return out;
+  }
+
+  /// Graduate `cube` to F_∞: assert its clause ungated at both solver frames
+  /// (strengthening every future query on every level) and publish it.
+  void add_to_infinity(const Cube& cube) {
+    for (const std::size_t frame : {std::size_t{0}, std::size_t{1}}) {
+      std::vector<sat::Lit> clause;
+      clause.reserve(cube.size());
+      for (const StateLit& l : cube) clause.push_back(~cube_lit(frame, l));
+      solver.add_clause(std::move(clause));
+    }
+    inf.push_back(cube);
+    if (options.exchange != nullptr) {
+      options.exchange->publish(options.exchange_slot,
+                                to_exchanged(cube, kExchangeProvenLevel));
+    }
+  }
+
+  /// Push frontier clauses to F_∞ when a subset is mutually inductive: the
+  /// greatest fixpoint of "drop any clause with a counterexample-to-
+  /// consecution relative to the remaining set (∧ F_∞ ∧ lemmas)". Survivors
+  /// satisfy initiation (blocked cubes never intersect init) and consecution
+  /// as a set, so each is an invariant — provable long before the frame
+  /// trace itself converges, which is what makes live exchange useful
+  /// mid-race. Returns false when the conflict budget or stop flag
+  /// interrupted (callers give up on the whole run, as elsewhere).
+  bool push_to_infinity() {
+    std::vector<Cube> cand = frames.cubes_at(frames.frontier());
+    while (!cand.empty()) {
+      if (stopped()) return false;
+      // Assert the candidate clauses at frame 0 behind a per-pass gate.
+      const sat::Lit gate = sat::mk_lit(solver.new_var());
+      for (const Cube& c : cand) {
+        std::vector<sat::Lit> clause{~gate};
+        for (const StateLit& l : c) clause.push_back(~cube_lit(0, l));
+        solver.add_clause(std::move(clause));
+      }
+      std::ptrdiff_t failed = -1;
+      for (std::size_t i = 0; i < cand.size(); ++i) {
+        std::vector<sat::Lit> assumptions{gate};
+        for (const StateLit& l : cand[i]) assumptions.push_back(cube_lit(1, l));
+        const sat::LBool answer = solver.solve(assumptions);
+        if (answer == sat::LBool::Undef) {
+          solver.add_clause(~gate);
+          return false;
+        }
+        if (answer == sat::LBool::True) {
+          failed = static_cast<std::ptrdiff_t>(i);
+          break;
+        }
+      }
+      solver.add_clause(~gate);  // retire this pass's gate
+      if (failed < 0) break;     // fixpoint: every candidate is consecutive
+      cand.erase(cand.begin() + failed);
+    }
+    for (const Cube& c : cand) {
+      frames.erase_blocked(c, frames.frontier());
+      add_to_infinity(c);
+    }
+    return true;
   }
 
   // --- generalization --------------------------------------------------------
@@ -241,6 +323,13 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
     if (s.init != nullptr && references_input(s.init)) {
       throw UsageError("pdr requires input-independent initial values (state '" +
                        s.var->name() + "')");
+    }
+    if (s.var->width() > 64) {
+      // Unreachable through NodeManager (which enforces the 1..64 width
+      // discipline), but cheap insurance for any future wide-vector IR:
+      // extract_state packs each state into a uint64_t.
+      throw UsageError("pdr cannot pack state '" + s.var->name() + "' (" +
+                       std::to_string(s.var->width()) + " bits) into 64-bit values");
     }
   }
 
@@ -396,10 +485,20 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
       }
     }
 
+    // Clauses that propagated all the way to the frontier are candidates for
+    // F_∞: certify the mutually-inductive subset invariant and publish it to
+    // the exchange mailbox — this is where racing members learn from PDR
+    // long before this run converges.
+    if (!run.push_to_infinity()) return finish(Verdict::Unknown, frontier);
+
     // Convergence: an empty level means two adjacent frames agree, and the
-    // agreeing frame is an inductive invariant implying the property.
+    // agreeing frame is an inductive invariant implying the property. F_∞
+    // clauses are part of every frame, so they belong to the certificate.
     for (std::size_t i = 1; i < frontier; ++i) {
       if (!run.frames.cubes_at(i).empty()) continue;
+      for (const Cube& cube : run.inf) {
+        result.invariant.push_back(clause_expr(ts_, cube));
+      }
       for (std::size_t j = i + 1; j <= frontier; ++j) {
         for (const Cube& cube : run.frames.cubes_at(j)) {
           result.invariant.push_back(clause_expr(ts_, cube));

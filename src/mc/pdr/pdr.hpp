@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "mc/exchange.hpp"
 #include "mc/result.hpp"
 #include "mc/unroller.hpp"
 
@@ -46,6 +47,17 @@ struct PdrOptions {
   /// and at SAT restart boundaries; when it reads true the run returns
   /// Unknown. See EngineOptions::stop for the full contract.
   std::shared_ptr<std::atomic<bool>> stop;
+  /// Portfolio lemma exchange (publisher side): clauses are published the
+  /// moment they are pushed to F_∞ — i.e. when the post-propagation
+  /// mutual-induction fixpoint certifies a frontier clause set inductive, so
+  /// each published clause holds in every reachable state well before the
+  /// full proof converges. nullptr = off (the F_∞ push still runs; it
+  /// strengthens PDR itself).
+  std::shared_ptr<LemmaMailbox> exchange;
+  std::size_t exchange_slot = 0;
+  /// Also publish every frame-k blocked clause, tagged with its level
+  /// (bounded facts; consumers restrict them to init-rooted frames <= k).
+  bool publish_frame_clauses = false;
 };
 
 struct PdrResult {

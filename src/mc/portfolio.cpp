@@ -49,9 +49,40 @@ PortfolioEngine::PortfolioEngine(const ir::TransitionSystem& ts, EngineOptions o
 }
 
 EngineResult PortfolioEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
+  if (options_.max_steps == 0) {
+    // A zero step budget buys no exploration in any member. Report Unknown
+    // uniformly instead of letting the time-sliced mode build a {0} budget
+    // schedule (and the threaded mode race three no-op engines).
+    EngineResult out;
+    for (const EngineKind kind : members_) {
+      EngineBreakdown b;
+      b.engine = to_string(kind);
+      b.note = "zero step budget";
+      out.breakdown.push_back(std::move(b));
+    }
+    return out;
+  }
   return options_.portfolio_threads ? run_threaded(properties)
                                     : run_time_sliced(properties);
 }
+
+namespace {
+
+/// Member engines get the portfolio's options wholesale — copying fields one
+/// by one silently dropped every knob added after the copy was written (and
+/// would have dropped the exchange wiring too). Only the genuinely
+/// per-member fields are overridden afterwards.
+EngineOptions member_options(const EngineOptions& portfolio,
+                             const std::shared_ptr<LemmaMailbox>& mailbox,
+                             std::size_t slot) {
+  EngineOptions opts = portfolio;
+  opts.portfolio_engines.clear();  // members never recurse into a portfolio
+  opts.exchange_mailbox = mailbox;
+  opts.exchange_slot = slot;
+  return opts;
+}
+
+}  // namespace
 
 EngineResult PortfolioEngine::run_threaded(const std::vector<ir::NodeRef>& properties) {
   util::Stopwatch watch;
@@ -75,6 +106,10 @@ EngineResult PortfolioEngine::run_threaded(const std::vector<ir::NodeRef>& prope
 
   // Shared race state. The first conclusive member records itself as the
   // winner and raises `cancel`, which every other member's engine polls.
+  // The mailbox is the only other cross-thread state: it carries clauses in
+  // a manager-neutral form, so no NodeManager is ever shared (exchange.hpp).
+  const std::shared_ptr<LemmaMailbox> mailbox =
+      options_.exchange && n > 1 ? std::make_shared<LemmaMailbox>(n) : nullptr;
   auto cancel = std::make_shared<std::atomic<bool>>(false);
   std::mutex mu;
   std::condition_variable cv;
@@ -90,11 +125,8 @@ EngineResult PortfolioEngine::run_threaded(const std::vector<ir::NodeRef>& prope
       EngineResult r;
       std::string note;
       try {
-        EngineOptions opts;
-        opts.max_steps = options_.max_steps;
-        opts.simple_path = options_.simple_path;
-        opts.conflict_budget = options_.conflict_budget;
-        opts.lemmas = member_lemmas[i];
+        EngineOptions opts = member_options(options_, mailbox, i);
+        opts.lemmas = member_lemmas[i];  // translated into this member's clone
         opts.stop = cancel;
         auto engine = make_engine(members_[i], clones[i]->system(), opts);
         r = engine->prove_all(member_props[i]);
@@ -141,6 +173,10 @@ EngineResult PortfolioEngine::run_threaded(const std::vector<ir::NodeRef>& prope
     b.depth = results[i].depth;
     b.stats = results[i].stats;
     b.note = notes[i];
+    if (mailbox != nullptr) {
+      b.lemmas_published = mailbox->published_by(i);
+      b.lemmas_absorbed = mailbox->absorbed_by(i);
+    }
     out.stats += b.stats;
     out.breakdown.push_back(std::move(b));
   }
@@ -177,10 +213,23 @@ EngineResult PortfolioEngine::run_time_sliced(const std::vector<ir::NodeRef>& pr
 
   // Iterative deepening: every member gets a slice at each budget before any
   // member gets a deeper one, so a cheap conclusive verdict at a small bound
-  // beats an expensive one at a large bound — deterministically.
+  // beats an expensive one at a large bound — deterministically. The guard
+  // before the final push_back is defensive: the strict `<` walk never lands
+  // on max_steps today, but a duplicated final budget would silently re-run
+  // every member, so the invariant is worth pinning against future edits.
+  // (prove_all short-circuits `max_steps == 0`, which used to degenerate
+  // into a {0} schedule here.)
   std::vector<std::size_t> budgets;
   for (std::size_t b = 1; b < options_.max_steps; b *= 2) budgets.push_back(b);
-  budgets.push_back(options_.max_steps);
+  if (budgets.empty() || budgets.back() != options_.max_steps) {
+    budgets.push_back(options_.max_steps);
+  }
+
+  // One mailbox across every slice: a member's fresh engine instance at the
+  // next budget re-reads the whole backlog (consumer cursors are per engine
+  // run), so clauses PDR proved at budget b reach k-induction at budget 2b.
+  const std::shared_ptr<LemmaMailbox> mailbox =
+      options_.exchange && n > 1 ? std::make_shared<LemmaMailbox>(n) : nullptr;
 
   EngineResult out;
   std::vector<EngineBreakdown> breakdown(n);
@@ -199,6 +248,10 @@ EngineResult PortfolioEngine::run_time_sliced(const std::vector<ir::NodeRef>& pr
     for (std::size_t i = 0; i < n; ++i) {
       out.stats += breakdown[i].stats;
       if (winner < 0) out.depth = std::max(out.depth, breakdown[i].depth);
+      if (mailbox != nullptr) {
+        breakdown[i].lemmas_published = mailbox->published_by(i);
+        breakdown[i].lemmas_absorbed = mailbox->absorbed_by(i);
+      }
     }
     out.breakdown = std::move(breakdown);
     out.stats.seconds = watch.seconds();
@@ -213,12 +266,8 @@ EngineResult PortfolioEngine::run_time_sliced(const std::vector<ir::NodeRef>& pr
       }
       EngineResult r;
       try {
-        EngineOptions opts;
+        EngineOptions opts = member_options(options_, mailbox, i);
         opts.max_steps = budget;
-        opts.simple_path = options_.simple_path;
-        opts.conflict_budget = options_.conflict_budget;
-        opts.lemmas = options_.lemmas;
-        opts.stop = options_.stop;
         auto engine = make_engine(members_[i], ts_, opts);
         r = engine->prove_all(properties);
       } catch (const std::exception& e) {

@@ -18,11 +18,21 @@
 ///    step budgets (1, 2, 4, …, max_steps) directly on the caller's system.
 ///    Reproducible run-to-run; intended for CI and debugging.
 ///
+/// Live lemma exchange (EngineOptions::exchange, default on): members share
+/// a `mc::LemmaMailbox` carrying clauses in a manager-neutral form. PDR
+/// publishes clauses the moment its mutual-induction fixpoint pushes them to
+/// F_∞; BMC and k-induction poll each solve-loop iteration and re-create the
+/// clauses in their own clone. In the threaded mode this is the codebase's
+/// only cross-thread data path besides the stop flag; in the time-sliced
+/// mode the mailbox persists across slices, so clauses PDR proved at budget
+/// b reach the other members' budget-2b slices — still deterministic.
+///
 /// The merged `EngineResult` names the winner, sums every member's
-/// `EngineStats`, and carries a per-member `EngineBreakdown` so reports can
-/// show who did what. An inconclusive portfolio (every member Unknown)
-/// forwards a k-induction step CEX when one was produced, keeping the GenAI
-/// repair loop fed even when no engine concluded.
+/// `EngineStats`, and carries a per-member `EngineBreakdown` (including
+/// published/absorbed exchange counters) so reports can show who did what.
+/// An inconclusive portfolio (every member Unknown) forwards a k-induction
+/// step CEX when one was produced, keeping the GenAI repair loop fed even
+/// when no engine concluded.
 
 #include "mc/engine.hpp"
 

@@ -75,6 +75,12 @@ struct InductionResult {
   /// the paper feeds to the LLM (Fig. 2 / Fig. 3). Present when the step
   /// case failed at the last attempted k.
   std::optional<sim::Trace> step_cex;
+  /// verdict == Proven: invariant clauses absorbed from the portfolio's live
+  /// lemma exchange during this run. Each holds in every reachable state
+  /// (they were proven by the publishing member), so a k-induction win keeps
+  /// feeding the lemma loop just like a PDR win does. Empty without
+  /// exchange — plain k-induction produces no clause artefacts of its own.
+  std::vector<ir::NodeRef> invariant;
   EngineStats stats;
 
   bool proven() const noexcept { return verdict == Verdict::Proven; }

@@ -120,7 +120,10 @@ TEST(Portfolio, WinnerCancelsLosers) {
   const EngineResult result = engine->prove_all(task.target_exprs());
 
   EXPECT_EQ(result.verdict, Verdict::Proven);
-  EXPECT_EQ(result.winner, "pdr");
+  // With live exchange, k-induction can absorb PDR's published clauses and
+  // close first — either prover may take the flag, never BMC.
+  EXPECT_TRUE(result.winner == "pdr" || result.winner == "k-induction")
+      << result.winner;
   ASSERT_EQ(result.breakdown.size(), 3u);
   for (const EngineBreakdown& member : result.breakdown) {
     if (member.engine == "bmc") {
@@ -212,12 +215,19 @@ TEST(Portfolio, TimeSlicedIsDeterministic) {
   const EngineResult a = run_once();
   const EngineResult b = run_once();
   EXPECT_EQ(a.verdict, Verdict::Proven);
-  EXPECT_EQ(a.winner, "pdr");
+  // Live exchange hands PDR's early F_∞ clauses to k-induction, which now
+  // closes token_ring before PDR's own slice converges — deterministically.
+  EXPECT_EQ(a.winner, "k-induction");
   EXPECT_EQ(a.verdict, b.verdict);
   EXPECT_EQ(a.winner, b.winner);
   EXPECT_EQ(a.depth, b.depth);
   EXPECT_EQ(a.stats.sat_calls, b.stats.sat_calls);
   EXPECT_EQ(a.invariant.size(), b.invariant.size());
+  ASSERT_EQ(a.breakdown.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(a.breakdown[i].lemmas_published, b.breakdown[i].lemmas_published);
+    EXPECT_EQ(a.breakdown[i].lemmas_absorbed, b.breakdown[i].lemmas_absorbed);
+  }
 }
 
 TEST(Portfolio, SeededLemmasReachEveryMemberClone) {
@@ -261,6 +271,301 @@ TEST(Portfolio, UnknownRaceForwardsAStepCexForTheRepairLoop) {
   }
 }
 
+// --- live lemma exchange -----------------------------------------------------
+
+TEST(LemmaMailbox, FetchSkipsOwnClausesAndHonorsCallerCursor) {
+  LemmaMailbox mailbox(2);
+  mailbox.publish(0, {{{0, 0, false}}, kExchangeProvenLevel});
+  mailbox.publish(1, {{{0, 1, true}}, 3});
+  mailbox.publish(0, {{{0, 2, false}}, kExchangeProvenLevel});
+
+  std::size_t cursor = 0;
+  const auto first = mailbox.fetch(0, &cursor);  // member 0 sees only member 1's
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].level, 3u);
+  EXPECT_FALSE(first[0].proven());
+  EXPECT_TRUE(mailbox.fetch(0, &cursor).empty());  // cursor advanced past all
+
+  std::size_t fresh = 0;  // a fresh consumer re-reads the full backlog
+  EXPECT_EQ(mailbox.fetch(1, &fresh).size(), 2u);
+
+  mailbox.note_absorbed(1, 2);
+  EXPECT_EQ(mailbox.published_by(0), 2u);
+  EXPECT_EQ(mailbox.published_by(1), 1u);
+  EXPECT_EQ(mailbox.absorbed_by(1), 2u);
+  EXPECT_EQ(mailbox.size(), 3u);
+}
+
+TEST(LemmaMailbox, MaterializeRebuildsTheClauseAndRejectsMisfits) {
+  auto task = designs::make_task("token_ring");
+  ASSERT_FALSE(task.ts.states().empty());
+  const std::uint32_t width = task.ts.states()[0].var->width();
+
+  const ExchangedClause good{{{0, 0, false}}, kExchangeProvenLevel};
+  const NodeRef expr = materialize(good, task.ts);
+  ASSERT_NE(expr, nullptr);
+  EXPECT_EQ(expr->width(), 1u);
+
+  // Out-of-range state index / bit index: "does not fit", never a throw —
+  // consumers skip such clauses (they came from an incompatible system).
+  const std::uint32_t states = static_cast<std::uint32_t>(task.ts.states().size());
+  EXPECT_EQ(materialize({{{states, 0, false}}, 1}, task.ts), nullptr);
+  EXPECT_EQ(materialize({{{0, width, false}}, 1}, task.ts), nullptr);
+  EXPECT_EQ(materialize({{}, 1}, task.ts), nullptr);
+}
+
+TEST(TranslateBetween, CrossCloneRoundTrip) {
+  // The mailbox itself never carries NodeRefs, but translate_between is the
+  // general clone-to-clone path: expressions move between two sibling clones
+  // without touching the original's manager.
+  auto task = designs::make_task("token_ring");
+  ir::SystemClone a(task.ts);
+  ir::SystemClone b(task.ts);
+  for (const NodeRef expr : task.target_exprs()) {
+    const NodeRef in_a = a.to_clone(expr);
+    const NodeRef in_b = ir::translate_between(in_a, a.system(), b.system());
+    EXPECT_EQ(b.to_original(in_b), expr);
+    EXPECT_EQ(in_b, b.to_clone(expr));  // hash-consing: same node either way
+  }
+}
+
+TEST(Exchange, PdrPublishedClausesProveTokenRingForAStuckKInduction) {
+  // Publisher and consumer live in *different* systems with different
+  // NodeManagers — the clause transport is manager-neutral end to end.
+  auto mailbox = std::make_shared<LemmaMailbox>(2);
+
+  auto pdr_task = designs::make_task("token_ring");
+  EngineOptions pdr_opts;
+  pdr_opts.max_steps = 16;
+  pdr_opts.exchange_mailbox = mailbox;
+  pdr_opts.exchange_slot = 0;
+  auto pdr = make_engine(EngineKind::Pdr, pdr_task.ts, pdr_opts);
+  EXPECT_EQ(pdr->prove_all(pdr_task.target_exprs()).verdict, Verdict::Proven);
+  EXPECT_GE(mailbox->published_by(0), 1u);
+
+  auto kind_task = designs::make_task("token_ring");
+  {
+    EngineOptions alone;
+    alone.max_steps = 16;
+    auto engine = make_engine(EngineKind::KInduction, kind_task.ts, alone);
+    EXPECT_EQ(engine->prove_all(kind_task.target_exprs()).verdict, Verdict::Unknown);
+  }
+  EngineOptions kind_opts;
+  kind_opts.max_steps = 16;
+  kind_opts.exchange_mailbox = mailbox;
+  kind_opts.exchange_slot = 1;
+  auto kind = make_engine(EngineKind::KInduction, kind_task.ts, kind_opts);
+  const EngineResult result = kind->prove_all(kind_task.target_exprs());
+  EXPECT_EQ(result.verdict, Verdict::Proven);
+  EXPECT_GE(mailbox->absorbed_by(1), 1u);
+  // The absorbed invariant clauses are exported so a k-induction win keeps
+  // feeding the lemma loop exactly like a PDR win.
+  EXPECT_FALSE(result.invariant.empty());
+}
+
+TEST(Exchange, TimeSlicedKInductionAbsorbsPdrClausesMidRace) {
+  // The paper's acceptance scenario, deterministically: k-induction alone is
+  // Unknown on token_ring at this bound (asserted above), but inside the
+  // time-sliced portfolio it observes clauses PDR published during earlier
+  // (inconclusive) slices and closes the proof first.
+  auto task = designs::make_task("token_ring");
+  EngineOptions options;
+  options.max_steps = 16;
+  options.portfolio_threads = false;
+  auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+  const EngineResult result = engine->prove_all(task.target_exprs());
+
+  EXPECT_EQ(result.verdict, Verdict::Proven);
+  EXPECT_EQ(result.winner, "k-induction");
+  ASSERT_EQ(result.breakdown.size(), 3u);
+  const EngineBreakdown& kind = result.breakdown[1];
+  const EngineBreakdown& pdr = result.breakdown[2];
+  ASSERT_EQ(kind.engine, "k-induction");
+  ASSERT_EQ(pdr.engine, "pdr");
+  EXPECT_GE(pdr.lemmas_published, 1u);
+  EXPECT_GE(kind.lemmas_absorbed, 1u);
+  EXPECT_FALSE(result.invariant.empty());
+}
+
+TEST(Exchange, NeverChangesAConcludedVerdict) {
+  // Exchange may upgrade Unknown to a conclusive verdict (that is the
+  // point), but where the exchange-off portfolio already concluded, the
+  // exchange-on portfolio must conclude identically — absorbed clauses are
+  // invariants, so they can never mask a real counterexample or fake a
+  // proof.
+  const std::vector<std::string> names = {"sync_counters", "sequencer", "token_ring",
+                                          "updown_pair",   "lfsr16",    "gray_counter"};
+  for (const std::string& name : names) {
+    Verdict verdicts[2];
+    for (const bool exchange : {false, true}) {
+      auto task = designs::make_task(name);
+      EngineOptions options;
+      options.max_steps = 12;
+      options.portfolio_threads = false;
+      options.exchange = exchange;
+      auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+      verdicts[exchange ? 1 : 0] = engine->prove_all(task.target_exprs()).verdict;
+    }
+    if (conclusive(verdicts[0])) {
+      EXPECT_EQ(verdicts[1], verdicts[0]) << name;
+    }
+  }
+}
+
+TEST(Exchange, DisabledExchangeKeepsTheMailboxOut) {
+  auto task = designs::make_task("token_ring");
+  EngineOptions options;
+  options.max_steps = 16;
+  options.portfolio_threads = false;
+  options.exchange = false;
+  auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+  const EngineResult result = engine->prove_all(task.target_exprs());
+  EXPECT_EQ(result.verdict, Verdict::Proven);
+  EXPECT_EQ(result.winner, "pdr");  // nobody absorbs, PDR converges alone
+  for (const EngineBreakdown& member : result.breakdown) {
+    EXPECT_EQ(member.lemmas_published, 0u) << member.engine;
+    EXPECT_EQ(member.lemmas_absorbed, 0u) << member.engine;
+  }
+}
+
+TEST(Exchange, FrameClauseOptionReachesMembersThroughWholesaleCopy) {
+  // Regression for the hand-copied member options: any knob added to
+  // EngineOptions must reach the members. `exchange_frame_clauses` is
+  // exactly such a knob — behind it, PDR publishes every frame-k blocked
+  // clause, so its published counter must strictly exceed the F_∞-only run.
+  std::size_t published[2];
+  for (const bool frame_clauses : {false, true}) {
+    auto task = designs::make_task("token_ring");
+    EngineOptions options;
+    options.max_steps = 16;
+    options.portfolio_threads = false;
+    options.exchange_frame_clauses = frame_clauses;
+    auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+    const EngineResult result = engine->prove_all(task.target_exprs());
+    ASSERT_EQ(result.breakdown.size(), 3u);
+    EXPECT_EQ(result.verdict, Verdict::Proven) << "frame_clauses=" << frame_clauses;
+    published[frame_clauses ? 1 : 0] = result.breakdown[2].lemmas_published;
+  }
+  EXPECT_GT(published[1], published[0]);
+}
+
+TEST(Exchange, BmcAbsorbsPublishedClauses) {
+  // A proven clause (here: the mutual-exclusion of two token bits, a true
+  // invariant of the ring) published by "someone else" must be absorbed by
+  // BMC without disturbing its bounded search.
+  auto task = designs::make_task("token_ring");
+  std::uint32_t token_index = 0;
+  bool found = false;
+  for (std::uint32_t i = 0; i < task.ts.states().size(); ++i) {
+    if (task.ts.states()[i].var->name() == "token") {
+      token_index = i;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  auto mailbox = std::make_shared<LemmaMailbox>(2);
+  mailbox->publish(0, {{{token_index, 0, false}, {token_index, 1, false}},
+                       kExchangeProvenLevel});
+  mailbox->publish(0, {{{token_index, 2, false}}, 2});  // level-tagged
+
+  EngineOptions options;
+  options.max_steps = 4;
+  options.exchange_mailbox = mailbox;
+  options.exchange_slot = 1;
+  auto bmc = make_engine(EngineKind::Bmc, task.ts, options);
+  const EngineResult result = bmc->prove_all(task.target_exprs());
+  EXPECT_EQ(result.verdict, Verdict::Unknown);  // no CEX exists: property holds
+  EXPECT_EQ(mailbox->absorbed_by(1), 2u);
+}
+
+// --- satellite regressions ---------------------------------------------------
+
+TEST(Portfolio, ZeroStepBudgetIsUniformlyUnknown) {
+  // A zero budget used to build a {0} slice schedule and run every member at
+  // a zero bound; now both modes report Unknown without running anyone.
+  auto task = counter_task("property bound; a != 4'd0; endproperty");  // fails at t0
+  for (const bool threads : {true, false}) {
+    EngineOptions options;
+    options.max_steps = 0;
+    options.portfolio_threads = threads;
+    auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+    const EngineResult result = engine->prove_all(task.target_exprs());
+    EXPECT_EQ(result.verdict, Verdict::Unknown) << "threads=" << threads;
+    EXPECT_TRUE(result.winner.empty());
+    ASSERT_EQ(result.breakdown.size(), 3u);
+    for (const EngineBreakdown& member : result.breakdown) {
+      EXPECT_EQ(member.note, "zero step budget");
+      EXPECT_EQ(member.stats.sat_calls, 0u);
+    }
+  }
+}
+
+TEST(Portfolio, PowerOfTwoBudgetRunsTheFinalSliceOnce) {
+  // max_steps = 2 must build the schedule {1, 2}, never {1, 2, 2}: a
+  // duplicated final slice would silently re-run every member and inflate
+  // SAT calls. (Pins the schedule invariant the dedupe guard protects.)
+  auto run_with = [](std::size_t max_steps) {
+    auto task = designs::make_task("sync_counters");  // every member stays Unknown
+    EngineOptions options;
+    options.max_steps = max_steps;
+    options.portfolio_threads = false;
+    options.exchange = false;  // keep the slice workloads identical
+    auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+    return engine->prove_all(task.target_exprs());
+  };
+  const EngineResult two = run_with(2);
+  const EngineResult three = run_with(3);  // schedule {1, 2, 3}
+  EXPECT_EQ(two.verdict, Verdict::Unknown);
+  // {1,2} must do strictly less SAT work than {1,2,3}; a duplicated final
+  // slice at 2 would close most of that gap or invert it.
+  EXPECT_LT(two.stats.sat_calls, three.stats.sat_calls);
+}
+
+TEST(WideRegisters, ElaborationRejectsWiderThan64WithLocation) {
+  const std::string rtl = R"(module wide80 (input clk, rst, output logic [79:0] x);
+  always_ff @(posedge clk) begin
+    if (rst) x <= 0; else x <= x;
+  end
+endmodule
+)";
+  try {
+    flow::VerificationTask::from_rtl("wide80", "", rtl, {{"t", "x == 0"}});
+    FAIL() << "80-bit register must be rejected";
+  } catch (const Error& e) {
+    // Three layers can catch this (parser range check, elaborator
+    // declaration check, NodeManager width discipline); whichever fires
+    // must name the 64-bit limit, not corrupt state silently downstream.
+    const std::string what = e.what();
+    EXPECT_TRUE(what.find("wider than 64") != std::string::npos ||
+                what.find("1..64") != std::string::npos ||
+                what.find("[1,64]") != std::string::npos)
+        << what;
+  }
+}
+
+TEST(WideRegisters, SixtyFourBitBoundaryRunsThroughPdrStatePacking) {
+  // Width 64 is the last legal width: PDR's extract_state packs bit 63 with
+  // `1ULL << 63`, the edge of the uint64 value path. A falsifiable property
+  // forces a counterexample through that packing.
+  const std::string rtl = R"(module wide64 (input clk, rst, input logic [63:0] in,
+                output logic [63:0] x);
+  always_ff @(posedge clk) begin
+    if (rst) x <= 64'd0; else x <= in;
+  end
+endmodule
+)";
+  auto task = flow::VerificationTask::from_rtl("wide64", "", rtl,
+                                               {{"t", "!x[63]"}});
+  EngineOptions options;
+  options.max_steps = 4;
+  auto pdr = make_engine(EngineKind::Pdr, task.ts, options);
+  const EngineResult result = pdr->prove_all(task.target_exprs());
+  EXPECT_EQ(result.verdict, Verdict::Falsified);
+  ASSERT_TRUE(result.cex.has_value());
+  EXPECT_TRUE(result.cex->is_consistent());
+}
+
 // --- lemma-file round trip ---------------------------------------------------
 
 TEST(LemmaFile, PortfolioInvariantRoundTripsThroughLemmaManager) {
@@ -298,6 +603,28 @@ TEST(LemmaFile, ParserSkipsCommentsAndBlankLines) {
   ASSERT_EQ(lemmas.size(), 2u);
   EXPECT_EQ(lemmas[0], "a == b");
   EXPECT_EQ(lemmas[1], "c != d");
+}
+
+TEST(LemmaFile, RenderRejectsLemmasThatCannotRoundTrip) {
+  // A lemma that flattens to a blank or comment line would silently vanish
+  // on re-parse; the writer must refuse instead.
+  EXPECT_THROW(flow::render_lemma_file("d", {"a == b", "  \n  "}), UsageError);
+  EXPECT_THROW(flow::render_lemma_file("d", {"# not a lemma"}), UsageError);
+  EXPECT_THROW(flow::render_lemma_file("d", {""}), UsageError);
+}
+
+TEST(LemmaFile, CountHeaderRoundTripsAndDetectsTruncation) {
+  const std::string text = flow::render_lemma_file("d", {"a == b", "c != d"});
+  EXPECT_NE(text.find("# lemmas: 2"), std::string::npos);
+  EXPECT_EQ(flow::parse_lemma_file(text).size(), 2u);
+
+  // Drop the last line, as a truncated download or hand edit would.
+  const std::string truncated = text.substr(0, text.rfind("c != d"));
+  EXPECT_THROW(flow::parse_lemma_file(truncated), UsageError);
+  EXPECT_THROW(flow::parse_lemma_file("# lemmas: nonsense\na == b\n"), UsageError);
+
+  // Files without the header stay accepted (older emitters, hand-written).
+  EXPECT_EQ(flow::parse_lemma_file("a == b\n").size(), 1u);
 }
 
 }  // namespace

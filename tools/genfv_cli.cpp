@@ -13,6 +13,9 @@
 /// Options (--opt value and --opt=value are both accepted):
 ///   --flow cex|helper|direct|plain   (default: cex — the paper's Fig. 2 loop)
 ///   --engine bmc|kind|pdr|portfolio  target-proof engine (default: kind)
+///   --exchange on|off                live lemma exchange between portfolio
+///                                    members (default: on; no effect on
+///                                    single engines)
 ///   --property "<sva>"               may repeat; an `<engine>:` prefix (e.g.
 ///                                    "pdr:count <= 8") overrides the engine
 ///                                    for that property (plain flow only)
@@ -62,6 +65,7 @@ struct CliOptions {
   std::string design;
   std::string flow = "cex";
   mc::EngineKind engine = mc::EngineKind::KInduction;
+  bool exchange = true;
   std::string model = "gpt-4o";
   std::uint64_t seed = 42;
   std::size_t max_k = 8;
@@ -81,6 +85,7 @@ struct CliOptions {
                "  genfv_cli demo <design> [options]\n"
                "  genfv_cli designs | models\n"
                "options: --flow cex|helper|direct|plain  --engine bmc|kind|pdr|portfolio\n"
+               "         --exchange on|off\n"
                "         --emit-lemmas <file>  --use-lemmas <file>\n"
                "         --model <name>  --seed <n>  --max-k <n>  --no-screen\n"
                "         --dump-ts <file>  --vcd <file>  --verbose\n"
@@ -143,6 +148,12 @@ CliOptions parse_args(int argc, char** argv) {
       if (!kind.has_value()) usage(("unknown engine '" + name + "'").c_str());
       opts.engine = *kind;
     }
+    else if (arg == "--exchange") {
+      const std::string value = need_value("--exchange");
+      if (value == "on") opts.exchange = true;
+      else if (value == "off") opts.exchange = false;
+      else usage("--exchange takes 'on' or 'off'");
+    }
     else if (arg == "--model") opts.model = need_value("--model");
     else if (arg == "--seed") opts.seed = std::stoull(need_value("--seed"));
     else if (arg == "--max-k") opts.max_k = std::stoull(need_value("--max-k"));
@@ -202,16 +213,22 @@ void emit_lemmas(const std::string& path, const std::string& design,
 void print_result(const std::string& label, const mc::EngineResult& result) {
   std::printf("%s: %s\n", label.c_str(), result.summary().c_str());
   for (const mc::EngineBreakdown& member : result.breakdown) {
-    std::printf("  %-12s %s (depth=%zu, %zu SAT calls)%s%s\n", member.engine.c_str(),
+    std::string exchange;
+    if (member.lemmas_published != 0 || member.lemmas_absorbed != 0) {
+      exchange = ", published " + std::to_string(member.lemmas_published) +
+                 " / absorbed " + std::to_string(member.lemmas_absorbed) + " lemmas";
+    }
+    std::printf("  %-12s %s (depth=%zu, %zu SAT calls%s)%s%s\n", member.engine.c_str(),
                 mc::to_string(member.verdict).c_str(), member.depth,
-                member.stats.sat_calls, member.note.empty() ? "" : " — ",
-                member.note.c_str());
+                member.stats.sat_calls, exchange.c_str(),
+                member.note.empty() ? "" : " — ", member.note.c_str());
   }
 }
 
 int run_plain(flow::VerificationTask& task, const CliOptions& opts) {
   mc::EngineOptions base;
   base.max_steps = opts.max_k;
+  base.exchange = opts.exchange;
   if (!opts.use_lemmas_path.empty()) {
     base.lemmas = ingest_lemma_file(task, opts.use_lemmas_path, opts.max_k);
   }
@@ -301,6 +318,7 @@ int run_task(flow::VerificationTask& task, const CliOptions& opts) {
   options.engine.max_k = opts.max_k;
   options.review.sim_screen = opts.sim_screen;
   options.target_engine = opts.engine;
+  options.exchange = opts.exchange;
   if (!opts.use_lemmas_path.empty()) {
     options.engine.lemmas = ingest_lemma_file(task, opts.use_lemmas_path, opts.max_k);
   }
