@@ -3,8 +3,13 @@
 /// budget through the uniform `mc::Engine` interface. BMC never proves,
 /// k-induction needs the design to be inductive (or externally supplied
 /// lemmas), and PDR discovers clause strengthenings on its own — each wins
-/// somewhere, which is exactly why a portfolio over `mc::Engine` is the
-/// next scaling step.
+/// somewhere, which is why the portfolio races them, and the sharded PDR
+/// rows (`pdr w=2`, `pdr w=4`) show the obligation/propagation sharding
+/// paying for itself on blocking-heavy designs.
+///
+/// `--json <path>` additionally writes machine-readable records (design,
+/// engine, workers, verdict, wall-ms, solver stats) for BENCH_*.json
+/// trajectory tracking; scripts/check_shootout.py consumes them in CI.
 
 #include "bench_common.hpp"
 #include "mc/engine.hpp"
@@ -14,12 +19,13 @@ namespace {
 
 constexpr std::size_t kMaxSteps = 12;
 
-void run_experiment() {
+void run_experiment(bench::JsonRecords* json) {
   bench::print_header(
       "E8: engine shootout over the mc::Engine interface",
       "Peled et al. IJCAI'26 motivation, Kumar-Gadde §II-A background",
       "BMC / k-induction / IC3-PDR on identical designs and step budgets; "
-      "PDR proves designs the others cannot at this bound.");
+      "PDR proves designs the others cannot at this bound, and sharded PDR "
+      "(--pdr-workers) cuts wall-clock on blocking-heavy designs.");
 
   util::Table table(
       {"design", "engine", "verdict", "depth", "SAT calls", "conflicts", "time"});
@@ -28,23 +34,30 @@ void run_experiment() {
     const char* label;
     mc::EngineKind kind;
     bool exchange;
+    std::size_t pdr_workers;
   };
   const std::vector<Contender> contenders = {
-      {"bmc", mc::EngineKind::Bmc, false},
-      {"k-induction", mc::EngineKind::KInduction, false},
-      {"pdr", mc::EngineKind::Pdr, false},
-      {"portfolio -exch", mc::EngineKind::Portfolio, false},
-      {"portfolio +exch", mc::EngineKind::Portfolio, true},
+      {"bmc", mc::EngineKind::Bmc, false, 1},
+      {"k-induction", mc::EngineKind::KInduction, false, 1},
+      {"pdr", mc::EngineKind::Pdr, false, 1},
+      {"pdr w=2", mc::EngineKind::Pdr, false, 2},
+      {"pdr w=4", mc::EngineKind::Pdr, false, 4},
+      {"portfolio -exch", mc::EngineKind::Portfolio, false, 1},
+      {"portfolio +exch", mc::EngineKind::Portfolio, true, 1},
   };
 
+  // fifo_ctrl is the blocking-heavy row: thousands of obligations at this
+  // bound, which is exactly the workload the sharded engine spreads out.
   const std::vector<std::string> names = {"sync_counters", "sequencer", "token_ring",
-                                          "updown_pair",   "lfsr16",    "gray_counter"};
+                                          "updown_pair",   "lfsr16",    "gray_counter",
+                                          "fifo_ctrl"};
   for (const std::string& name : names) {
     for (const Contender& contender : contenders) {
       auto task = designs::make_task(name);
       mc::EngineOptions options;
       options.max_steps = kMaxSteps;
       options.exchange = contender.exchange;
+      options.pdr_workers = contender.pdr_workers;
       auto engine = mc::make_engine(contender.kind, task.ts, options);
       const mc::EngineResult r = engine->prove_all(task.target_exprs());
       std::string shown = contender.label;
@@ -53,20 +66,39 @@ void run_experiment() {
                      std::to_string(r.depth), std::to_string(r.stats.sat_calls),
                      std::to_string(r.stats.conflicts),
                      util::format_duration(r.stats.seconds)});
+      if (json != nullptr) {
+        json->record()
+            .field("design", name)
+            .field("engine", std::string(contender.label))
+            .field("kind", mc::to_string(contender.kind))
+            .field("workers", static_cast<std::uint64_t>(contender.pdr_workers))
+            .field("exchange", contender.exchange)
+            .field("verdict", mc::to_string(r.verdict))
+            .field("depth", static_cast<std::uint64_t>(r.depth))
+            .field("wall_ms", r.stats.seconds * 1e3)
+            .field("sat_calls", static_cast<std::uint64_t>(r.stats.sat_calls))
+            .field("conflicts", r.stats.conflicts)
+            .field("learnt_clauses", r.stats.learnt_clauses)
+            .field("retired_gates", r.stats.retired_gates)
+            .field("solver_rebuilds", r.stats.solver_rebuilds);
+      }
     }
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Same bound, same designs: PDR closes proofs k-induction leaves "
-              "open because it mines its own frame strengthenings — and with "
-              "live exchange (+exch) the other members absorb those clauses "
-              "mid-race instead of waiting for PDR to converge.\n\n");
+              "open because it mines its own frame strengthenings; live "
+              "exchange (+exch) feeds those clauses to the other members "
+              "mid-race, and the sharded rows spread obligation blocking and "
+              "clause propagation across a concurrent solver pool.\n\n");
 }
 
 void BM_EngineProve(benchmark::State& state) {
   const auto kind = static_cast<mc::EngineKind>(state.range(0));
   for (auto _ : state) {
     auto task = designs::make_task("sequencer");
-    auto engine = mc::make_engine(kind, task.ts, {.max_steps = kMaxSteps});
+    mc::EngineOptions options;
+    options.max_steps = kMaxSteps;
+    auto engine = mc::make_engine(kind, task.ts, options);
     benchmark::DoNotOptimize(engine->prove_all(task.target_exprs()));
   }
 }
@@ -76,10 +108,26 @@ BENCHMARK(BM_EngineProve)
     ->Arg(static_cast<int>(mc::EngineKind::Pdr))
     ->Arg(static_cast<int>(mc::EngineKind::Portfolio));
 
+void BM_PdrWorkers(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto task = designs::make_task("fifo_ctrl");
+    mc::EngineOptions options;
+    options.max_steps = kMaxSteps;
+    options.pdr_workers = workers;
+    auto engine = mc::make_engine(mc::EngineKind::Pdr, task.ts, options);
+    benchmark::DoNotOptimize(engine->prove_all(task.target_exprs()));
+  }
+}
+BENCHMARK(BM_PdrWorkers)->Arg(1)->Arg(2)->Arg(4);
+
 }  // namespace
 }  // namespace genfv
 
 int main(int argc, char** argv) {
-  genfv::run_experiment();
+  const std::string json_path = genfv::bench::take_flag_value(&argc, argv, "--json");
+  genfv::bench::JsonRecords json;
+  genfv::run_experiment(json_path.empty() ? nullptr : &json);
+  if (!json_path.empty() && !json.write(json_path)) return 1;
   return genfv::bench::run_benchmarks(argc, argv);
 }

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Gate the engine-shootout JSON against verdict regressions.
+
+Usage: check_shootout.py <shootout.json>
+
+The shootout (bench_engine_shootout --json) records one object per
+(design, engine) cell. This checker fails CI when any cell's verdict
+regresses from the expectations pinned below — soundness bugs and lost
+proofs show up here before anything else. Wall-clock numbers are reported
+(including the single- vs multi-worker PDR comparison) but never gate the
+build: CI machines are too noisy for timing assertions.
+"""
+
+import json
+import sys
+
+# verdict expected from every engine that can conclude on the design at the
+# shootout's step budget (max_steps = 12). "unknown" rows are design/engine
+# pairs that legitimately cannot conclude at this bound (BMC on a true
+# property, k-induction without lemmas, PDR beyond its frame budget).
+EXPECTED_VERDICTS = {
+    # design: {engine-label-prefix: verdict}
+    "sync_counters": {"bmc": "unknown", "k-induction": "unknown", "pdr": "unknown",
+                      "portfolio": "unknown"},
+    "sequencer": {"bmc": "unknown", "k-induction": "unknown", "pdr": "proven",
+                  "portfolio": "proven"},
+    "token_ring": {"bmc": "unknown", "k-induction": "unknown", "pdr": "proven",
+                   "portfolio": "proven"},
+    # updown_pair: k-induction alone is stuck, but inside the exchange-on
+    # portfolio it can absorb PDR clauses and win — accept either outcome for
+    # the portfolio rows; the pdr rows must prove.
+    "updown_pair": {"bmc": "unknown", "k-induction": "unknown", "pdr": "proven"},
+    "lfsr16": {"bmc": "unknown", "pdr": "unknown"},
+    "gray_counter": {"bmc": "unknown", "k-induction": "unknown", "pdr": "unknown",
+                     "portfolio": "unknown"},
+    "fifo_ctrl": {"bmc": "unknown", "k-induction": "unknown", "pdr": "unknown"},
+}
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        records = json.load(f)
+    if not records:
+        print("error: empty shootout JSON", file=sys.stderr)
+        return 1
+
+    failures = []
+    for record in records:
+        design, engine = record["design"], record["engine"]
+        expectations = EXPECTED_VERDICTS.get(design, {})
+        for prefix, verdict in expectations.items():
+            if engine == prefix or engine.startswith(prefix + " "):
+                if record["verdict"] != verdict:
+                    failures.append(
+                        f"{design} / {engine}: expected {verdict}, "
+                        f"got {record['verdict']}")
+
+    # Report (never gate) the sharded-PDR speedup per design.
+    by_design = {}
+    for record in records:
+        if record["kind"] == "pdr":
+            by_design.setdefault(record["design"], {})[record["workers"]] = \
+                record["wall_ms"]
+    wins = 0
+    for design, cells in sorted(by_design.items()):
+        if 1 not in cells:
+            continue
+        best_multi = min((ms for w, ms in cells.items() if w > 1), default=None)
+        if best_multi is None:
+            continue
+        ratio = cells[1] / best_multi if best_multi > 0 else float("inf")
+        marker = "faster" if ratio > 1.0 else "slower"
+        if ratio > 1.0:
+            wins += 1
+        print(f"pdr sharding on {design}: w=1 {cells[1]:.1f} ms, "
+              f"best multi {best_multi:.1f} ms ({ratio:.2f}x, {marker})")
+    print(f"pdr sharding beats single-worker on {wins}/{len(by_design)} designs")
+
+    if failures:
+        print("\nverdict regressions:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"{len(records)} records, no verdict regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

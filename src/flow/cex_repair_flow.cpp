@@ -28,6 +28,7 @@ FlowReport CexRepairFlow::run(VerificationTask& task) {
     // Attempt the proof with everything admitted so far.
     mc::EngineOptions opts = mc::to_engine_options(options_.engine);
     opts.exchange = options_.exchange;
+    opts.pdr_workers = options_.pdr_workers;
     opts.lemmas.insert(opts.lemmas.end(), lemmas.lemma_exprs().begin(),
                        lemmas.lemma_exprs().end());
     auto engine = mc::make_engine(options_.target_engine, task.ts, opts);

@@ -53,6 +53,7 @@ FlowReport HelperGenFlow::run(VerificationTask& task) {
     const auto& prop = task.ts.property(i);
     mc::EngineOptions target_opts = mc::to_engine_options(options_.engine);
     target_opts.exchange = options_.exchange;
+    target_opts.pdr_workers = options_.pdr_workers;
     target_opts.lemmas.insert(target_opts.lemmas.end(), lemmas.lemma_exprs().begin(),
                               lemmas.lemma_exprs().end());
     auto engine = mc::make_engine(options_.target_engine, task.ts, target_opts);

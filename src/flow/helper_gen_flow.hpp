@@ -27,6 +27,9 @@ struct FlowOptions {
   /// Live lemma exchange between portfolio members (only meaningful when
   /// `target_engine` is Portfolio); mirrors EngineOptions::exchange.
   bool exchange = true;
+  /// PDR worker shards for target proofs (and PDR portfolio members);
+  /// mirrors EngineOptions::pdr_workers. 1 = single-threaded PDR.
+  std::size_t pdr_workers = 1;
 };
 
 class HelperGenFlow {

@@ -24,11 +24,15 @@ BmcResult BmcEngine::check(ir::NodeRef property) {
   std::vector<ir::NodeRef> invariants = options_.lemmas;
   std::vector<std::pair<ir::NodeRef, std::size_t>> bounded;
   std::size_t exchange_cursor = 0;
+  // The backlog may carry the same clause many times (re-publishing slices,
+  // independent members); assert each distinct fact once per run.
+  AbsorbFilter absorb_filter;
   auto poll_exchange = [&](std::size_t depth) {
     if (options_.exchange == nullptr) return;
     std::size_t absorbed = 0;
     for (const ExchangedClause& clause :
          options_.exchange->fetch(options_.exchange_slot, &exchange_cursor)) {
+      if (!absorb_filter.admit(clause)) continue;
       const ir::NodeRef expr = materialize(clause, ts_);
       if (expr == nullptr) continue;
       // Back-fill the frames materialized before this clause arrived; the

@@ -147,6 +147,8 @@ class PdrEngineAdapter final : public Engine {
     opts.exchange = options_.exchange_mailbox;
     opts.exchange_slot = options_.exchange_slot;
     opts.publish_frame_clauses = options_.exchange_frame_clauses;
+    opts.workers = options_.pdr_workers;
+    opts.rebuild_gate_limit = options_.pdr_rebuild_gate_limit;
     pdr::PdrEngine engine(ts_, std::move(opts));
     pdr::PdrResult r = engine.prove_all(properties);
     EngineResult out;

@@ -56,6 +56,16 @@ struct EngineOptions {
   bool simple_path = false;
   /// Best-effort SAT conflict cap per run; -1 = unlimited.
   std::int64_t conflict_budget = -1;
+  /// PDR only: worker shards for obligation blocking / clause propagation.
+  /// 1 (the default) is the single-threaded engine, bit for bit; n > 1 runs
+  /// n query contexts over private system clones sharing one frame database
+  /// — verdicts are unchanged, wall-clock and frame trajectory are not.
+  /// Other engines ignore the knob.
+  std::size_t pdr_workers = 1;
+  /// PDR only: rebuild a query context's transition solver in place after it
+  /// has retired this many one-shot activation gates (query litter). 0 (the
+  /// default) never rebuilds. See PdrOptions::rebuild_gate_limit.
+  std::size_t pdr_rebuild_gate_limit = 0;
   /// Cooperative cancellation. Engines poll the flag between solver queries
   /// and hand it to their SAT solvers, which poll it at restart boundaries;
   /// once it reads true the run winds down and reports Verdict::Unknown.
@@ -101,9 +111,11 @@ struct EngineBreakdown {
   EngineStats stats;
   std::string note;  ///< non-empty when the member aborted (e.g. threw)
   /// Live-exchange traffic (EngineOptions::exchange): clauses this member
-  /// published into / asserted out of the portfolio mailbox. A time-sliced
-  /// member re-absorbs the backlog each slice, so `lemmas_absorbed` counts
-  /// assertion work, not distinct clauses.
+  /// published into / asserted out of the portfolio mailbox. Consumers
+  /// dedupe the backlog per run (mc::AbsorbFilter keyed on the manager-
+  /// neutral form), so `lemmas_absorbed` counts distinct clauses asserted
+  /// per engine run; a time-sliced member still re-absorbs each distinct
+  /// clause once per slice — its fresh solvers need every fact again.
   std::size_t lemmas_published = 0;
   std::size_t lemmas_absorbed = 0;
 };

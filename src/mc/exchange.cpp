@@ -1,8 +1,19 @@
 #include "mc/exchange.hpp"
 
+#include <sstream>
+
 #include "util/status.hpp"
 
 namespace genfv::mc {
+
+std::string exchange_key(const ExchangedClause& clause) {
+  std::ostringstream key;
+  key << clause.level;
+  for (const ExchangedLit& lit : clause.lits) {
+    key << '|' << lit.state << '.' << lit.bit << (lit.negated ? '-' : '+');
+  }
+  return key.str();
+}
 
 ir::NodeRef materialize(const ExchangedClause& clause, const ir::TransitionSystem& ts) {
   if (clause.lits.empty()) return nullptr;

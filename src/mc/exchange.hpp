@@ -22,7 +22,9 @@
 ///    thread may publish or fetch at any time.
 ///  * Consumers own their read cursor (`fetch`'s in/out parameter), so a
 ///    fresh engine instance (e.g. a new time slice of the deterministic
-///    portfolio) starts at 0 and sees the full backlog.
+///    portfolio) starts at 0 and sees the full backlog — and dedupes it
+///    through an `AbsorbFilter`, because re-publishing slices can load the
+///    board with many copies of the same fact.
 ///
 /// Soundness rules for absorbing a clause:
 ///  * `proven()` clauses are invariants — they hold in every reachable
@@ -39,6 +41,8 @@
 #include <cstdint>
 #include <limits>
 #include <mutex>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "ir/transition_system.hpp"
@@ -75,6 +79,31 @@ struct ExchangedClause {
 /// of range), which a consumer treats as "skip, do not absorb".
 ir::NodeRef materialize(const ExchangedClause& clause,
                         const ir::TransitionSystem& ts);
+
+/// Canonical key of a clause's manager-neutral form (literals + level).
+/// Equal keys ⇔ the clauses assert the same fact with the same soundness
+/// scope, no matter which member published them or how often.
+std::string exchange_key(const ExchangedClause& clause);
+
+/// Consumer-side duplicate filter. The mailbox backlog may carry the same
+/// clause many times — a time-sliced PDR member re-proves and re-publishes
+/// its F_∞ clauses at every budget, and several members can publish the
+/// same fact independently — so a consumer that asserted every fetched
+/// clause would do quadratic re-assert work across slices. `admit` returns
+/// true exactly once per distinct manager-neutral form; consumers skip (and
+/// do not count as absorbed) everything else. One filter lives per engine
+/// *run*: a fresh run has fresh solvers and genuinely needs each distinct
+/// clause once more.
+class AbsorbFilter {
+ public:
+  /// True iff `clause` has not been admitted by this filter before.
+  bool admit(const ExchangedClause& clause) {
+    return seen_.insert(exchange_key(clause)).second;
+  }
+
+ private:
+  std::unordered_set<std::string> seen_;
+};
 
 /// Thread-safe multi-producer multi-consumer clause board, one slot per
 /// portfolio member. Publishing appends; fetching returns every clause

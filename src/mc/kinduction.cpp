@@ -56,11 +56,15 @@ InductionResult KInductionEngine::prove_all(const std::vector<ir::NodeRef>& prop
   // Absorb newly published exchange clauses: materialize them in our own
   // manager and back-fill every frame the run has already built.
   std::size_t exchange_cursor = 0;
+  // The backlog may carry the same clause many times (re-publishing slices,
+  // independent members); assert each distinct fact once per run.
+  AbsorbFilter absorb_filter;
   auto poll_exchange = [&] {
     if (options_.exchange == nullptr) return;
     std::size_t absorbed = 0;
     for (const ExchangedClause& clause :
          options_.exchange->fetch(options_.exchange_slot, &exchange_cursor)) {
+      if (!absorb_filter.admit(clause)) continue;
       const ir::NodeRef expr = materialize(clause, ts_);
       if (expr == nullptr) continue;
       if (clause.proven()) {

@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file context.hpp
+/// Per-worker PDR query context: one transition solver + one initiation
+/// solver (both owned by a `sat::SolverPool`), their unrollers, the
+/// activation-literal ladder, and a lazily-synced mirror of the shared
+/// `FrameDb`.
+///
+/// A context is the only place solver literals exist; everything above it
+/// (blocking, generalization, propagation, orchestration) trades in
+/// manager-neutral cubes. One context belongs to exactly one worker at a
+/// time — it is not internally synchronized. The sharded engine gives each
+/// worker a context over a private `ir::SystemClone`; worker 0's context
+/// runs over the caller's own system, so `workers == 1` degenerates to the
+/// legacy single-solver engine with zero threading overhead.
+///
+/// FrameDb mirroring: `sync()` replays the database journal since the
+/// context's last synced epoch — level pushes allocate activation literals,
+/// blocked cubes become activation-gated clauses, graduations become
+/// ungated F_∞ clauses asserted at both solver frames. A mirror may lag the
+/// database between syncs; that only *weakens* the frame approximation a
+/// query sees, which is sound for every PDR query shape (a stale F_k is
+/// still an over-approximation of the states reachable in ≤ k steps).
+///
+/// Gate hygiene: finished blocking queries retire their activation gates as
+/// permanently-satisfied unit clauses. The context counts the litter and —
+/// when `PdrOptions::rebuild_gate_limit` is enabled — rebuilds its
+/// transition solver in place at the next `sync()`, re-encoding init,
+/// lemmas, the FrameDb clauses and F_∞ from a consistent snapshot. The
+/// retired solver's statistics survive in the pool.
+
+#include <vector>
+
+#include "mc/pdr/frame_db.hpp"
+#include "mc/pdr/obligation.hpp"
+#include "mc/pdr/pdr.hpp"
+#include "mc/unroller.hpp"
+#include "sat/solver_pool.hpp"
+
+namespace genfv::mc::pdr {
+
+class QueryContext {
+ public:
+  /// `ts`, `property` and `lemmas` must all live in the same NodeManager
+  /// (the worker's clone, or the caller's system for worker 0) and outlive
+  /// the context; so must `pool`, `db` and `options`.
+  QueryContext(const ir::TransitionSystem& ts, ir::NodeRef property,
+               const std::vector<ir::NodeRef>& lemmas, const PdrOptions& options,
+               sat::SolverPool& pool, FrameDb& db);
+
+  const ir::TransitionSystem& system() const noexcept { return ts_; }
+  sat::Solver& solver() { return pool_.at(solver_handle_); }
+  sat::Solver& init_solver() { return pool_.at(init_handle_); }
+  Unroller& unroller() { return *unr_; }
+  Unroller& init_unroller() { return *init_unr_; }
+
+  /// Property literal at frame 0 of the transition solver / of the
+  /// init-constrained solver.
+  sat::Lit prop_lit() const noexcept { return prop0_; }
+  sat::Lit init_prop_lit() const noexcept { return init_prop_; }
+
+  /// True once cooperative cancellation has been requested.
+  bool stopped() const noexcept;
+
+  /// Mirror maintenance: rebuild the transition solver if the gate litter
+  /// crossed the limit, then replay every FrameDb event this mirror has not
+  /// seen. Called internally by every query entry point; cheap when there is
+  /// nothing new.
+  void sync();
+
+  /// Solver literal that is true iff cube literal `l` holds at `frame`.
+  sat::Lit cube_lit(std::size_t frame, const StateLit& l);
+
+  /// Assumptions activating F_level in this mirror: the activation literals
+  /// of levels ≥ level. Requires a prior sync() covering `level`.
+  std::vector<sat::Lit> assumptions(std::size_t level) const;
+
+  /// SAT(F_frontier ∧ ¬P)? — find a frontier state violating the property.
+  sat::LBool solve_frontier_bad(std::size_t frontier);
+
+  /// Fill `out` with the full frame-0 state cube and the concrete
+  /// state/input values of the current model of the transition solver.
+  void extract_state(Obligation& out);
+
+  /// SAT(init ∧ cube)? — does the cube contain an initial state.
+  sat::LBool intersects_init(const Cube& cube);
+
+  /// Undef counts as "may intersect" — conservative for generalization,
+  /// which must never block a potentially-initial state.
+  bool may_intersect_init(const Cube& cube);
+
+  /// SAT(F_{level-1} ∧ [¬cube] ∧ T ∧ cube')? On UNSAT, `core_out` (if given)
+  /// receives the failed assumptions; intersect with the primed cube
+  /// literals to find which were needed.
+  sat::LBool relative_query(const Cube& cube, std::size_t level, bool assume_not_cube,
+                            std::vector<sat::Lit>* core_out);
+
+  /// Fresh one-shot activation gate for a temporary clause group (e.g. one
+  /// F_∞ fixpoint pass). Retire it with retire_gate once the group is dead.
+  sat::Lit new_gate();
+
+  /// Permanently satisfy every clause gated by `gate` and count the litter.
+  void retire_gate(sat::Lit gate);
+
+  /// Lifetime gate litter (survives rebuilds) — feeds EngineStats.
+  std::size_t retired_gates() const noexcept { return retired_gates_total_; }
+
+ private:
+  /// Encode the rebuild-invariant base facts into the (fresh) transition
+  /// solver: frames 0/1, the gated init equalities, the seeded lemmas and
+  /// the property literal. Shared by the constructor and rebuild().
+  void bootstrap();
+
+  /// Replace the transition solver with a fresh one and re-encode the base
+  /// facts plus a consistent FrameDb snapshot.
+  void rebuild();
+
+  void apply_event(const FrameDb::Event& event);
+  void assert_blocked(const Cube& cube, std::size_t level);
+  void assert_infinity(const Cube& cube);
+
+  const ir::TransitionSystem& ts_;
+  const PdrOptions& options_;
+  sat::SolverPool& pool_;
+  FrameDb& db_;
+  ir::NodeRef property_;
+  std::vector<ir::NodeRef> lemmas_;
+
+  std::size_t solver_handle_ = 0;
+  std::size_t init_handle_ = 0;
+  std::unique_ptr<Unroller> unr_;
+  std::unique_ptr<Unroller> init_unr_;
+  /// activations_[0] gates the init-value equalities; activations_[k] gates
+  /// the clauses blocked at delta level k.
+  std::vector<sat::Lit> activations_;
+  sat::Lit prop0_ = sat::kUndefLit;
+  sat::Lit init_prop_ = sat::kUndefLit;
+  std::size_t synced_epoch_ = 0;
+
+  std::size_t retired_gates_since_rebuild_ = 0;
+  std::size_t retired_gates_total_ = 0;
+};
+
+}  // namespace genfv::mc::pdr

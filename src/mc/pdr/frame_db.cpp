@@ -1,0 +1,95 @@
+#include "mc/pdr/frame_db.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace genfv::mc::pdr {
+
+FrameDb::FrameDb() { levels_.emplace_back(); }
+
+std::size_t FrameDb::levels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return levels_.size();
+}
+
+std::size_t FrameDb::frontier() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return levels_.size() - 1;
+}
+
+void FrameDb::push_level() {
+  std::lock_guard<std::mutex> lock(mu_);
+  levels_.emplace_back();
+  journal_.push_back({Event::Kind::PushLevel, {}, levels_.size() - 1});
+}
+
+void FrameDb::add_blocked(Cube cube, std::size_t level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GENFV_ASSERT(level >= 1 && level < levels_.size(), "cubes live at levels 1..N");
+  // The new clause subsumes any weaker clause it implies at this level or
+  // below; drop those from the bookkeeping (their mirrored solver clauses
+  // remain, which is sound — merely redundant).
+  for (std::size_t i = 1; i <= level; ++i) {
+    std::erase_if(levels_[i], [&](const Cube& old) { return subsumes(cube, old); });
+  }
+  levels_[level].push_back(cube);
+  journal_.push_back({Event::Kind::Block, std::move(cube), level});
+}
+
+bool FrameDb::is_blocked(const Cube& cube, std::size_t level) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = level; i < levels_.size(); ++i) {
+    for (const Cube& blocked : levels_[i]) {
+      if (subsumes(blocked, cube)) return true;
+    }
+  }
+  return false;
+}
+
+void FrameDb::graduate(const Cube& cube, std::size_t level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GENFV_ASSERT(level >= 1 && level < levels_.size(), "graduation from levels 1..N");
+  std::erase_if(levels_[level], [&](const Cube& old) { return old == cube; });
+  infinity_.push_back(cube);
+  journal_.push_back({Event::Kind::Graduate, cube, kInfinityLevel});
+}
+
+std::vector<Cube> FrameDb::cubes_at(std::size_t level) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  GENFV_ASSERT(level < levels_.size(), "frame level out of range");
+  return levels_[level];
+}
+
+std::vector<Cube> FrameDb::infinity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return infinity_;
+}
+
+std::size_t FrameDb::total_cubes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& level : levels_) n += level.size();
+  return n;
+}
+
+std::size_t FrameDb::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_.size();
+}
+
+std::size_t FrameDb::events_since(std::size_t from, std::vector<Event>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  GENFV_ASSERT(out != nullptr, "events_since needs an output vector");
+  GENFV_ASSERT(from <= journal_.size(), "epoch from the future");
+  out->insert(out->end(), journal_.begin() + static_cast<std::ptrdiff_t>(from),
+              journal_.end());
+  return journal_.size();
+}
+
+FrameDb::Snapshot FrameDb::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {levels_, infinity_, journal_.size()};
+}
+
+}  // namespace genfv::mc::pdr

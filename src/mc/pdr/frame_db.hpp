@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file frame_db.hpp
+/// The shared, solver-neutral PDR frame database F_0 ⊆ F_1 ⊆ … ⊆ F_N ⊆ F_∞.
+///
+/// Blocked cubes are kept in delta encoding exactly like the classic frame
+/// trace — each cube is stored only at the highest level where its clause is
+/// known to hold, and the semantic frame F_i is the conjunction of all
+/// clauses stored at levels ≥ i (plus everything in F_∞). Unlike the old
+/// `FrameTrace`, the database holds **no solver state at all**: cubes are
+/// `{state-index, bit, polarity}` literals (`StateLit`, the same
+/// manager-neutral currency as `mc::ExchangedClause`), so the one structure
+/// can be shared by any number of per-worker query contexts over any number
+/// of system clones.
+///
+/// Thread-safety: every method is internally synchronized by one mutex; any
+/// worker may add/query at any time. Accessors return snapshots by value.
+///
+/// Epoch sync: every mutation appends an event to an append-only journal and
+/// the epoch is the journal length. A `QueryContext` mirrors the database
+/// into its private solver by replaying `events_since` its last synced
+/// epoch — level pushes allocate activation literals, blocked cubes become
+/// activation-gated clauses, graduations become ungated F_∞ clauses. The
+/// journal records only additions: subsumption and graduation remove cubes
+/// from the *bookkeeping*, but the solver clauses they already produced in
+/// some mirror remain sound (merely redundant), exactly as in the
+/// single-solver engine.
+
+#include <cstddef>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "mc/pdr/cube.hpp"
+
+namespace genfv::mc::pdr {
+
+/// Pseudo-level of F_∞ (clauses certified invariant). Numerically equal to
+/// `mc::kExchangeProvenLevel`, so graduation events translate directly into
+/// proven exchange clauses.
+inline constexpr std::size_t kInfinityLevel = std::numeric_limits<std::size_t>::max();
+
+class FrameDb {
+ public:
+  /// One journal entry. Replay rules for a solver mirror:
+  ///  * PushLevel: allocate a fresh activation literal for the new level.
+  ///  * Block: assert clause ¬cube gated by the activation of `level`.
+  ///  * Graduate: assert clause ¬cube ungated at both solver frames.
+  struct Event {
+    enum class Kind { PushLevel, Block, Graduate };
+    Kind kind = Kind::PushLevel;
+    Cube cube;               ///< empty for PushLevel
+    std::size_t level = 0;   ///< Block: delta level; Graduate: kInfinityLevel
+  };
+
+  /// A consistent copy of the whole database, used for solver rebuilds: the
+  /// rebuilt mirror re-encodes `levels`/`infinity` and resumes syncing from
+  /// `epoch`.
+  struct Snapshot {
+    std::vector<std::vector<Cube>> levels;  ///< blocked cubes per level
+    std::vector<Cube> infinity;
+    std::size_t epoch = 0;
+  };
+
+  /// Starts with level 0 only (the initial-state frame, which never holds
+  /// cubes) and an empty journal.
+  FrameDb();
+
+  std::size_t levels() const;
+  std::size_t frontier() const;  ///< levels() - 1
+
+  /// Append a new (empty) frontier level.
+  void push_level();
+
+  /// Record `cube` as blocked at `level` (1..frontier): drops bookkeeping
+  /// for cubes at levels ≤ `level` that the new cube subsumes, then journals
+  /// a Block event. Call is_blocked first if double-adding is possible.
+  void add_blocked(Cube cube, std::size_t level);
+
+  /// True iff some recorded cube at a level ≥ `level` subsumes `cube`.
+  /// (F_∞ is intentionally not consulted — graduated cubes leave the delta
+  /// bookkeeping, matching the single-solver engine's behavior.)
+  bool is_blocked(const Cube& cube, std::size_t level) const;
+
+  /// Graduate `cube` from `level`'s bookkeeping into F_∞ and journal it.
+  /// No-op on the bookkeeping side when the cube is absent from `level`.
+  void graduate(const Cube& cube, std::size_t level);
+
+  std::vector<Cube> cubes_at(std::size_t level) const;
+  std::vector<Cube> infinity() const;
+
+  /// Total live (non-subsumed, non-graduated) cubes across all levels.
+  std::size_t total_cubes() const;
+
+  /// Journal length; grows monotonically with every mutation.
+  std::size_t epoch() const;
+
+  /// Append journal entries [from, epoch()) to `out`; returns the new epoch.
+  std::size_t events_since(std::size_t from, std::vector<Event>* out) const;
+
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<Cube>> levels_;  ///< blocked cubes, delta-encoded
+  std::vector<Cube> infinity_;
+  std::vector<Event> journal_;
+};
+
+}  // namespace genfv::mc::pdr

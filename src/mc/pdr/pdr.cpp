@@ -4,8 +4,13 @@
 #include <sstream>
 #include <unordered_set>
 
-#include "mc/pdr/frames.hpp"
+#include "ir/clone.hpp"
+#include "mc/pdr/blocking.hpp"
+#include "mc/pdr/context.hpp"
+#include "mc/pdr/frame_db.hpp"
 #include "mc/pdr/obligation.hpp"
+#include "mc/pdr/propagate.hpp"
+#include "sat/solver_pool.hpp"
 #include "util/status.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -30,272 +35,46 @@ bool references_input(ir::NodeRef root) {
   return false;
 }
 
-/// All mutable state of one prove_all() run.
+/// All mutable state of one prove_all() run: the shared solver-neutral
+/// structures (frame database, obligation arena, solver pool) plus one query
+/// context per worker. Context 0 always runs over the caller's own system
+/// on the calling thread; contexts 1..n-1 each own a private `ir::SystemClone`
+/// so no NodeManager ever crosses a thread — the portfolio's clone
+/// discipline applied inside one engine.
 struct PdrRun {
-  const ir::TransitionSystem& ts;
-  const PdrOptions& options;
-
-  sat::Solver solver;       ///< transition solver: frame 0 -> frame 1
-  sat::Solver init_solver;  ///< initiation solver: frame 0 under init
-  Unroller unr;
-  Unroller init_unr;
-  sat::Lit init_gate;  ///< activates the init-value equalities in `solver`
-  FrameTrace frames;
+  FrameDb db;
   ObligationQueue queue;
-  sat::Lit prop0, init_prop;
-  /// F_∞: clauses certified invariant by the post-propagation
-  /// mutual-induction fixpoint. Asserted ungated at both frames of `solver`
-  /// (so every frame query is strengthened) and published to the exchange
-  /// mailbox the moment they arrive here.
-  std::vector<Cube> inf;
+  sat::SolverPool pool;
+  std::vector<std::unique_ptr<ir::SystemClone>> clones;
+  std::vector<std::unique_ptr<QueryContext>> contexts;
 
-  PdrRun(const ir::TransitionSystem& ts_in, const PdrOptions& options_in, ir::NodeRef prop)
-      : ts(ts_in),
-        options(options_in),
-        unr(ts_in, solver),
-        init_unr(ts_in, init_solver),
-        init_gate(sat::mk_lit(solver.new_var())),
-        frames(solver, init_gate) {
-    solver.set_conflict_budget(options.conflict_budget);
-    init_solver.set_conflict_budget(options.conflict_budget);
-    solver.set_stop_flag(options.stop.get());
-    init_solver.set_stop_flag(options.stop.get());
-    unr.extend_to(1);
-    init_unr.assert_init();
-
-    // Init-value equalities, gated behind the level-0 activation literal so
-    // the same solver answers both init-relative and frame-relative queries.
-    for (const auto& s : ts.states()) {
-      if (s.init == nullptr) continue;
-      const bitblast::Bits state_bits = unr.bits_at(s.var, 0);
-      const bitblast::Bits init_bits = unr.bits_at(s.init, 0);
-      for (std::size_t b = 0; b < state_bits.size(); ++b) {
-        solver.add_clause(~init_gate, state_bits[b], ~init_bits[b]);
-        solver.add_clause(~init_gate, ~state_bits[b], init_bits[b]);
-      }
+  PdrRun(const ir::TransitionSystem& ts, const PdrOptions& options, ir::NodeRef prop)
+      : pool(sat::SolverConfig{options.conflict_budget, options.stop.get()}) {
+    const std::size_t n = std::max<std::size_t>(1, options.workers);
+    contexts.reserve(n);
+    contexts.push_back(std::make_unique<QueryContext>(ts, prop, options.lemmas,
+                                                      options, pool, db));
+    for (std::size_t i = 1; i < n; ++i) {
+      clones.push_back(std::make_unique<ir::SystemClone>(ts));
+      ir::SystemClone& clone = *clones.back();
+      std::vector<ir::NodeRef> lemmas;
+      lemmas.reserve(options.lemmas.size());
+      for (const ir::NodeRef l : options.lemmas) lemmas.push_back(clone.to_clone(l));
+      contexts.push_back(std::make_unique<QueryContext>(
+          clone.system(), clone.to_clone(prop), lemmas, options, pool, db));
     }
-
-    // Lemma seeding: proven invariants hold everywhere, i.e. they are
-    // clauses of F_∞ and strengthen every frame of every query.
-    for (const ir::NodeRef lemma : options.lemmas) {
-      unr.assert_at(lemma, 0);
-      unr.assert_at(lemma, 1);
-      init_unr.assert_at(lemma, 0);
-    }
-
-    prop0 = unr.lit_at(prop, 0);
-    init_prop = init_unr.lit_at(prop, 0);
-    frames.push_level();  // level 1: the first frontier
+    db.push_level();  // level 1: the first frontier
   }
 
-  /// True once cooperative cancellation has been requested.
-  bool stopped() const noexcept {
-    return options.stop != nullptr && options.stop->load(std::memory_order_relaxed);
-  }
+  QueryContext& main() { return *contexts.front(); }
 
-  // --- literal plumbing ------------------------------------------------------
-
-  /// Solver literal that is true iff cube literal `l` holds at `frame`.
-  sat::Lit cube_lit(std::size_t frame, const StateLit& l) {
-    const bitblast::Bits& bits = unr.bits_at(ts.states()[l.state].var, frame);
-    return bits[l.bit] ^ l.negated;
-  }
-
-  /// Fill `out` with the full frame-0 state cube and the concrete
-  /// state/input values of the current model of `solver`.
-  void extract_state(Obligation& out) {
-    out.cube.clear();
-    out.state_values.clear();
-    out.input_values.clear();
-    for (std::size_t si = 0; si < ts.states().size(); ++si) {
-      const auto& s = ts.states()[si];
-      const bitblast::Bits bits = unr.bits_at(s.var, 0);
-      // `value` packs the state into the same uint64 currency sim::Trace
-      // uses. NodeManager::mk_state caps widths at 64 (and prove_all
-      // re-checks), so the shift below can never reach UB territory.
-      GENFV_ASSERT(bits.size() <= 64, "state wider than the 64-bit value path");
-      std::uint64_t value = 0;
-      for (std::size_t b = 0; b < bits.size(); ++b) {
-        const bool one = solver.model_value(bits[b]) == sat::LBool::True;
-        if (one) value |= 1ULL << b;
-        out.cube.push_back({static_cast<std::uint32_t>(si), static_cast<std::uint32_t>(b),
-                            !one});
-      }
-      out.state_values.push_back(value);
-    }
-    for (const ir::NodeRef in : ts.inputs()) {
-      out.input_values.push_back(unr.model_value(in, 0));
-    }
-  }
-
-  // --- queries ---------------------------------------------------------------
-
-  /// SAT(init ∧ cube)? — does the cube contain an initial state.
-  sat::LBool intersects_init(const Cube& cube) {
-    std::vector<sat::Lit> assumptions;
-    assumptions.reserve(cube.size());
-    for (const StateLit& l : cube) {
-      const bitblast::Bits& bits = init_unr.bits_at(ts.states()[l.state].var, 0);
-      assumptions.push_back(bits[l.bit] ^ l.negated);
-    }
-    return init_solver.solve(assumptions);
-  }
-
-  /// Undef counts as "may intersect" — conservative for generalization,
-  /// which must never block a potentially-initial state.
-  bool may_intersect_init(const Cube& cube) {
-    return intersects_init(cube) != sat::LBool::False;
-  }
-
-  /// SAT(F_{level-1} ∧ [¬cube] ∧ T ∧ cube')? On UNSAT, `core_out` (if given)
-  /// receives the failed assumptions; intersect with the primed cube
-  /// literals to find which were needed.
-  sat::LBool relative_query(const Cube& cube, std::size_t level, bool assume_not_cube,
-                            std::vector<sat::Lit>* core_out) {
-    GENFV_ASSERT(level >= 1, "relative queries start at level 1");
-    std::vector<sat::Lit> assumptions = frames.assumptions(level - 1);
-    sat::Lit gate = sat::kUndefLit;
-    if (assume_not_cube) {
-      gate = sat::mk_lit(solver.new_var());
-      std::vector<sat::Lit> clause{~gate};
-      for (const StateLit& l : cube) clause.push_back(~cube_lit(0, l));
-      solver.add_clause(std::move(clause));
-      assumptions.push_back(gate);
-    }
-    for (const StateLit& l : cube) assumptions.push_back(cube_lit(1, l));
-    const sat::LBool answer = solver.solve(assumptions);
-    if (answer == sat::LBool::False && core_out != nullptr) {
-      *core_out = solver.failed_assumptions();
-    }
-    if (assume_not_cube) solver.add_clause(~gate);  // retire the query gate
-    return answer;
-  }
-
-  /// Record `cube` as blocked at `level`: bookkeeping + the activation-gated
-  /// solver clause.
-  void block(const Cube& cube, std::size_t level) {
-    std::vector<sat::Lit> clause{~frames.activation(level)};
-    for (const StateLit& l : cube) clause.push_back(~cube_lit(0, l));
-    solver.add_clause(std::move(clause));
-    frames.add_blocked(cube, level);
-    if (options.exchange != nullptr && options.publish_frame_clauses) {
-      options.exchange->publish(options.exchange_slot, to_exchanged(cube, level));
-    }
-  }
-
-  // --- F_∞ / lemma exchange --------------------------------------------------
-
-  static ExchangedClause to_exchanged(const Cube& cube, std::size_t level) {
-    ExchangedClause out;
-    out.level = level;
-    out.lits.reserve(cube.size());
-    for (const StateLit& l : cube) out.lits.push_back({l.state, l.bit, l.negated});
+  std::vector<QueryContext*> context_ptrs() {
+    std::vector<QueryContext*> out;
+    out.reserve(contexts.size());
+    for (const auto& ctx : contexts) out.push_back(ctx.get());
     return out;
   }
-
-  /// Graduate `cube` to F_∞: assert its clause ungated at both solver frames
-  /// (strengthening every future query on every level) and publish it.
-  void add_to_infinity(const Cube& cube) {
-    for (const std::size_t frame : {std::size_t{0}, std::size_t{1}}) {
-      std::vector<sat::Lit> clause;
-      clause.reserve(cube.size());
-      for (const StateLit& l : cube) clause.push_back(~cube_lit(frame, l));
-      solver.add_clause(std::move(clause));
-    }
-    inf.push_back(cube);
-    if (options.exchange != nullptr) {
-      options.exchange->publish(options.exchange_slot,
-                                to_exchanged(cube, kExchangeProvenLevel));
-    }
-  }
-
-  /// Push frontier clauses to F_∞ when a subset is mutually inductive: the
-  /// greatest fixpoint of "drop any clause with a counterexample-to-
-  /// consecution relative to the remaining set (∧ F_∞ ∧ lemmas)". Survivors
-  /// satisfy initiation (blocked cubes never intersect init) and consecution
-  /// as a set, so each is an invariant — provable long before the frame
-  /// trace itself converges, which is what makes live exchange useful
-  /// mid-race. Returns false when the conflict budget or stop flag
-  /// interrupted (callers give up on the whole run, as elsewhere).
-  bool push_to_infinity() {
-    std::vector<Cube> cand = frames.cubes_at(frames.frontier());
-    while (!cand.empty()) {
-      if (stopped()) return false;
-      // Assert the candidate clauses at frame 0 behind a per-pass gate.
-      const sat::Lit gate = sat::mk_lit(solver.new_var());
-      for (const Cube& c : cand) {
-        std::vector<sat::Lit> clause{~gate};
-        for (const StateLit& l : c) clause.push_back(~cube_lit(0, l));
-        solver.add_clause(std::move(clause));
-      }
-      std::ptrdiff_t failed = -1;
-      for (std::size_t i = 0; i < cand.size(); ++i) {
-        std::vector<sat::Lit> assumptions{gate};
-        for (const StateLit& l : cand[i]) assumptions.push_back(cube_lit(1, l));
-        const sat::LBool answer = solver.solve(assumptions);
-        if (answer == sat::LBool::Undef) {
-          solver.add_clause(~gate);
-          return false;
-        }
-        if (answer == sat::LBool::True) {
-          failed = static_cast<std::ptrdiff_t>(i);
-          break;
-        }
-      }
-      solver.add_clause(~gate);  // retire this pass's gate
-      if (failed < 0) break;     // fixpoint: every candidate is consecutive
-      cand.erase(cand.begin() + failed);
-    }
-    for (const Cube& c : cand) {
-      frames.erase_blocked(c, frames.frontier());
-      add_to_infinity(c);
-    }
-    return true;
-  }
-
-  // --- generalization --------------------------------------------------------
-
-  /// Shrink a relatively-inductive cube: unsat-core filter, initiation
-  /// repair, then (optionally) greedy literal dropping.
-  Cube generalize(const Cube& cube, std::size_t level, const std::vector<sat::Lit>& core) {
-    std::unordered_set<std::int32_t> needed;
-    for (const sat::Lit p : core) needed.insert(p.code);
-    Cube g;
-    for (const StateLit& l : cube) {
-      if (needed.count(cube_lit(1, l).code) != 0) g.push_back(l);
-    }
-    if (g.empty()) g = cube;
-    repair_initiation(g, cube);
-
-    if (options.generalize_drop) {
-      for (std::size_t i = 0; i < g.size() && g.size() > 1;) {
-        Cube cand = g;
-        cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
-        if (!may_intersect_init(cand) &&
-            relative_query(cand, level, /*assume_not_cube=*/true, nullptr) ==
-                sat::LBool::False) {
-          g = std::move(cand);
-        } else {
-          ++i;
-        }
-      }
-    }
-    return g;
-  }
-
-  /// Re-add literals of `full` until `g` no longer intersects the initial
-  /// states. `full` itself is known disjoint from init, so this terminates.
-  void repair_initiation(Cube& g, const Cube& full) {
-    if (!may_intersect_init(g)) return;
-    for (const StateLit& l : full) {
-      if (std::binary_search(g.begin(), g.end(), l)) continue;
-      g.insert(std::lower_bound(g.begin(), g.end(), l), l);
-      if (!may_intersect_init(g)) return;
-    }
-  }
 };
-
-enum class BlockOutcome { Blocked, Counterexample, Budget };
 
 }  // namespace
 
@@ -334,21 +113,26 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
   }
 
   PdrRun run(ts_, options_, prop);
+  QueryContext& main = run.main();
+  const std::vector<QueryContext*> contexts = run.context_ptrs();
 
   auto finish = [&](Verdict verdict, std::size_t depth) {
     result.verdict = verdict;
     result.depth = depth;
-    result.stats.absorb(run.solver.stats());
-    result.stats.absorb(run.init_solver.stats());
+    result.stats.absorb(run.pool.total_stats());
+    for (const QueryContext* ctx : contexts) {
+      result.stats.retired_gates += ctx->retired_gates();
+    }
+    result.stats.solver_rebuilds += run.pool.rebuilds();
     result.stats.seconds = watch.seconds();
     return result;
   };
 
   // 0-step: a property violation inside the initial states themselves.
   {
-    const sat::LBool answer = run.init_solver.solve({~run.init_prop});
+    const sat::LBool answer = main.init_solver().solve({~main.init_prop_lit()});
     if (answer == sat::LBool::True) {
-      result.cex = run.init_unr.extract_trace(1);
+      result.cex = main.init_unroller().extract_trace(1);
       return finish(Verdict::Falsified, 0);
     }
     if (answer == sat::LBool::Undef) return finish(Verdict::Unknown, 0);
@@ -356,7 +140,9 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
 
   // Reconstruct a trace from a level-0 obligation chain: the chain's states
   // run from an initial state to the property violation, and each stored
-  // input vector drives its state into the next one.
+  // input vector drives its state into the next one. Obligations carry only
+  // manager-neutral values, so this works no matter which worker's context
+  // discovered each link.
   auto build_cex = [&](std::size_t index) {
     sim::Trace trace(&ts_);
     std::vector<std::size_t> chain;
@@ -378,129 +164,49 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
     return trace;
   };
 
-  // Block every obligation in the queue (backwards reachability from the
-  // frontier's bad states), or find a counterexample chain.
-  auto handle_obligations = [&](std::size_t* cex_index) -> BlockOutcome {
-    while (!run.queue.empty()) {
-      if (run.queue.created() > options_.max_obligations) return BlockOutcome::Budget;
-      if (run.stopped()) return BlockOutcome::Budget;
-      const std::size_t index = run.queue.pop();
-      const Cube cube = run.queue.at(index).cube;
-      const std::size_t level = run.queue.at(index).level;
-      GENFV_ASSERT(level >= 1, "level-0 obligations are counterexamples at creation");
-      if (run.frames.is_blocked(cube, level)) continue;
-
-      std::vector<sat::Lit> core;
-      const sat::LBool answer =
-          run.relative_query(cube, level, /*assume_not_cube=*/true, &core);
-      if (answer == sat::LBool::Undef) return BlockOutcome::Budget;
-
-      if (answer == sat::LBool::False) {
-        // Unreachable from F_{level-1}: learn a generalized blocking clause
-        // and push it as far forward as it stays relatively inductive.
-        Cube g = run.generalize(cube, level, core);
-        std::size_t at = level;
-        while (at < run.frames.frontier() &&
-               run.relative_query(g, at + 1, /*assume_not_cube=*/true, nullptr) ==
-                   sat::LBool::False) {
-          ++at;
-        }
-        run.block(g, at);
-        if (at < run.frames.frontier()) {
-          run.queue.at(index).level = at + 1;
-          run.queue.push(index);
-        }
-        continue;
-      }
-
-      // A predecessor inside F_{level-1} extends the chain towards init.
-      Obligation pred;
-      run.extract_state(pred);
-      pred.level = level - 1;
-      pred.parent = static_cast<std::ptrdiff_t>(index);
-      const sat::LBool initial = run.intersects_init(pred.cube);
-      if (initial == sat::LBool::Undef) return BlockOutcome::Budget;
-      if (initial == sat::LBool::True) {
-        // The predecessor is an initial state: a real counterexample.
-        *cex_index = run.queue.add(std::move(pred));
-        return BlockOutcome::Counterexample;
-      }
-      const std::size_t pred_index = run.queue.add(std::move(pred));
-      run.queue.push(pred_index);
-      run.queue.push(index);  // retry once the predecessor is blocked
-    }
-    return BlockOutcome::Blocked;
-  };
-
   while (true) {
-    const std::size_t frontier = run.frames.frontier();
-    if (run.stopped()) return finish(Verdict::Unknown, frontier);
+    const std::size_t frontier = run.db.frontier();
+    if (main.stopped()) return finish(Verdict::Unknown, frontier);
 
-    // Clean the frontier: block every state that violates the property.
-    while (true) {
-      if (run.stopped()) return finish(Verdict::Unknown, frontier);
-      std::vector<sat::Lit> assumptions = run.frames.assumptions(frontier);
-      assumptions.push_back(~run.prop0);
-      const sat::LBool answer = run.solver.solve(assumptions);
-      if (answer == sat::LBool::Undef) return finish(Verdict::Unknown, frontier);
-      if (answer == sat::LBool::False) break;
-
-      Obligation bad;
-      run.extract_state(bad);
-      bad.level = frontier;
-      bad.parent = -1;
-      const sat::LBool initial = run.intersects_init(bad.cube);
-      if (initial == sat::LBool::Undef) return finish(Verdict::Unknown, frontier);
-      if (initial == sat::LBool::True) {
-        // Defensive: with input-independent init values the 0-step check
-        // already excludes initial bad states, so this cannot trigger; if
-        // it ever does, the state itself is a 1-frame counterexample.
-        const std::size_t index = run.queue.add(std::move(bad));
-        result.cex = build_cex(index);
+    // Strengthen the frontier: block every state that violates the property
+    // (and every predecessor chain those states drag in) — sequentially on
+    // context 0 for workers == 1, sharded across the pool otherwise.
+    std::size_t cex_index = 0;
+    switch (strengthen_frontier(contexts, run.db, run.queue, options_, frontier,
+                                &cex_index)) {
+      case BlockOutcome::Blocked: break;
+      case BlockOutcome::Counterexample:
+        result.cex = build_cex(cex_index);
         return finish(Verdict::Falsified, result.cex->size() - 1);
-      }
-      const std::size_t index = run.queue.add(std::move(bad));
-      run.queue.push(index);
-
-      std::size_t cex_index = 0;
-      switch (handle_obligations(&cex_index)) {
-        case BlockOutcome::Blocked: break;
-        case BlockOutcome::Counterexample:
-          result.cex = build_cex(cex_index);
-          return finish(Verdict::Falsified, result.cex->size() - 1);
-        case BlockOutcome::Budget: return finish(Verdict::Unknown, frontier);
-      }
+      case BlockOutcome::Budget: return finish(Verdict::Unknown, frontier);
     }
 
     // Propagation: push clauses that remain inductive at their level.
-    for (std::size_t i = 1; i < frontier; ++i) {
-      if (run.stopped()) return finish(Verdict::Unknown, frontier);
-      const std::vector<Cube> snapshot = run.frames.cubes_at(i);
-      for (const Cube& cube : snapshot) {
-        if (run.frames.is_blocked(cube, i + 1)) continue;
-        const sat::LBool answer =
-            run.relative_query(cube, i + 1, /*assume_not_cube=*/false, nullptr);
-        if (answer == sat::LBool::Undef) return finish(Verdict::Unknown, frontier);
-        if (answer == sat::LBool::False) run.block(cube, i + 1);
-      }
+    const PropagateOutcome propagated =
+        contexts.size() == 1 ? propagate_all(main, run.db, options_)
+                             : propagate_sharded(contexts, run.db, options_);
+    if (propagated == PropagateOutcome::Budget) {
+      return finish(Verdict::Unknown, frontier);
     }
 
     // Clauses that propagated all the way to the frontier are candidates for
     // F_∞: certify the mutually-inductive subset invariant and publish it to
     // the exchange mailbox — this is where racing members learn from PDR
     // long before this run converges.
-    if (!run.push_to_infinity()) return finish(Verdict::Unknown, frontier);
+    if (!push_to_infinity(main, run.db, options_)) {
+      return finish(Verdict::Unknown, frontier);
+    }
 
     // Convergence: an empty level means two adjacent frames agree, and the
     // agreeing frame is an inductive invariant implying the property. F_∞
     // clauses are part of every frame, so they belong to the certificate.
     for (std::size_t i = 1; i < frontier; ++i) {
-      if (!run.frames.cubes_at(i).empty()) continue;
-      for (const Cube& cube : run.inf) {
+      if (!run.db.cubes_at(i).empty()) continue;
+      for (const Cube& cube : run.db.infinity()) {
         result.invariant.push_back(clause_expr(ts_, cube));
       }
       for (std::size_t j = i + 1; j <= frontier; ++j) {
-        for (const Cube& cube : run.frames.cubes_at(j)) {
+        for (const Cube& cube : run.db.cubes_at(j)) {
           result.invariant.push_back(clause_expr(ts_, cube));
         }
       }
@@ -508,7 +214,7 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
     }
 
     if (frontier >= options_.max_frames) return finish(Verdict::Unknown, frontier);
-    run.frames.push_level();
+    run.db.push_level();
   }
 }
 

@@ -18,6 +18,17 @@
 ///  * on Proven the final frame's clauses are exported (`PdrResult::
 ///    invariant`) so the helper-generation flow can re-use them as proven
 ///    lemmas.
+///
+/// The engine is layered for sharding (this header is only the façade):
+///  * `frame_db.hpp` — the shared, solver-neutral frame database;
+///  * `context.hpp` — per-worker query contexts (solver + unroller +
+///    activation literals + gate-litter rebuild) over a `sat::SolverPool`;
+///  * `blocking.hpp` / `generalize.hpp` / `propagate.hpp` — the algorithm
+///    split into frontier strengthening, inductive generalization and
+///    forward propagation / F_∞ graduation;
+///  * `pdr.cpp` — orchestration. `PdrOptions::workers == 1` reproduces the
+///    legacy single-threaded engine bit for bit; more workers shard
+///    obligation blocking and propagation over private system clones.
 
 #include <atomic>
 #include <cstdint>
@@ -58,6 +69,21 @@ struct PdrOptions {
   /// Also publish every frame-k blocked clause, tagged with its level
   /// (bounded facts; consumers restrict them to init-rooted frames <= k).
   bool publish_frame_clauses = false;
+  /// Worker shards for obligation blocking and clause propagation. 1 (the
+  /// default) runs a single query context on the caller's system — bit for
+  /// bit the legacy single-threaded engine. n > 1 runs n query contexts,
+  /// each over a private `ir::SystemClone` (no NodeManager ever crosses a
+  /// thread), sharing the solver-neutral `FrameDb` and obligation queue;
+  /// verdicts are unchanged, wall-clock and trajectory are not.
+  std::size_t workers = 1;
+  /// Query-gate hygiene: every finished blocking query retires its
+  /// activation gate as a permanently-satisfied unit clause, and those
+  /// accumulate without bound on long runs. When a context has retired this
+  /// many gates it rebuilds its transition solver in place, re-encoding only
+  /// the live facts (init, lemmas, FrameDb clauses, F_∞). 0 (the default)
+  /// never rebuilds — rebuilds keep verdicts but perturb SAT models, i.e.
+  /// the exact frame trajectory.
+  std::size_t rebuild_gate_limit = 0;
 };
 
 struct PdrResult {

@@ -1,0 +1,117 @@
+#include "mc/pdr/propagate.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "mc/pdr/blocking.hpp"
+
+namespace genfv::mc::pdr {
+
+PropagateOutcome propagate_all(QueryContext& ctx, FrameDb& db,
+                               const PdrOptions& options) {
+  const std::size_t frontier = db.frontier();
+  for (std::size_t i = 1; i < frontier; ++i) {
+    if (ctx.stopped()) return PropagateOutcome::Budget;
+    const std::vector<Cube> snapshot = db.cubes_at(i);
+    for (const Cube& cube : snapshot) {
+      if (db.is_blocked(cube, i + 1)) continue;
+      const sat::LBool answer =
+          ctx.relative_query(cube, i + 1, /*assume_not_cube=*/false, nullptr);
+      if (answer == sat::LBool::Undef) return PropagateOutcome::Budget;
+      if (answer == sat::LBool::False) record_blocked(db, options, cube, i + 1);
+    }
+  }
+  return PropagateOutcome::Done;
+}
+
+PropagateOutcome propagate_sharded(const std::vector<QueryContext*>& contexts,
+                                   FrameDb& db, const PdrOptions& options) {
+  const std::size_t frontier = db.frontier();
+  const std::size_t n = contexts.size();
+  for (std::size_t i = 1; i < frontier; ++i) {
+    if (contexts[0]->stopped()) return PropagateOutcome::Budget;
+    const std::vector<Cube> snapshot = db.cubes_at(i);
+    if (snapshot.empty()) continue;
+
+    std::atomic<bool> interrupted{false};
+    std::vector<std::vector<Cube>> pushed(n);
+    auto shard = [&](std::size_t w) {
+      QueryContext& ctx = *contexts[w];
+      for (std::size_t idx = w; idx < snapshot.size(); idx += n) {
+        if (interrupted.load(std::memory_order_relaxed) || ctx.stopped()) return;
+        const Cube& cube = snapshot[idx];
+        if (db.is_blocked(cube, i + 1)) continue;
+        const sat::LBool answer =
+            ctx.relative_query(cube, i + 1, /*assume_not_cube=*/false, nullptr);
+        if (answer == sat::LBool::Undef) {
+          interrupted.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (answer == sat::LBool::False) pushed[w].push_back(cube);
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(n - 1);
+    for (std::size_t w = 1; w < n; ++w) threads.emplace_back(shard, w);
+    shard(0);
+    for (std::thread& t : threads) t.join();
+    if (interrupted.load(std::memory_order_relaxed) || contexts[0]->stopped()) {
+      return PropagateOutcome::Budget;
+    }
+    // Merge under the caller's thread: the database dedupes via subsumption,
+    // and the is_blocked re-check skips cubes another shard also pushed.
+    for (std::size_t w = 0; w < n; ++w) {
+      for (const Cube& cube : pushed[w]) {
+        if (db.is_blocked(cube, i + 1)) continue;
+        record_blocked(db, options, cube, i + 1);
+      }
+    }
+  }
+  return PropagateOutcome::Done;
+}
+
+bool push_to_infinity(QueryContext& ctx, FrameDb& db, const PdrOptions& options) {
+  std::vector<Cube> cand = db.cubes_at(db.frontier());
+  while (!cand.empty()) {
+    if (ctx.stopped()) return false;
+    // Mirror any pending events first: the pass gate and candidate clauses
+    // below must be the *last* facts in the solver so retiring the gate
+    // leaves no live clause behind.
+    ctx.sync();
+    const sat::Lit gate = ctx.new_gate();
+    for (const Cube& c : cand) {
+      std::vector<sat::Lit> clause{~gate};
+      for (const StateLit& l : c) clause.push_back(~ctx.cube_lit(0, l));
+      ctx.solver().add_clause(std::move(clause));
+    }
+    std::ptrdiff_t failed = -1;
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      std::vector<sat::Lit> assumptions{gate};
+      for (const StateLit& l : cand[i]) assumptions.push_back(ctx.cube_lit(1, l));
+      const sat::LBool answer = ctx.solver().solve(assumptions);
+      if (answer == sat::LBool::Undef) {
+        ctx.retire_gate(gate);
+        return false;
+      }
+      if (answer == sat::LBool::True) {
+        failed = static_cast<std::ptrdiff_t>(i);
+        break;
+      }
+    }
+    ctx.retire_gate(gate);  // retire this pass's gate
+    if (failed < 0) break;  // fixpoint: every candidate is consecutive
+    cand.erase(cand.begin() + failed);
+  }
+  const std::size_t frontier = db.frontier();
+  for (const Cube& c : cand) {
+    db.graduate(c, frontier);
+    if (options.exchange != nullptr) {
+      options.exchange->publish(options.exchange_slot,
+                                to_exchanged(c, kExchangeProvenLevel));
+    }
+  }
+  return true;
+}
+
+}  // namespace genfv::mc::pdr

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file propagate.hpp
+/// Forward clause propagation and the F_∞ graduation fixpoint.
+///
+/// Propagation pushes every blocked clause that remains inductive at its
+/// level one level forward; clauses that reach the frontier become
+/// candidates for F_∞, where a mutual-induction fixpoint certifies the
+/// inductive subset invariant (and publishes each survivor to the lemma
+/// exchange). Both passes operate on the shared `FrameDb`; the sharded
+/// variant partitions each level's snapshot across worker contexts with a
+/// barrier per level, so the per-level delta semantics match the
+/// single-context pass.
+
+#include <vector>
+
+#include "mc/pdr/context.hpp"
+#include "mc/pdr/frame_db.hpp"
+
+namespace genfv::mc::pdr {
+
+enum class PropagateOutcome {
+  Done,    ///< every level processed
+  Budget,  ///< conflict budget or stop flag interrupted the pass
+};
+
+/// Single-context propagation over levels 1..frontier-1 (legacy behavior).
+PropagateOutcome propagate_all(QueryContext& ctx, FrameDb& db, const PdrOptions& options);
+
+/// Sharded propagation: each level's cube snapshot is partitioned
+/// round-robin across `contexts`; `contexts[0]` runs on the calling thread,
+/// the rest get a thread per level. Push results are merged into the
+/// database between levels (a barrier), so every worker sees level i fully
+/// propagated before level i+1 starts.
+PropagateOutcome propagate_sharded(const std::vector<QueryContext*>& contexts,
+                                   FrameDb& db, const PdrOptions& options);
+
+/// Push frontier clauses to F_∞ when a subset is mutually inductive: the
+/// greatest fixpoint of "drop any clause with a counterexample-to-
+/// consecution relative to the remaining set (∧ F_∞ ∧ lemmas)". Survivors
+/// satisfy initiation (blocked cubes never intersect init) and consecution
+/// as a set, so each is an invariant — provable long before the frame trace
+/// itself converges, which is what makes live exchange useful mid-race.
+/// Returns false when the conflict budget or stop flag interrupted (callers
+/// give up on the whole run, as elsewhere).
+bool push_to_infinity(QueryContext& ctx, FrameDb& db, const PdrOptions& options);
+
+}  // namespace genfv::mc::pdr

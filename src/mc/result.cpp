@@ -26,6 +26,7 @@ void EngineStats::absorb(const sat::SolverStats& solver) {
   decisions += solver.decisions;
   propagations += solver.propagations;
   restarts += solver.restarts;
+  learnt_clauses += solver.learnt_clauses;
 }
 
 std::string to_string(Verdict v) {

@@ -38,6 +38,13 @@ struct EngineStats {
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;
   std::uint64_t restarts = 0;
+  /// Clauses learnt from conflict analysis across every absorbed solver.
+  std::uint64_t learnt_clauses = 0;
+  /// PDR query hygiene: one-shot activation gates retired as permanently-
+  /// satisfied unit clauses (the litter that motivates solver rebuilds),
+  /// and in-place solver rebuilds triggered by PdrOptions::rebuild_gate_limit.
+  std::uint64_t retired_gates = 0;
+  std::uint64_t solver_rebuilds = 0;
   double seconds = 0.0;
 
   /// Fold one solver's lifetime counters into this record (sat_calls gains
@@ -50,6 +57,9 @@ struct EngineStats {
     decisions += other.decisions;
     propagations += other.propagations;
     restarts += other.restarts;
+    learnt_clauses += other.learnt_clauses;
+    retired_gates += other.retired_gates;
+    solver_rebuilds += other.solver_rebuilds;
     seconds += other.seconds;
     return *this;
   }

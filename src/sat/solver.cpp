@@ -350,6 +350,7 @@ LBool Solver::search(int conflicts_before_restart, const std::vector<Lit>& assum
       // assumption decision: cancel_until handles replay because the
       // decision loop below re-enqueues assumptions in order.
       cancel_until(backtrack_level);
+      ++stats_.learnt_clauses;
       if (learnt.size() == 1) {
         unchecked_enqueue(learnt[0]);
       } else {

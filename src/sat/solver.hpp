@@ -34,9 +34,23 @@ struct SolverStats {
   std::uint64_t propagations = 0;
   std::uint64_t conflicts = 0;
   std::uint64_t restarts = 0;
+  std::uint64_t learnt_clauses = 0;
   std::uint64_t learnt_literals = 0;
   std::uint64_t minimized_literals = 0;
   std::uint64_t deleted_clauses = 0;
+
+  SolverStats& operator+=(const SolverStats& other) noexcept {
+    solves += other.solves;
+    decisions += other.decisions;
+    propagations += other.propagations;
+    conflicts += other.conflicts;
+    restarts += other.restarts;
+    learnt_clauses += other.learnt_clauses;
+    learnt_literals += other.learnt_literals;
+    minimized_literals += other.minimized_literals;
+    deleted_clauses += other.deleted_clauses;
+    return *this;
+  }
 };
 
 class Solver {

@@ -1,0 +1,54 @@
+#include "sat/solver_pool.hpp"
+
+#include "util/status.hpp"
+
+namespace genfv::sat {
+
+SolverPool::SolverPool(SolverConfig config) : config_(config) {}
+
+std::unique_ptr<Solver> SolverPool::make_solver() const {
+  auto solver = std::make_unique<Solver>();
+  solver->set_conflict_budget(config_.conflict_budget);
+  solver->set_stop_flag(config_.stop);
+  return solver;
+}
+
+std::size_t SolverPool::acquire() {
+  solvers_.push_back(make_solver());
+  return solvers_.size() - 1;
+}
+
+Solver& SolverPool::at(std::size_t handle) {
+  GENFV_ASSERT(handle < solvers_.size(), "solver handle out of range");
+  return *solvers_[handle];
+}
+
+const Solver& SolverPool::at(std::size_t handle) const {
+  GENFV_ASSERT(handle < solvers_.size(), "solver handle out of range");
+  return *solvers_[handle];
+}
+
+Solver& SolverPool::rebuild(std::size_t handle) {
+  GENFV_ASSERT(handle < solvers_.size(), "solver handle out of range");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_ += solvers_[handle]->stats();
+    ++rebuilds_;
+  }
+  solvers_[handle] = make_solver();
+  return *solvers_[handle];
+}
+
+std::uint64_t SolverPool::rebuilds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rebuilds_;
+}
+
+SolverStats SolverPool::total_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SolverStats total = retired_;
+  for (const auto& solver : solvers_) total += solver->stats();
+  return total;
+}
+
+}  // namespace genfv::sat

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file solver_pool.hpp
+/// A pool of CDCL solvers with uniform configuration, built for engines that
+/// run one query context per worker (the sharded PDR engine being the first
+/// client). The pool owns every solver it hands out, applies the same
+/// conflict budget and stop flag to each, and supports *in-place rebuild*:
+/// replacing one handle's solver with a fresh instance while folding the
+/// retired solver's lifetime statistics into a pool-level accumulator, so
+/// `total_stats()` stays monotone across rebuilds.
+///
+/// Rebuild exists because incremental query engines litter their solver with
+/// retired one-shot artefacts — PDR's per-query activation gates become
+/// permanently-satisfied clauses plus a unit literal each, and they
+/// accumulate without bound on long runs. Discarding the solver and
+/// re-encoding the live facts is the classic IC3 "solver cleanup" move; the
+/// pool provides the mechanism, the owning query context decides when and
+/// re-encodes what is still live.
+///
+/// Thread-safety: handles follow the portfolio's clone discipline — acquire
+/// every handle on the owning thread before workers start, then give each
+/// worker exclusive use of its handle(s) during a parallel phase (`at()` is
+/// unsynchronized; distinct handles never alias). The pool-level
+/// accumulators are the exception: concurrent workers may each trigger
+/// `rebuild()` on their own handle, so folding into the retired-stats
+/// accumulator and the rebuild counter is mutex-guarded, as are the
+/// `total_stats()` / `rebuilds()` reads.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace genfv::sat {
+
+/// Configuration stamped onto every solver the pool creates (including
+/// rebuilt replacements).
+struct SolverConfig {
+  /// Best-effort conflict cap per solve(); -1 = unlimited.
+  std::int64_t conflict_budget = -1;
+  /// Cooperative cancellation flag (read-only, relaxed); may be nullptr.
+  /// Must outlive the pool — see Solver::set_stop_flag.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+class SolverPool {
+ public:
+  explicit SolverPool(SolverConfig config = {});
+
+  SolverPool(const SolverPool&) = delete;
+  SolverPool& operator=(const SolverPool&) = delete;
+
+  /// Create a fresh configured solver owned by the pool; returns its handle.
+  /// Handles are dense indices and stay valid for the pool's lifetime.
+  std::size_t acquire();
+
+  std::size_t size() const noexcept { return solvers_.size(); }
+
+  Solver& at(std::size_t handle);
+  const Solver& at(std::size_t handle) const;
+
+  /// Replace `handle`'s solver with a fresh configured instance. The retired
+  /// solver's lifetime stats are folded into the pool accumulator first, so
+  /// they are never lost; its clauses, variables and models are dropped.
+  /// References to the old solver are invalidated. Safe to call from the
+  /// worker owning `handle` while other workers use theirs.
+  Solver& rebuild(std::size_t handle);
+
+  /// Number of rebuild() calls over the pool's lifetime.
+  std::uint64_t rebuilds() const;
+
+  /// Lifetime statistics: every live solver plus everything retired through
+  /// rebuild(). Monotone across rebuilds. Live solvers' counters are read
+  /// unsynchronized, so call only while no worker is solving (in practice:
+  /// after the parallel phases have joined).
+  SolverStats total_stats() const;
+
+ private:
+  std::unique_ptr<Solver> make_solver() const;
+
+  SolverConfig config_;
+  std::vector<std::unique_ptr<Solver>> solvers_;
+  /// Guards the cross-handle accumulators below (several workers may retire
+  /// their solvers concurrently); per-handle solver access is unguarded.
+  mutable std::mutex mu_;
+  SolverStats retired_;
+  std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace genfv::sat

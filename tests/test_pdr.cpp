@@ -1,18 +1,24 @@
 /// IC3/PDR engine tests: verdicts on hand-built systems and registry
 /// designs, counterexample reconstruction, cube generalization, lemma
 /// seeding, inductive-invariant export (with an independent SAT check and an
-/// SVA printer round-trip), and the uniform mc::Engine interface.
+/// SVA printer round-trip), the sharded-query architecture (FrameDb epoch
+/// sync, solver rebuilds, multi-worker verdict agreement, the pinned legacy
+/// trajectory for workers == 1), and the uniform mc::Engine interface.
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "designs/design.hpp"
 #include "mc/engine.hpp"
 #include "mc/kinduction.hpp"
+#include "mc/pdr/context.hpp"
 #include "mc/pdr/cube.hpp"
-#include "mc/pdr/frames.hpp"
+#include "mc/pdr/frame_db.hpp"
 #include "mc/pdr/obligation.hpp"
 #include "mc/pdr/pdr.hpp"
 #include "ir/printer.hpp"
+#include "sat/solver_pool.hpp"
 #include "sva/compiler.hpp"
 #include "sva/parser.hpp"
 #include "util/status.hpp"
@@ -97,26 +103,110 @@ TEST(PdrCube, ClauseExprIsNegatedCube) {
   EXPECT_EQ(clause, expected);  // hash-consing: structural equality
 }
 
-TEST(PdrFrames, DeltaEncodingAndSubsumption) {
-  sat::Solver solver;
-  const sat::Lit init_gate = sat::mk_lit(solver.new_var());
-  FrameTrace frames(solver, init_gate);
-  frames.push_level();
-  frames.push_level();
-  EXPECT_EQ(frames.frontier(), 2u);
-  EXPECT_EQ(frames.assumptions(0).size(), 3u);
-  EXPECT_EQ(frames.assumptions(2).size(), 1u);
+TEST(PdrFrameDb, DeltaEncodingAndSubsumption) {
+  FrameDb db;
+  db.push_level();
+  db.push_level();
+  EXPECT_EQ(db.frontier(), 2u);
+  EXPECT_EQ(db.levels(), 3u);
 
   const Cube wide{{0, 0, false}, {0, 1, false}};
   const Cube narrow{{0, 0, false}};
-  frames.add_blocked(wide, 1);
-  EXPECT_TRUE(frames.is_blocked(wide, 1));
-  EXPECT_FALSE(frames.is_blocked(wide, 2));
+  db.add_blocked(wide, 1);
+  EXPECT_TRUE(db.is_blocked(wide, 1));
+  EXPECT_FALSE(db.is_blocked(wide, 2));
   // A stronger clause at a higher level subsumes the bookkeeping below.
-  frames.add_blocked(narrow, 2);
-  EXPECT_TRUE(frames.cubes_at(1).empty());
-  EXPECT_EQ(frames.total_cubes(), 1u);
-  EXPECT_TRUE(frames.is_blocked(wide, 2));
+  db.add_blocked(narrow, 2);
+  EXPECT_TRUE(db.cubes_at(1).empty());
+  EXPECT_EQ(db.total_cubes(), 1u);
+  EXPECT_TRUE(db.is_blocked(wide, 2));
+}
+
+TEST(PdrFrameDb, JournalRecordsEveryMutation) {
+  FrameDb db;
+  EXPECT_EQ(db.epoch(), 0u);
+  db.push_level();
+  const Cube cube{{0, 0, false}};
+  db.add_blocked(cube, 1);
+  db.graduate(cube, 1);
+  EXPECT_EQ(db.epoch(), 3u);
+
+  std::vector<FrameDb::Event> events;
+  EXPECT_EQ(db.events_since(0, &events), 3u);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FrameDb::Event::Kind::PushLevel);
+  EXPECT_EQ(events[1].kind, FrameDb::Event::Kind::Block);
+  EXPECT_EQ(events[1].cube, cube);
+  EXPECT_EQ(events[1].level, 1u);
+  EXPECT_EQ(events[2].kind, FrameDb::Event::Kind::Graduate);
+
+  // Incremental replay from a mid-journal epoch sees only the tail.
+  events.clear();
+  EXPECT_EQ(db.events_since(2, &events), 3u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FrameDb::Event::Kind::Graduate);
+}
+
+TEST(PdrFrameDb, EraseOnGraduation) {
+  FrameDb db;
+  db.push_level();
+  const Cube cube{{0, 1, true}};
+  db.add_blocked(cube, 1);
+  EXPECT_EQ(db.cubes_at(1).size(), 1u);
+  EXPECT_TRUE(db.infinity().empty());
+
+  db.graduate(cube, 1);
+  // Graduation moves the cube out of the delta bookkeeping into F_∞; the
+  // delta levels no longer claim it (mirrors re-assert it ungated instead).
+  EXPECT_TRUE(db.cubes_at(1).empty());
+  ASSERT_EQ(db.infinity().size(), 1u);
+  EXPECT_EQ(db.infinity()[0], cube);
+  EXPECT_EQ(db.total_cubes(), 0u);
+  const FrameDb::Snapshot snapshot = db.snapshot();
+  EXPECT_EQ(snapshot.infinity.size(), 1u);
+  EXPECT_EQ(snapshot.epoch, db.epoch());
+}
+
+TEST(PdrFrameDb, EpochSyncIntoTwoIndependentContexts) {
+  // Two query contexts mirror one database; a clause blocked through the
+  // database must become visible to *both* solvers after their next sync —
+  // the mechanism the sharded engine's workers rely on.
+  auto ts = stride_counter(4, 1);
+  auto& nm = ts.nm();
+  const NodeRef prop = nm.mk_true();
+
+  PdrOptions options;
+  FrameDb db;
+  sat::SolverPool pool;
+  QueryContext a(ts, prop, {}, options, pool, db);
+  QueryContext b(ts, prop, {}, options, pool, db);
+  db.push_level();
+
+  // count == 3, as a full 4-bit cube.
+  const Cube cube{{0, 0, false}, {0, 1, false}, {0, 2, true}, {0, 3, true}};
+  auto holds_at_frame0 = [&](QueryContext& ctx) {
+    ctx.sync();
+    std::vector<sat::Lit> assumptions = ctx.assumptions(1);
+    for (const StateLit& l : cube) assumptions.push_back(ctx.cube_lit(0, l));
+    return ctx.solver().solve(assumptions);
+  };
+
+  // Before blocking: both contexts can still reach count == 3 inside F_1.
+  EXPECT_EQ(holds_at_frame0(a), sat::LBool::True);
+  EXPECT_EQ(holds_at_frame0(b), sat::LBool::True);
+
+  db.add_blocked(cube, 1);
+  EXPECT_EQ(holds_at_frame0(a), sat::LBool::False);
+  EXPECT_EQ(holds_at_frame0(b), sat::LBool::False);
+
+  // Graduation strengthens every query, even without frame assumptions, and
+  // a context constructed *after* the fact replays the full journal.
+  db.graduate(cube, 1);
+  QueryContext c(ts, prop, {}, options, pool, db);
+  c.sync();
+  std::vector<sat::Lit> assumptions;
+  for (const StateLit& l : cube) assumptions.push_back(c.cube_lit(0, l));
+  EXPECT_EQ(c.solver().solve(assumptions), sat::LBool::False);
 }
 
 TEST(PdrObligations, LowestLevelFirst) {
@@ -292,6 +382,204 @@ TEST(PdrEngineTest, InvariantRoundTripsThroughSvaPrinter) {
     const auto parsed = sva::parse_property(sva);
     sva::PropertyCompiler compiler(task.ts);
     EXPECT_EQ(compiler.compile(parsed).expr, clause) << sva;
+  }
+}
+
+// --- the sharded-query architecture ------------------------------------------
+
+/// Verdicts and frontier depths of the pre-refactor single-solver engine at
+/// max_steps = 12, recorded design by design before the sharded-query
+/// rewrite landed. `pdr_workers == 1` must reproduce them exactly — the
+/// refactor re-expresses the same algorithm over FrameDb + QueryContext, so
+/// any drift here means the query sequence changed.
+struct LegacyExpectation {
+  const char* design;
+  Verdict verdict;
+  std::size_t depth;
+  bool slow;  ///< only checked when GENFV_SLOW_TESTS is set (minutes-long)
+};
+constexpr LegacyExpectation kLegacyRegistry[] = {
+    {"sync_counters", Verdict::Unknown, 12, false},
+    {"triple_counters", Verdict::Unknown, 12, false},
+    {"gray_counter", Verdict::Unknown, 12, false},
+    {"updown_pair", Verdict::Proven, 7, false},
+    {"lfsr_pair", Verdict::Unknown, 12, false},
+    {"lfsr16", Verdict::Unknown, 12, false},
+    {"token_ring", Verdict::Proven, 5, false},
+    {"sequencer", Verdict::Proven, 4, false},
+    {"dual_accumulator", Verdict::Proven, 4, true},
+    {"fifo_ctrl", Verdict::Unknown, 12, false},
+    {"parity_codec", Verdict::Proven, 2, false},
+    {"hamming74", Verdict::Proven, 2, false},
+    {"secded84", Verdict::Proven, 2, false},
+};
+
+TEST(PdrSharding, SingleWorkerReproducesLegacyTrajectory) {
+  const bool slow_ok = std::getenv("GENFV_SLOW_TESTS") != nullptr;
+  for (const LegacyExpectation& expected : kLegacyRegistry) {
+    if (expected.slow && !slow_ok) continue;
+    auto task = designs::make_task(expected.design);
+    mc::EngineOptions options;
+    options.max_steps = 12;
+    auto engine = mc::make_engine(mc::EngineKind::Pdr, task.ts, options);
+    const mc::EngineResult result = engine->prove_all(task.target_exprs());
+    EXPECT_EQ(result.verdict, expected.verdict) << expected.design;
+    EXPECT_EQ(result.depth, expected.depth) << expected.design;
+  }
+}
+
+TEST(PdrSharding, SingleWorkerIsDeterministicRunToRun) {
+  for (const char* name : {"sequencer", "token_ring"}) {
+    auto task = designs::make_task(name);
+    mc::EngineOptions options;
+    options.max_steps = 12;
+    mc::EngineResult runs[2];
+    for (mc::EngineResult& r : runs) {
+      auto engine = mc::make_engine(mc::EngineKind::Pdr, task.ts, options);
+      r = engine->prove_all(task.target_exprs());
+    }
+    EXPECT_EQ(runs[0].verdict, runs[1].verdict) << name;
+    EXPECT_EQ(runs[0].depth, runs[1].depth) << name;
+    EXPECT_EQ(runs[0].stats.sat_calls, runs[1].stats.sat_calls) << name;
+    EXPECT_EQ(runs[0].stats.conflicts, runs[1].stats.conflicts) << name;
+    EXPECT_EQ(runs[0].invariant.size(), runs[1].invariant.size()) << name;
+  }
+}
+
+TEST(PdrSharding, MultiWorkerAgreesOnRegistryVerdicts) {
+  // workers > 1 perturbs the frame trajectory (SAT models differ across
+  // interleavings) but can never flip a verdict; depths may shift.
+  const bool slow_ok = std::getenv("GENFV_SLOW_TESTS") != nullptr;
+  for (const LegacyExpectation& expected : kLegacyRegistry) {
+    if (expected.slow && !slow_ok) continue;
+    auto task = designs::make_task(expected.design);
+    mc::EngineOptions options;
+    options.max_steps = 12;
+    options.pdr_workers = 4;
+    auto engine = mc::make_engine(mc::EngineKind::Pdr, task.ts, options);
+    const mc::EngineResult result = engine->prove_all(task.target_exprs());
+    EXPECT_EQ(result.verdict, expected.verdict) << expected.design;
+    if (result.verdict == Verdict::Proven) {
+      ASSERT_FALSE(result.invariant.empty()) << expected.design;
+      auto nm = task.ts.nm_ptr();
+      ir::NodeRef conj = nm->mk_true();
+      for (const NodeRef t : task.target_exprs()) conj = nm->mk_and(conj, t);
+      EXPECT_TRUE(check_invariant(task.ts, result.invariant, {}, conj))
+          << expected.design;
+    }
+  }
+}
+
+TEST(PdrSharding, MultiWorkerWithForcedRebuildsAgrees) {
+  // Several workers crossing the gate limit rebuild their solvers
+  // concurrently — the pool's retired-stats fold must be race-free (this
+  // runs under TSan in CI) and verdicts must hold.
+  auto task = designs::make_task("sequencer");
+  mc::EngineOptions options;
+  options.max_steps = 12;
+  options.pdr_workers = 4;
+  options.pdr_rebuild_gate_limit = 2;
+  auto engine = mc::make_engine(mc::EngineKind::Pdr, task.ts, options);
+  const mc::EngineResult result = engine->prove_all(task.target_exprs());
+  EXPECT_EQ(result.verdict, Verdict::Proven);
+  EXPECT_GT(result.stats.solver_rebuilds, 0u);
+  EXPECT_GT(result.stats.retired_gates, 0u);
+}
+
+TEST(PdrSharding, MultiWorkerFalsifiesWithConsistentTrace) {
+  auto ts = stride_counter(4, 1);
+  auto& nm = ts.nm();
+  const NodeRef prop = nm.mk_ne(ts.lookup("count"), nm.mk_const(9, 4));
+  PdrOptions options;
+  options.max_frames = 32;
+  options.workers = 4;
+  PdrEngine engine(ts, options);
+  const PdrResult result = engine.prove(prop);
+  ASSERT_EQ(result.verdict, Verdict::Falsified);
+  ASSERT_TRUE(result.cex.has_value());
+  EXPECT_TRUE(result.cex->is_consistent());
+  const auto violation = result.cex->first_violation(prop);
+  ASSERT_TRUE(violation.has_value());
+  // The deterministic counter admits exactly one execution: 10 frames —
+  // whichever worker found the chain.
+  EXPECT_EQ(result.cex->size(), 10u);
+  EXPECT_EQ(*violation, 9u);
+  EXPECT_EQ(result.depth, result.cex->size() - 1);
+}
+
+TEST(PdrSharding, MultiWorkerProvesWithCheckedInvariant) {
+  auto ts = stride_counter(8, 2);
+  auto& nm = ts.nm();
+  const NodeRef prop = nm.mk_ne(ts.lookup("count"), nm.mk_const(7, 8));
+  PdrOptions options;
+  options.max_frames = 16;
+  options.workers = 3;
+  PdrEngine engine(ts, options);
+  const PdrResult result = engine.prove(prop);
+  EXPECT_EQ(result.verdict, Verdict::Proven);
+  ASSERT_FALSE(result.invariant.empty());
+  EXPECT_TRUE(check_invariant(ts, result.invariant, {}, prop));
+}
+
+// --- query-gate hygiene ------------------------------------------------------
+
+TEST(PdrRebuild, GateLitterIsCountedInStats) {
+  // sequencer's proof takes dozens of blocking queries (each retiring one
+  // activation gate) and real CDCL conflicts, so all three hygiene counters
+  // must show up in the engine-level stats.
+  auto task = designs::make_task("sequencer");
+  mc::EngineOptions options;
+  options.max_steps = 12;
+  auto engine = mc::make_engine(mc::EngineKind::Pdr, task.ts, options);
+  const mc::EngineResult result = engine->prove_all(task.target_exprs());
+  ASSERT_EQ(result.verdict, Verdict::Proven);
+  EXPECT_GT(result.stats.retired_gates, 0u);
+  EXPECT_GT(result.stats.learnt_clauses, 0u);
+  EXPECT_EQ(result.stats.learnt_clauses, result.stats.conflicts);
+  EXPECT_EQ(result.stats.solver_rebuilds, 0u);  // default: never rebuild
+}
+
+TEST(PdrRebuild, ForcedMidRunRebuildPreservesVerdicts) {
+  // An aggressively small gate limit forces several in-place solver rebuilds
+  // mid-run; the re-encoded solver must reach the same verdicts (models and
+  // hence trajectories may differ — depth is not pinned here).
+  {
+    auto ts = stride_counter(8, 2);
+    auto& nm = ts.nm();
+    const NodeRef prop = nm.mk_ne(ts.lookup("count"), nm.mk_const(7, 8));
+    PdrOptions options;
+    options.max_frames = 16;
+    options.rebuild_gate_limit = 1;  // rebuild after every retired gate
+    PdrEngine engine(ts, options);
+    const PdrResult result = engine.prove(prop);
+    EXPECT_EQ(result.verdict, Verdict::Proven);
+    EXPECT_GT(result.stats.solver_rebuilds, 0u);
+    EXPECT_TRUE(check_invariant(ts, result.invariant, {}, prop));
+  }
+  {
+    auto ts = stride_counter(4, 1);
+    auto& nm = ts.nm();
+    const NodeRef prop = nm.mk_ne(ts.lookup("count"), nm.mk_const(9, 4));
+    PdrOptions options;
+    options.max_frames = 32;
+    options.rebuild_gate_limit = 1;
+    PdrEngine engine(ts, options);
+    const PdrResult result = engine.prove(prop);
+    ASSERT_EQ(result.verdict, Verdict::Falsified);
+    ASSERT_TRUE(result.cex.has_value());
+    EXPECT_TRUE(result.cex->is_consistent());
+    EXPECT_TRUE(result.cex->first_violation(prop).has_value());
+  }
+  {
+    // Registry design: the proof still closes and the invariant checks out.
+    auto task = designs::make_task("sequencer");
+    mc::EngineOptions options;
+    options.max_steps = 12;
+    options.pdr_rebuild_gate_limit = 8;
+    auto engine = mc::make_engine(mc::EngineKind::Pdr, task.ts, options);
+    const mc::EngineResult result = engine->prove_all(task.target_exprs());
+    EXPECT_EQ(result.verdict, Verdict::Proven);
+    EXPECT_GT(result.stats.solver_rebuilds, 0u);
   }
 }
 

@@ -479,6 +479,62 @@ TEST(Exchange, BmcAbsorbsPublishedClauses) {
   EXPECT_EQ(mailbox->absorbed_by(1), 2u);
 }
 
+TEST(Exchange, AbsorbFilterAdmitsEachManagerNeutralFormOnce) {
+  AbsorbFilter filter;
+  const ExchangedClause proven{{{0, 1, false}, {2, 0, true}}, kExchangeProvenLevel};
+  EXPECT_TRUE(filter.admit(proven));
+  EXPECT_FALSE(filter.admit(proven));  // exact duplicate
+
+  // Same literals at a different level are a *different* fact (bounded vs
+  // proven), so they pass.
+  const ExchangedClause bounded{{{0, 1, false}, {2, 0, true}}, 3};
+  EXPECT_TRUE(filter.admit(bounded));
+  EXPECT_FALSE(filter.admit(bounded));
+
+  // And genuinely different literals pass regardless of publisher or order
+  // of arrival.
+  EXPECT_TRUE(filter.admit({{{0, 1, true}}, kExchangeProvenLevel}));
+}
+
+TEST(Exchange, ConsumersDedupeTheRepublishedBacklog) {
+  // A time-sliced PDR member re-publishes its F_∞ clauses at every budget,
+  // so the board fills with copies. Each consumer *run* must assert (and
+  // count) every distinct clause exactly once — and a fresh run (the next
+  // slice, with fresh solvers) absorbs each distinct clause exactly once
+  // more. This pins the slice counts the dedupe is meant to bound.
+  auto task = designs::make_task("token_ring");
+  std::uint32_t token_index = 0;
+  for (std::uint32_t i = 0; i < task.ts.states().size(); ++i) {
+    if (task.ts.states()[i].var->name() == "token") token_index = i;
+  }
+
+  auto mailbox = std::make_shared<LemmaMailbox>(2);
+  const ExchangedClause mutex01{{{token_index, 0, false}, {token_index, 1, false}},
+                               kExchangeProvenLevel};
+  const ExchangedClause mutex02{{{token_index, 0, false}, {token_index, 2, false}},
+                               kExchangeProvenLevel};
+  mailbox->publish(0, mutex01);
+  mailbox->publish(0, mutex01);  // re-published by a later slice
+  mailbox->publish(0, mutex02);
+  mailbox->publish(0, mutex01);  // and again
+  ASSERT_EQ(mailbox->size(), 4u);
+
+  EngineOptions options;
+  options.max_steps = 4;
+  options.exchange_mailbox = mailbox;
+  options.exchange_slot = 1;
+  auto first = make_engine(EngineKind::Bmc, task.ts, options);
+  EXPECT_EQ(first->prove_all(task.target_exprs()).verdict, Verdict::Unknown);
+  EXPECT_EQ(mailbox->absorbed_by(1), 2u);  // 2 distinct facts, not 4 entries
+
+  // The next slice is a fresh engine: it re-reads the backlog and absorbs
+  // the 2 distinct facts once more — linear in distinct clauses per slice,
+  // no matter how many duplicates the board accumulates.
+  auto second = make_engine(EngineKind::Bmc, task.ts, options);
+  EXPECT_EQ(second->prove_all(task.target_exprs()).verdict, Verdict::Unknown);
+  EXPECT_EQ(mailbox->absorbed_by(1), 4u);
+}
+
 // --- satellite regressions ---------------------------------------------------
 
 TEST(Portfolio, ZeroStepBudgetIsUniformlyUnknown) {

@@ -16,6 +16,9 @@
 ///   --exchange on|off                live lemma exchange between portfolio
 ///                                    members (default: on; no effect on
 ///                                    single engines)
+///   --pdr-workers <n>                PDR worker shards for obligation
+///                                    blocking / clause propagation
+///                                    (default: 1 = single-threaded PDR)
 ///   --property "<sva>"               may repeat; an `<engine>:` prefix (e.g.
 ///                                    "pdr:count <= 8") overrides the engine
 ///                                    for that property (plain flow only)
@@ -66,6 +69,7 @@ struct CliOptions {
   std::string flow = "cex";
   mc::EngineKind engine = mc::EngineKind::KInduction;
   bool exchange = true;
+  std::size_t pdr_workers = 1;
   std::string model = "gpt-4o";
   std::uint64_t seed = 42;
   std::size_t max_k = 8;
@@ -85,7 +89,7 @@ struct CliOptions {
                "  genfv_cli demo <design> [options]\n"
                "  genfv_cli designs | models\n"
                "options: --flow cex|helper|direct|plain  --engine bmc|kind|pdr|portfolio\n"
-               "         --exchange on|off\n"
+               "         --exchange on|off  --pdr-workers <n>\n"
                "         --emit-lemmas <file>  --use-lemmas <file>\n"
                "         --model <name>  --seed <n>  --max-k <n>  --no-screen\n"
                "         --dump-ts <file>  --vcd <file>  --verbose\n"
@@ -153,6 +157,10 @@ CliOptions parse_args(int argc, char** argv) {
       if (value == "on") opts.exchange = true;
       else if (value == "off") opts.exchange = false;
       else usage("--exchange takes 'on' or 'off'");
+    }
+    else if (arg == "--pdr-workers") {
+      opts.pdr_workers = std::stoull(need_value("--pdr-workers"));
+      if (opts.pdr_workers == 0) usage("--pdr-workers requires at least one worker");
     }
     else if (arg == "--model") opts.model = need_value("--model");
     else if (arg == "--seed") opts.seed = std::stoull(need_value("--seed"));
@@ -229,6 +237,7 @@ int run_plain(flow::VerificationTask& task, const CliOptions& opts) {
   mc::EngineOptions base;
   base.max_steps = opts.max_k;
   base.exchange = opts.exchange;
+  base.pdr_workers = opts.pdr_workers;
   if (!opts.use_lemmas_path.empty()) {
     base.lemmas = ingest_lemma_file(task, opts.use_lemmas_path, opts.max_k);
   }
@@ -319,6 +328,7 @@ int run_task(flow::VerificationTask& task, const CliOptions& opts) {
   options.review.sim_screen = opts.sim_screen;
   options.target_engine = opts.engine;
   options.exchange = opts.exchange;
+  options.pdr_workers = opts.pdr_workers;
   if (!opts.use_lemmas_path.empty()) {
     options.engine.lemmas = ingest_lemma_file(task, opts.use_lemmas_path, opts.max_k);
   }
