@@ -3,9 +3,11 @@
 /// budget through the uniform `mc::Engine` interface. BMC never proves,
 /// k-induction needs the design to be inductive (or externally supplied
 /// lemmas), and PDR discovers clause strengthenings on its own — each wins
-/// somewhere, which is why the portfolio races them, and the sharded PDR
-/// rows (`pdr w=2`, `pdr w=4`) show the obligation/propagation sharding
-/// paying for itself on blocking-heavy designs.
+/// somewhere, which is why the portfolio races them, the sharded PDR rows
+/// (`pdr w=2`, `pdr w=4`) show the obligation/propagation sharding paying
+/// for itself on blocking-heavy designs, and the `+lift` rows show
+/// ternary-simulation cube lifting (--pdr-ternary) cutting SAT conflicts by
+/// shrinking every extracted cube before generalization.
 ///
 /// `--json <path>` additionally writes machine-readable records (design,
 /// engine, workers, verdict, wall-ms, solver stats) for BENCH_*.json
@@ -35,13 +37,16 @@ void run_experiment(bench::JsonRecords* json) {
     mc::EngineKind kind;
     bool exchange;
     std::size_t pdr_workers;
+    bool pdr_ternary = false;
   };
   const std::vector<Contender> contenders = {
       {"bmc", mc::EngineKind::Bmc, false, 1},
       {"k-induction", mc::EngineKind::KInduction, false, 1},
       {"pdr", mc::EngineKind::Pdr, false, 1},
+      {"pdr +lift", mc::EngineKind::Pdr, false, 1, true},
       {"pdr w=2", mc::EngineKind::Pdr, false, 2},
       {"pdr w=4", mc::EngineKind::Pdr, false, 4},
+      {"pdr w=4 +lift", mc::EngineKind::Pdr, false, 4, true},
       {"portfolio -exch", mc::EngineKind::Portfolio, false, 1},
       {"portfolio +exch", mc::EngineKind::Portfolio, true, 1},
   };
@@ -58,6 +63,7 @@ void run_experiment(bench::JsonRecords* json) {
       options.max_steps = kMaxSteps;
       options.exchange = contender.exchange;
       options.pdr_workers = contender.pdr_workers;
+      options.pdr_ternary_lifting = contender.pdr_ternary;
       auto engine = mc::make_engine(contender.kind, task.ts, options);
       const mc::EngineResult r = engine->prove_all(task.target_exprs());
       std::string shown = contender.label;
@@ -73,6 +79,7 @@ void run_experiment(bench::JsonRecords* json) {
             .field("kind", mc::to_string(contender.kind))
             .field("workers", static_cast<std::uint64_t>(contender.pdr_workers))
             .field("exchange", contender.exchange)
+            .field("ternary", contender.pdr_ternary)
             .field("verdict", mc::to_string(r.verdict))
             .field("depth", static_cast<std::uint64_t>(r.depth))
             .field("wall_ms", r.stats.seconds * 1e3)
@@ -80,7 +87,8 @@ void run_experiment(bench::JsonRecords* json) {
             .field("conflicts", r.stats.conflicts)
             .field("learnt_clauses", r.stats.learnt_clauses)
             .field("retired_gates", r.stats.retired_gates)
-            .field("solver_rebuilds", r.stats.solver_rebuilds);
+            .field("solver_rebuilds", r.stats.solver_rebuilds)
+            .field("lifted_bits", r.stats.lifted_bits);
       }
     }
   }

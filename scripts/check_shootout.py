@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
 """Gate the engine-shootout JSON against verdict regressions.
 
-Usage: check_shootout.py <shootout.json>
+Usage: check_shootout.py <shootout.json> [<baseline.json>]
 
 The shootout (bench_engine_shootout --json) records one object per
 (design, engine) cell. This checker fails CI when any cell's verdict
 regresses from the expectations pinned below — soundness bugs and lost
 proofs show up here before anything else. Wall-clock numbers are reported
-(including the single- vs multi-worker PDR comparison) but never gate the
-build: CI machines are too noisy for timing assertions.
+(including the single- vs multi-worker PDR comparison and the ternary-
+lifting ablation) but never gate the build: CI machines are too noisy for
+timing assertions.
+
+With a second argument — a committed trajectory snapshot such as
+BENCH_PR5.json (see docs/benchmarks.md) — every (design, engine) cell
+present in both files must additionally agree on its verdict, so a fresh
+run can never silently drift from the checked-in trajectory.
 """
 
 import json
@@ -38,7 +44,7 @@ EXPECTED_VERDICTS = {
 
 
 def main() -> int:
-    if len(sys.argv) != 2:
+    if len(sys.argv) not in (2, 3):
         print(__doc__, file=sys.stderr)
         return 2
     with open(sys.argv[1], encoding="utf-8") as f:
@@ -58,10 +64,38 @@ def main() -> int:
                         f"{design} / {engine}: expected {verdict}, "
                         f"got {record['verdict']}")
 
-    # Report (never gate) the sharded-PDR speedup per design.
+    # Verdict diff against a committed trajectory snapshot (BENCH_*.json).
+    # Every baseline cell must be matched by the fresh run: a renamed engine
+    # label or a dropped design must fail loudly (regenerate the snapshot
+    # alongside such a change), not silently vacate the gate.
+    if len(sys.argv) == 3:
+        with open(sys.argv[2], encoding="utf-8") as f:
+            baseline = {(r["design"], r["engine"]): r["verdict"] for r in json.load(f)}
+        fresh_keys = {(r["design"], r["engine"]) for r in records}
+        compared = 0
+        for record in records:
+            key = (record["design"], record["engine"])
+            if key not in baseline:
+                continue
+            compared += 1
+            if record["verdict"] != baseline[key]:
+                failures.append(
+                    f"{key[0]} / {key[1]}: baseline {sys.argv[2]} says "
+                    f"{baseline[key]}, this run says {record['verdict']}")
+        for key in sorted(baseline.keys() - fresh_keys):
+            failures.append(
+                f"{key[0]} / {key[1]}: in baseline {sys.argv[2]} but missing "
+                f"from this run — regenerate the snapshot if intentional")
+        if compared == 0:
+            failures.append(
+                f"baseline {sys.argv[2]} shares no cells with this run")
+        print(f"baseline diff vs {sys.argv[2]}: {compared} cells compared")
+
+    # Report (never gate) the sharded-PDR speedup per design (lifting-off
+    # rows only, so the two ablations don't contaminate each other).
     by_design = {}
     for record in records:
-        if record["kind"] == "pdr":
+        if record["kind"] == "pdr" and not record.get("ternary", False):
             by_design.setdefault(record["design"], {})[record["workers"]] = \
                 record["wall_ms"]
     wins = 0
@@ -78,6 +112,28 @@ def main() -> int:
         print(f"pdr sharding on {design}: w=1 {cells[1]:.1f} ms, "
               f"best multi {best_multi:.1f} ms ({ratio:.2f}x, {marker})")
     print(f"pdr sharding beats single-worker on {wins}/{len(by_design)} designs")
+
+    # Report (never gate) the ternary-lifting ablation at w=1.
+    lift_cells = {}
+    for record in records:
+        if record["kind"] == "pdr" and record["workers"] == 1:
+            lift_cells.setdefault(record["design"], {})[record.get("ternary", False)] = \
+                record
+    lift_wins = 0
+    for design, cells in sorted(lift_cells.items()):
+        if True not in cells or False not in cells:
+            continue
+        off, on = cells[False], cells[True]
+        better = (on["conflicts"] < off["conflicts"]
+                  or on["wall_ms"] < off["wall_ms"])
+        if better:
+            lift_wins += 1
+        print(f"pdr lifting on {design}: conflicts {off['conflicts']} -> "
+              f"{on['conflicts']}, wall {off['wall_ms']:.1f} -> "
+              f"{on['wall_ms']:.1f} ms, lifted_bits={on.get('lifted_bits', 0)}")
+    if lift_cells:
+        print(f"pdr ternary lifting improves conflicts or wall-clock on "
+              f"{lift_wins}/{len(lift_cells)} designs")
 
     if failures:
         print("\nverdict regressions:", file=sys.stderr)

@@ -29,6 +29,14 @@ FlowReport CexRepairFlow::run(VerificationTask& task) {
     mc::EngineOptions opts = mc::to_engine_options(options_.engine);
     opts.exchange = options_.exchange;
     opts.pdr_workers = options_.pdr_workers;
+    opts.pdr_ternary_lifting = options_.pdr_ternary;
+    opts.pdr_seed_candidates = options_.pdr_seed_candidates;
+    if (options_.pdr_seed_candidates) {
+      // Candidates the proof gate rejected (but simulation did not refute)
+      // still seed PDR frames as may clauses — per iteration, so each repair
+      // round's fresh candidates ride into the next proof attempt.
+      opts.pdr_candidate_lemmas = lemmas.candidate_exprs();
+    }
     opts.lemmas.insert(opts.lemmas.end(), lemmas.lemma_exprs().begin(),
                        lemmas.lemma_exprs().end());
     auto engine = mc::make_engine(options_.target_engine, task.ts, opts);

@@ -54,6 +54,12 @@ FlowReport HelperGenFlow::run(VerificationTask& task) {
     mc::EngineOptions target_opts = mc::to_engine_options(options_.engine);
     target_opts.exchange = options_.exchange;
     target_opts.pdr_workers = options_.pdr_workers;
+    target_opts.pdr_ternary_lifting = options_.pdr_ternary;
+    target_opts.pdr_seed_candidates = options_.pdr_seed_candidates;
+    if (options_.pdr_seed_candidates) {
+      // Rejected-but-plausible helpers get a second life as PDR may clauses.
+      target_opts.pdr_candidate_lemmas = lemmas.candidate_exprs();
+    }
     target_opts.lemmas.insert(target_opts.lemmas.end(), lemmas.lemma_exprs().begin(),
                               lemmas.lemma_exprs().end());
     auto engine = mc::make_engine(options_.target_engine, task.ts, target_opts);

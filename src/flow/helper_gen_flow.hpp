@@ -30,6 +30,14 @@ struct FlowOptions {
   /// PDR worker shards for target proofs (and PDR portfolio members);
   /// mirrors EngineOptions::pdr_workers. 1 = single-threaded PDR.
   std::size_t pdr_workers = 1;
+  /// PDR ternary-simulation cube lifting for target proofs; mirrors
+  /// EngineOptions::pdr_ternary_lifting.
+  bool pdr_ternary = false;
+  /// Seed PDR frames with the LemmaManager's *unproven* candidates (the
+  /// helpers that failed their k-induction proof) as may clauses; mirrors
+  /// EngineOptions::pdr_seed_candidates. A hallucinated candidate costs SAT
+  /// work, never soundness — see docs/lemmas.md.
+  bool pdr_seed_candidates = false;
 };
 
 class HelperGenFlow {

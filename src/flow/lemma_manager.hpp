@@ -55,6 +55,16 @@ class LemmaManager {
   const std::vector<ir::NodeRef>& lemma_exprs() const noexcept { return lemma_exprs_; }
   const std::vector<std::string>& lemma_svas() const noexcept { return lemma_svas_; }
 
+  /// Compiled candidates that survived the simulation screen but failed
+  /// their (solo and joint) induction proof — *unproven*, possibly wrong,
+  /// but never observed false. Exactly the material PDR's candidate-lemma
+  /// frame seeding consumes under the may-proof discipline
+  /// (EngineOptions::pdr_candidate_lemmas); they must never be assumed as
+  /// facts. Accumulates across process() calls.
+  const std::vector<ir::NodeRef>& candidate_exprs() const noexcept {
+    return candidate_exprs_;
+  }
+
   /// True when the joint pass incidentally proved the targets as well.
   bool targets_proven_jointly() const noexcept { return targets_proven_jointly_; }
 
@@ -70,6 +80,7 @@ class LemmaManager {
   ReviewGate gate_;
   std::vector<ir::NodeRef> lemma_exprs_;
   std::vector<std::string> lemma_svas_;
+  std::vector<ir::NodeRef> candidate_exprs_;  ///< screened but unproven
   bool targets_proven_jointly_ = false;
   double prove_seconds_ = 0.0;
 };

@@ -149,6 +149,9 @@ class PdrEngineAdapter final : public Engine {
     opts.publish_frame_clauses = options_.exchange_frame_clauses;
     opts.workers = options_.pdr_workers;
     opts.rebuild_gate_limit = options_.pdr_rebuild_gate_limit;
+    opts.ternary_lifting = options_.pdr_ternary_lifting;
+    opts.seed_candidates = options_.pdr_seed_candidates;
+    opts.candidate_lemmas = options_.pdr_candidate_lemmas;
     pdr::PdrEngine engine(ts_, std::move(opts));
     pdr::PdrResult r = engine.prove_all(properties);
     EngineResult out;

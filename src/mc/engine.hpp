@@ -66,6 +66,22 @@ struct EngineOptions {
   /// has retired this many one-shot activation gates (query litter). 0 (the
   /// default) never rebuilds. See PdrOptions::rebuild_gate_limit.
   std::size_t pdr_rebuild_gate_limit = 0;
+  /// PDR only: ternary-simulation cube lifting — shrink extracted
+  /// predecessor / bad-state cubes before generalization. Off (the default)
+  /// keeps the single-worker engine bit-for-bit legacy; on perturbs the
+  /// frame trajectory but never a verdict. See PdrOptions::ternary_lifting.
+  bool pdr_ternary_lifting = false;
+  /// PDR only: seed frames with *candidate* (unproven) clauses under the
+  /// may-proof discipline — from `pdr_candidate_lemmas` and, inside an
+  /// exchanging portfolio, from level-tagged mailbox clauses. Candidates are
+  /// assumed behind retractable gates, never exported, and only graduate
+  /// into real frame clauses through a clean relative-induction proof; a
+  /// wrong candidate can cost work, never soundness (docs/lemmas.md).
+  bool pdr_seed_candidates = false;
+  /// PDR only (with pdr_seed_candidates): candidate clause expressions,
+  /// e.g. LemmaManager candidates whose k-induction proof failed. Must live
+  /// in the engine's NodeManager; non-clause shapes are skipped.
+  std::vector<ir::NodeRef> pdr_candidate_lemmas;
   /// Cooperative cancellation. Engines poll the flag between solver queries
   /// and hand it to their SAT solvers, which poll it at restart boundaries;
   /// once it reads true the run winds down and reports Verdict::Unknown.

@@ -1,19 +1,8 @@
 #include "mc/exchange.hpp"
 
-#include <sstream>
-
 #include "util/status.hpp"
 
 namespace genfv::mc {
-
-std::string exchange_key(const ExchangedClause& clause) {
-  std::ostringstream key;
-  key << clause.level;
-  for (const ExchangedLit& lit : clause.lits) {
-    key << '|' << lit.state << '.' << lit.bit << (lit.negated ? '-' : '+');
-  }
-  return key.str();
-}
 
 ir::NodeRef materialize(const ExchangedClause& clause, const ir::TransitionSystem& ts) {
   if (clause.lits.empty()) return nullptr;
@@ -40,6 +29,17 @@ void LemmaMailbox::publish(std::size_t member, ExchangedClause clause) {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.push_back({std::move(clause), member});
   ++counters_[member].published;
+}
+
+void LemmaMailbox::publish_batch(std::size_t member,
+                                 std::vector<ExchangedClause> clauses) {
+  GENFV_ASSERT(member < members_, "mailbox slot out of range");
+  if (clauses.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ExchangedClause& clause : clauses) {
+    entries_.push_back({std::move(clause), member});
+    ++counters_[member].published;
+  }
 }
 
 std::vector<ExchangedClause> LemmaMailbox::fetch(std::size_t member,

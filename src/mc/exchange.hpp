@@ -83,7 +83,28 @@ ir::NodeRef materialize(const ExchangedClause& clause,
 /// Canonical key of a clause's manager-neutral form (literals + level).
 /// Equal keys ⇔ the clauses assert the same fact with the same soundness
 /// scope, no matter which member published them or how often.
-std::string exchange_key(const ExchangedClause& clause);
+///
+/// This template is the *single* encoder of the `{state-index, bit,
+/// polarity}` currency: `ExchangedLit` ranges (the mailbox / AbsorbFilter)
+/// and `pdr::StateLit` cubes (the FrameDb's may-clause bookkeeping) both key
+/// through it, so an encoding change can never desynchronize the two sides.
+/// `LitRange` is any range of structs exposing `state`, `bit` and `negated`.
+template <typename LitRange>
+std::string exchange_key(const LitRange& lits, std::size_t level) {
+  std::string key = std::to_string(level);
+  for (const auto& lit : lits) {
+    key += '|';
+    key += std::to_string(lit.state);
+    key += '.';
+    key += std::to_string(lit.bit);
+    key += lit.negated ? '-' : '+';
+  }
+  return key;
+}
+
+inline std::string exchange_key(const ExchangedClause& clause) {
+  return exchange_key(clause.lits, clause.level);
+}
 
 /// Consumer-side duplicate filter. The mailbox backlog may carry the same
 /// clause many times — a time-sliced PDR member re-proves and re-publishes
@@ -117,6 +138,13 @@ class LemmaMailbox {
 
   /// Append `clause` on behalf of `member` and bump its published counter.
   void publish(std::size_t member, ExchangedClause clause);
+
+  /// Append a whole batch under one lock. Use for sets whose members are
+  /// only *jointly* inductive (PDR's F_∞ fixpoint survivors): fetch() also
+  /// holds the lock, so no consumer can ever observe half a batch — which
+  /// is what keeps an absorbing PDR run's exported certificate inductive
+  /// (docs/lemmas.md, "Absorbed proven clauses").
+  void publish_batch(std::size_t member, std::vector<ExchangedClause> clauses);
 
   /// Everything published by members other than `member` since `*cursor`;
   /// advances `*cursor` past the end. The cursor is caller-owned state (a

@@ -82,13 +82,17 @@ BlockStep block_one(QueryContext& ctx, FrameDb& db, const PdrOptions& options,
   // A predecessor inside F_{level-1} extends the chain towards init.
   step.pred.emplace();
   ctx.extract_state(*step.pred);
+  // Ternary lifting: shrink the predecessor cube to the bits that force the
+  // transition into `cube` under the recorded inputs (no-op when off).
+  ctx.lift_pred(*step.pred, cube);
   step.pred->level = level - 1;
   step.pred->parent = static_cast<std::ptrdiff_t>(index);
   const sat::LBool initial = ctx.intersects_init(step.pred->cube);
   if (initial == sat::LBool::Undef) {
     step.budget = true;
   } else if (initial == sat::LBool::True) {
-    step.pred_is_cex = true;  // the predecessor is an initial state
+    step.pred_is_cex = true;  // the (lifted) predecessor cube holds an initial state
+    ctx.extract_init_witness(*step.pred);
   } else {
     step.push_pred = true;
   }
@@ -141,14 +145,19 @@ BlockOutcome strengthen_sequential(QueryContext& ctx, FrameDb& db,
 
     Obligation bad;
     ctx.extract_state(bad);
+    // Ternary lifting: keep only the bits that force the property violation
+    // under the recorded inputs (no-op when off).
+    ctx.lift_bad(bad);
     bad.level = frontier;
     bad.parent = -1;
     const sat::LBool initial = ctx.intersects_init(bad.cube);
     if (initial == sat::LBool::Undef) return BlockOutcome::Budget;
     if (initial == sat::LBool::True) {
       // Defensive: with input-independent init values the 0-step check
-      // already excludes initial bad states, so this cannot trigger; if it
-      // ever does, the state itself is a counterexample chain of one.
+      // already excludes initial bad states (lifted or not — every state in
+      // a lifted bad cube violates the property under these inputs), so this
+      // cannot trigger; if it ever does, the state is a chain of one.
+      ctx.extract_init_witness(bad);
       *cex_index = queue.add(std::move(bad));
       return BlockOutcome::Counterexample;
     }
@@ -254,6 +263,7 @@ void shard_worker(std::size_t worker, QueryContext& ctx, FrameDb& db,
       } else {
         bad.emplace();
         ctx.extract_state(*bad);
+        ctx.lift_bad(*bad);
         bad->level = frontier;
         bad->parent = -1;
         const sat::LBool initial = ctx.intersects_init(bad->cube);
@@ -261,6 +271,7 @@ void shard_worker(std::size_t worker, QueryContext& ctx, FrameDb& db,
           budget = true;
         } else if (initial == sat::LBool::True) {
           bad_is_cex = true;  // defensive, see strengthen_sequential
+          ctx.extract_init_witness(*bad);
         }
       }
     }

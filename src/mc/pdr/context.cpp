@@ -61,6 +61,7 @@ void QueryContext::rebuild() {
   const FrameDb::Snapshot snapshot = db_.snapshot();
   pool_.rebuild(solver_handle_);
   bootstrap();
+  may_.clear();  // the old gates died with the old solver
   for (std::size_t level = 1; level < snapshot.levels.size(); ++level) {
     activations_.push_back(sat::mk_lit(solver().new_var()));
   }
@@ -68,6 +69,7 @@ void QueryContext::rebuild() {
     for (const Cube& cube : snapshot.levels[level]) assert_blocked(cube, level);
   }
   for (const Cube& cube : snapshot.infinity) assert_infinity(cube);
+  for (const FrameDb::MayClause& m : snapshot.may) assert_may(m.cube, m.id);
   synced_epoch_ = snapshot.epoch;
   retired_gates_since_rebuild_ = 0;
 }
@@ -93,6 +95,17 @@ void QueryContext::apply_event(const FrameDb::Event& event) {
     case FrameDb::Event::Kind::Graduate:
       assert_infinity(event.cube);
       break;
+    case FrameDb::Event::Kind::SeedMay:
+      assert_may(event.cube, event.level);
+      break;
+    case FrameDb::Event::Kind::RetractMay: {
+      const auto it = may_.find(event.level);
+      if (it != may_.end()) {
+        retire_gate(it->second.gate);
+        may_.erase(it);
+      }
+      break;
+    }
   }
 }
 
@@ -112,6 +125,17 @@ void QueryContext::assert_infinity(const Cube& cube) {
   }
 }
 
+void QueryContext::assert_may(const Cube& cube, std::size_t id) {
+  // Frame 0 only: a may clause strengthens the predecessor frame of a query
+  // exactly like a blocked clause would, but behind its own gate so it can
+  // be retracted (and excluded from clean re-runs) independently.
+  const sat::Lit gate = sat::mk_lit(solver().new_var());
+  std::vector<sat::Lit> clause{~gate};
+  for (const StateLit& l : cube) clause.push_back(~cube_lit(0, l));
+  solver().add_clause(std::move(clause));
+  may_[id] = {gate, cube};
+}
+
 sat::Lit QueryContext::cube_lit(std::size_t frame, const StateLit& l) {
   const bitblast::Bits& bits = unr_->bits_at(ts_.states()[l.state].var, frame);
   return bits[l.bit] ^ l.negated;
@@ -127,10 +151,90 @@ std::vector<sat::Lit> QueryContext::assumptions(std::size_t level) const {
   return out;
 }
 
+sat::LBool QueryContext::solve_frames(std::vector<sat::Lit> assumptions,
+                                      std::vector<sat::Lit>* core_out) {
+  if (may_.empty()) {
+    const sat::LBool answer = solver().solve(assumptions);
+    if (answer == sat::LBool::False && core_out != nullptr) {
+      *core_out = solver().failed_assumptions();
+    }
+    return answer;
+  }
+
+  std::vector<sat::Lit> with_may = assumptions;
+  with_may.reserve(with_may.size() + may_.size());
+  for (const auto& [id, entry] : may_) with_may.push_back(entry.gate);
+  const sat::LBool answer = solver().solve(with_may);
+  if (answer != sat::LBool::False) return answer;  // SAT model / budget: sound as-is
+
+  // UNSAT: accept only a candidate-free core. failed_assumptions is a subset
+  // of the assumptions whose conjunction is already inconsistent, so a core
+  // without may gates certifies the clean fact directly.
+  bool contaminated = false;
+  for (const sat::Lit p : solver().failed_assumptions()) {
+    for (const auto& [id, entry] : may_) {
+      if (entry.gate == p) {
+        contaminated = true;
+        break;
+      }
+    }
+    if (contaminated) break;
+  }
+  if (!contaminated) {
+    if (core_out != nullptr) *core_out = solver().failed_assumptions();
+    return sat::LBool::False;
+  }
+
+  // The blockage leans on unproven candidates: re-ask without them. A clean
+  // SAT means some candidate excluded a real (backward-reachable) state —
+  // a spurious "blocked" answer; retract every candidate that state violates
+  // so the board stops paying for the fallback.
+  const sat::LBool clean = solver().solve(assumptions);
+  if (clean == sat::LBool::False && core_out != nullptr) {
+    *core_out = solver().failed_assumptions();
+  }
+  if (clean == sat::LBool::True) retract_violated_candidates();
+  return clean;
+}
+
+void QueryContext::retract_violated_candidates() {
+  std::vector<std::size_t> hit;
+  for (const auto& [id, entry] : may_) {
+    bool violated = true;
+    for (const StateLit& l : entry.cube) {
+      if (solver().model_value(cube_lit(0, l)) != sat::LBool::True) {
+        violated = false;
+        break;
+      }
+    }
+    if (violated) hit.push_back(id);
+  }
+  // Retract through the database: the RetractMay event replays into every
+  // mirror (including this one) at its next sync. Counting happens in the
+  // database, so concurrent workers never double-count one candidate.
+  for (const std::size_t id : hit) db_.retract_may(id);
+}
+
 sat::LBool QueryContext::solve_frontier_bad(std::size_t frontier) {
   sync();
   std::vector<sat::Lit> assumptions = this->assumptions(frontier);
   assumptions.push_back(~prop0_);
+  return solve_frames(std::move(assumptions), nullptr);
+}
+
+sat::LBool QueryContext::may_consecution_query(
+    const std::vector<std::size_t>& survivor_ids, const Cube& cube, std::size_t level) {
+  sync();
+  GENFV_ASSERT(level >= 1, "may-proof consecution starts at level 1");
+  std::vector<sat::Lit> assumptions = this->assumptions(level - 1);
+  for (const std::size_t id : survivor_ids) {
+    const auto it = may_.find(id);
+    // A survivor retracted by a racing worker mid-pass simply drops out of
+    // the assumption set; the check is then relative to a smaller set, which
+    // only makes an UNSAT answer stronger.
+    if (it != may_.end()) assumptions.push_back(it->second.gate);
+  }
+  for (const StateLit& l : cube) assumptions.push_back(cube_lit(1, l));
   return solver().solve(assumptions);
 }
 
@@ -157,6 +261,25 @@ void QueryContext::extract_state(Obligation& out) {
   for (const ir::NodeRef in : ts_.inputs()) {
     out.input_values.push_back(unr_->model_value(in, 0));
   }
+}
+
+void QueryContext::extract_init_witness(Obligation& out) {
+  out.state_values.clear();
+  for (const auto& s : ts_.states()) {
+    out.state_values.push_back(init_unr_->model_value(s.var, 0));
+  }
+}
+
+void QueryContext::lift_bad(Obligation& o) {
+  if (!options_.ternary_lifting) return;
+  if (ternary_ == nullptr) ternary_ = std::make_unique<TernarySim>(ts_);
+  lifted_bits_ += lift_obligation(*ternary_, ts_, o, nullptr, property_);
+}
+
+void QueryContext::lift_pred(Obligation& o, const Cube& successor) {
+  if (!options_.ternary_lifting) return;
+  if (ternary_ == nullptr) ternary_ = std::make_unique<TernarySim>(ts_);
+  lifted_bits_ += lift_obligation(*ternary_, ts_, o, &successor, nullptr);
 }
 
 sat::LBool QueryContext::intersects_init(const Cube& cube) {
@@ -188,10 +311,7 @@ sat::LBool QueryContext::relative_query(const Cube& cube, std::size_t level,
     assumptions.push_back(gate);
   }
   for (const StateLit& l : cube) assumptions.push_back(cube_lit(1, l));
-  const sat::LBool answer = solver().solve(assumptions);
-  if (answer == sat::LBool::False && core_out != nullptr) {
-    *core_out = solver().failed_assumptions();
-  }
+  const sat::LBool answer = solve_frames(std::move(assumptions), core_out);
   if (assume_not_cube) retire_gate(gate);
   return answer;
 }

@@ -26,14 +26,26 @@
 /// permanently-satisfied unit clauses. The context counts the litter and —
 /// when `PdrOptions::rebuild_gate_limit` is enabled — rebuilds its
 /// transition solver in place at the next `sync()`, re-encoding init,
-/// lemmas, the FrameDb clauses and F_∞ from a consistent snapshot. The
-/// retired solver's statistics survive in the pool.
+/// lemmas, the FrameDb clauses, F_∞ and the live may clauses from a
+/// consistent snapshot. The retired solver's statistics survive in the pool.
+///
+/// Candidate ("may") clauses mirror through the same journal: SeedMay
+/// allocates a dedicated per-candidate gate and asserts the clause at frame
+/// 0 behind it; RetractMay retires that gate. Queries assume the live gates
+/// and apply the clean-rerun discipline (see relative_query), so no answer
+/// that leaves this context ever depends on an unproven candidate.
+///
+/// Ternary lifting: the context owns a per-worker `TernarySim` over its own
+/// system (clone), so lifting never shares IR across threads.
 
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "mc/pdr/frame_db.hpp"
 #include "mc/pdr/obligation.hpp"
 #include "mc/pdr/pdr.hpp"
+#include "mc/pdr/ternary.hpp"
 #include "mc/unroller.hpp"
 #include "sat/solver_pool.hpp"
 
@@ -76,13 +88,33 @@ class QueryContext {
   std::vector<sat::Lit> assumptions(std::size_t level) const;
 
   /// SAT(F_frontier ∧ ¬P)? — find a frontier state violating the property.
+  /// Live may clauses are assumed (and fall back cleanly, see solve_frames).
   sat::LBool solve_frontier_bad(std::size_t frontier);
 
   /// Fill `out` with the full frame-0 state cube and the concrete
   /// state/input values of the current model of the transition solver.
   void extract_state(Obligation& out);
 
+  /// After intersects_init returned True: overwrite `out.state_values` with
+  /// the initial-state witness from the init solver's model. With ternary
+  /// lifting, a lifted cube can contain initial states other than the
+  /// concrete predecessor — counterexample re-simulation must start from a
+  /// state that actually satisfies init (see pdr.cpp's build_cex).
+  void extract_init_witness(Obligation& out);
+
+  /// Ternary-lift an extracted frontier bad state (goal: the property stays
+  /// forced false) / predecessor (goal: `successor` stays forced), dropping
+  /// state-bit literals from `o.cube`. No-ops unless
+  /// PdrOptions::ternary_lifting is set. Feeds the lifted_bits counter.
+  void lift_bad(Obligation& o);
+  void lift_pred(Obligation& o, const Cube& successor);
+
+  /// State-bit literals dropped by this context's lifting — feeds
+  /// EngineStats::lifted_bits.
+  std::size_t lifted_bits() const noexcept { return lifted_bits_; }
+
   /// SAT(init ∧ cube)? — does the cube contain an initial state.
+  /// Never assumes may clauses: initiation checks must be exact.
   sat::LBool intersects_init(const Cube& cube);
 
   /// Undef counts as "may intersect" — conservative for generalization,
@@ -92,8 +124,23 @@ class QueryContext {
   /// SAT(F_{level-1} ∧ [¬cube] ∧ T ∧ cube')? On UNSAT, `core_out` (if given)
   /// receives the failed assumptions; intersect with the primed cube
   /// literals to find which were needed.
+  ///
+  /// Candidate seeding: live may clauses are additionally assumed. A SAT
+  /// answer is unaffected (the model is a real transition); an UNSAT answer
+  /// is accepted only when no may gate appears in the failed-assumption
+  /// core — otherwise the query re-runs *clean* (without candidates), and
+  /// if the clean run is SAT, every candidate the found state violates is
+  /// retracted (it manufactured a spurious "blocked" answer). Returned
+  /// answers and cores are therefore always candidate-free facts.
   sat::LBool relative_query(const Cube& cube, std::size_t level, bool assume_not_cube,
                             std::vector<sat::Lit>* core_out);
+
+  /// SAT(F_{level-1} ∧ survivors ∧ T ∧ cube')? — the may-proof consecution
+  /// check: assumes exactly the gates of `survivor_ids` (no other
+  /// candidates), so an UNSAT certifies consecution relative to the named
+  /// set only. Requires seed_candidates; `cube` is one survivor's cube.
+  sat::LBool may_consecution_query(const std::vector<std::size_t>& survivor_ids,
+                                   const Cube& cube, std::size_t level);
 
   /// Fresh one-shot activation gate for a temporary clause group (e.g. one
   /// F_∞ fixpoint pass). Retire it with retire_gate once the group is dead.
@@ -118,6 +165,19 @@ class QueryContext {
   void apply_event(const FrameDb::Event& event);
   void assert_blocked(const Cube& cube, std::size_t level);
   void assert_infinity(const Cube& cube);
+  void assert_may(const Cube& cube, std::size_t id);
+
+  /// Solve with `assumptions` plus every live may gate, applying the
+  /// clean-rerun/retraction discipline documented on relative_query. The
+  /// degenerate no-candidates path is exactly a plain solve (bit-for-bit
+  /// with the pre-seeding engine).
+  sat::LBool solve_frames(std::vector<sat::Lit> assumptions,
+                          std::vector<sat::Lit>* core_out);
+
+  /// After a clean SAT that a may-assumed query had blocked: retract every
+  /// live candidate whose cube the model state satisfies (those gates are
+  /// what excluded the state).
+  void retract_violated_candidates();
 
   const ir::TransitionSystem& ts_;
   const PdrOptions& options_;
@@ -136,6 +196,18 @@ class QueryContext {
   sat::Lit prop0_ = sat::kUndefLit;
   sat::Lit init_prop_ = sat::kUndefLit;
   std::size_t synced_epoch_ = 0;
+
+  /// Live may-clause mirror: candidate id -> its dedicated gate + cube.
+  /// std::map keeps assumption order deterministic (sorted by id).
+  struct MayEntry {
+    sat::Lit gate = sat::kUndefLit;
+    Cube cube;
+  };
+  std::map<std::size_t, MayEntry> may_;
+
+  /// Lazily-constructed per-worker ternary simulator (ternary_lifting only).
+  std::unique_ptr<TernarySim> ternary_;
+  std::size_t lifted_bits_ = 0;
 
   std::size_t retired_gates_since_rebuild_ = 0;
   std::size_t retired_gates_total_ = 0;

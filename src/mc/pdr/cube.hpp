@@ -7,6 +7,7 @@
 /// (state, bit), which makes subsumption a linear merge.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "ir/transition_system.hpp"
@@ -35,6 +36,13 @@ using Cube = std::vector<StateLit>;
 /// Sort + deduplicate into the canonical form the other helpers expect.
 void canonicalize(Cube& cube);
 
+/// Canonicalize a cube that came from a *clause* (candidate lemma, mailbox
+/// traffic) and vet it: returns false for an empty cube or one carrying
+/// both polarities of a bit — such a clause is a tautology and must be
+/// rejected, not approximated. The single gatekeeper for every candidate
+/// intake path, so the policy cannot diverge between them.
+bool canonicalize_clause_cube(Cube& cube);
+
 /// True iff every literal of `a` appears in `b` — i.e. `a` is weaker as a
 /// cube (covers more states), so the clause ¬a subsumes the clause ¬b.
 bool subsumes(const Cube& a, const Cube& b);
@@ -43,5 +51,13 @@ bool subsumes(const Cube& a, const Cube& b);
 /// state variables, suitable for lemma export / SVA printing. Creates nodes
 /// in `ts`'s NodeManager — call only from the thread that owns the system.
 ir::NodeRef clause_expr(const ir::TransitionSystem& ts, const Cube& cube);
+
+/// Best-effort inverse of `clause_expr`: recognize a width-1 expression that
+/// is a disjunction of (possibly negated) single state-bit literals of `ts`
+/// and return the cube it blocks, canonicalized. Returns nullopt when the
+/// expression is not clause-shaped (references inputs/signals, uses
+/// non-clause operators, or is a tautology) — candidate seeding skips such
+/// lemmas rather than approximating them.
+std::optional<Cube> cube_of_clause(const ir::TransitionSystem& ts, ir::NodeRef expr);
 
 }  // namespace genfv::mc::pdr

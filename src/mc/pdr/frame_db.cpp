@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mc/exchange.hpp"
 #include "util/status.hpp"
 
 namespace genfv::mc::pdr {
@@ -55,6 +56,69 @@ void FrameDb::graduate(const Cube& cube, std::size_t level) {
   journal_.push_back({Event::Kind::Graduate, cube, kInfinityLevel});
 }
 
+void FrameDb::add_infinity(Cube cube) {
+  std::lock_guard<std::mutex> lock(mu_);
+  infinity_.push_back(cube);
+  journal_.push_back({Event::Kind::Graduate, std::move(cube), kInfinityLevel});
+}
+
+std::optional<std::size_t> FrameDb::seed_may(Cube cube) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Keyed on the same encoder as the mailbox AbsorbFilter (exchange_key), so
+  // the two dedupe layers can never disagree on what "the same clause" is.
+  // kInfinityLevel stands in for "level-less": may clauses carry no bound.
+  if (!may_keys_.insert(mc::exchange_key(cube, kInfinityLevel)).second) {
+    return std::nullopt;
+  }
+  const std::size_t id = next_may_id_++;
+  may_.push_back({cube, id});
+  journal_.push_back({Event::Kind::SeedMay, std::move(cube), id});
+  return id;
+}
+
+bool FrameDb::remove_may(std::size_t id, std::size_t* counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto before = may_.size();
+  std::erase_if(may_, [&](const MayClause& m) { return m.id == id; });
+  if (may_.size() == before) return false;
+  ++*counter;
+  // Retraction and graduation journal identically: either way the mirror's
+  // gated assumption dies (graduation re-enters through a Block event).
+  journal_.push_back({Event::Kind::RetractMay, {}, id});
+  return true;
+}
+
+bool FrameDb::retract_may(std::size_t id) { return remove_may(id, &may_retracted_); }
+
+bool FrameDb::graduate_may(std::size_t id) { return remove_may(id, &may_graduated_); }
+
+void FrameDb::mark_may_init_ok(std::size_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (MayClause& m : may_) {
+    if (m.id == id) m.init_ok = true;
+  }
+}
+
+std::vector<FrameDb::MayClause> FrameDb::may_clauses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return may_;
+}
+
+std::size_t FrameDb::may_seeded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_may_id_;
+}
+
+std::size_t FrameDb::may_graduated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return may_graduated_;
+}
+
+std::size_t FrameDb::may_retracted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return may_retracted_;
+}
+
 std::vector<Cube> FrameDb::cubes_at(std::size_t level) const {
   std::lock_guard<std::mutex> lock(mu_);
   GENFV_ASSERT(level < levels_.size(), "frame level out of range");
@@ -89,7 +153,7 @@ std::size_t FrameDb::events_since(std::size_t from, std::vector<Event>* out) con
 
 FrameDb::Snapshot FrameDb::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return {levels_, infinity_, journal_.size()};
+  return {levels_, infinity_, may_, journal_.size()};
 }
 
 }  // namespace genfv::mc::pdr

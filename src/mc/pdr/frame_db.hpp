@@ -29,6 +29,9 @@
 #include <cstddef>
 #include <limits>
 #include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "mc/pdr/cube.hpp"
@@ -46,19 +49,36 @@ class FrameDb {
   ///  * PushLevel: allocate a fresh activation literal for the new level.
   ///  * Block: assert clause ¬cube gated by the activation of `level`.
   ///  * Graduate: assert clause ¬cube ungated at both solver frames.
+  ///  * SeedMay: assert clause ¬cube at frame 0 behind a fresh dedicated
+  ///    gate for candidate id `level` (may clauses strengthen queries only
+  ///    while assumed; they are never part of a certificate).
+  ///  * RetractMay: retire candidate `level`'s gate, permanently disabling
+  ///    its clause in this mirror.
   struct Event {
-    enum class Kind { PushLevel, Block, Graduate };
+    enum class Kind { PushLevel, Block, Graduate, SeedMay, RetractMay };
     Kind kind = Kind::PushLevel;
-    Cube cube;               ///< empty for PushLevel
-    std::size_t level = 0;   ///< Block: delta level; Graduate: kInfinityLevel
+    Cube cube;               ///< empty for PushLevel / RetractMay
+    std::size_t level = 0;   ///< Block: delta level; Graduate: kInfinityLevel;
+                             ///< SeedMay / RetractMay: the candidate id
+  };
+
+  /// One live candidate ("may") clause: the cube it blocks plus its stable
+  /// id (gates in every mirror are keyed on it). `init_ok` caches the
+  /// outcome of the (immutable) initiation check so the may-proof pass runs
+  /// it once per candidate, not once per frame iteration.
+  struct MayClause {
+    Cube cube;
+    std::size_t id = 0;
+    bool init_ok = false;
   };
 
   /// A consistent copy of the whole database, used for solver rebuilds: the
-  /// rebuilt mirror re-encodes `levels`/`infinity` and resumes syncing from
-  /// `epoch`.
+  /// rebuilt mirror re-encodes `levels`/`infinity`/`may` and resumes syncing
+  /// from `epoch`.
   struct Snapshot {
     std::vector<std::vector<Cube>> levels;  ///< blocked cubes per level
     std::vector<Cube> infinity;
+    std::vector<MayClause> may;             ///< live (unretracted) candidates
     std::size_t epoch = 0;
   };
 
@@ -86,6 +106,44 @@ class FrameDb {
   /// No-op on the bookkeeping side when the cube is absent from `level`.
   void graduate(const Cube& cube, std::size_t level);
 
+  /// Add a clause directly to F_∞ — for invariants proven *elsewhere* (a
+  /// racing member's published F_∞ clauses). The caller vouches that the
+  /// clause holds in every reachable state of this system.
+  void add_infinity(Cube cube);
+
+  // --- candidate ("may") clauses ---------------------------------------------
+  // Unproven candidate clauses assumed in queries behind per-candidate
+  // activation gates. Never exported, never part of F_∞ or the delta levels;
+  // graduation re-enters through add_blocked on a *clean* proof. Duplicate
+  // cubes (keyed on exchange_key) are rejected, including cubes that were
+  // seeded before and since retracted — a refuted candidate stays refuted.
+
+  /// Seed `cube` as a candidate. Returns its id, or nullopt for duplicates.
+  std::optional<std::size_t> seed_may(Cube cube);
+
+  /// Retract candidate `id` (spurious-obligation or initiation refutation).
+  /// Returns false when already retracted/graduated (idempotent).
+  bool retract_may(std::size_t id);
+
+  /// Remove candidate `id` from the may set because a clean may-proof
+  /// succeeded — the caller follows up with add_blocked for the cube.
+  /// Mirrors treat it exactly like a retraction (the gated assumption is
+  /// replaced by a real frame clause). Returns false when already gone.
+  bool graduate_may(std::size_t id);
+
+  /// Record that candidate `id` passed the initiation check (SAT(init ∧
+  /// cube) = False — a fact that can never change). Bookkeeping only; no
+  /// journal event, mirrors are unaffected.
+  void mark_may_init_ok(std::size_t id);
+
+  /// Live (seeded, not yet retracted/graduated) candidates.
+  std::vector<MayClause> may_clauses() const;
+
+  /// Lifetime counters for EngineStats.
+  std::size_t may_seeded() const;
+  std::size_t may_graduated() const;
+  std::size_t may_retracted() const;
+
   std::vector<Cube> cubes_at(std::size_t level) const;
   std::vector<Cube> infinity() const;
 
@@ -101,9 +159,18 @@ class FrameDb {
   Snapshot snapshot() const;
 
  private:
+  /// Shared body of retract_may/graduate_may: erase, bump `counter`,
+  /// journal a RetractMay (mirrors handle both cases identically).
+  bool remove_may(std::size_t id, std::size_t* counter);
+
   mutable std::mutex mu_;
   std::vector<std::vector<Cube>> levels_;  ///< blocked cubes, delta-encoded
   std::vector<Cube> infinity_;
+  std::vector<MayClause> may_;                    ///< live candidates
+  std::unordered_set<std::string> may_keys_;      ///< ever-seeded dedupe keys
+  std::size_t next_may_id_ = 0;
+  std::size_t may_graduated_ = 0;
+  std::size_t may_retracted_ = 0;
   std::vector<Event> journal_;
 };
 

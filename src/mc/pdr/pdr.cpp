@@ -11,6 +11,7 @@
 #include "mc/pdr/obligation.hpp"
 #include "mc/pdr/propagate.hpp"
 #include "sat/solver_pool.hpp"
+#include "sim/interpreter.hpp"
 #include "util/status.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -47,6 +48,10 @@ struct PdrRun {
   sat::SolverPool pool;
   std::vector<std::unique_ptr<ir::SystemClone>> clones;
   std::vector<std::unique_ptr<QueryContext>> contexts;
+  /// Candidate intake from the exchange mailbox (seed_candidates only):
+  /// caller-owned cursor plus the standard consumer-side dedupe.
+  std::size_t mailbox_cursor = 0;
+  AbsorbFilter absorb_filter;
 
   PdrRun(const ir::TransitionSystem& ts, const PdrOptions& options, ir::NodeRef prop)
       : pool(sat::SolverConfig{options.conflict_budget, options.stop.get()}) {
@@ -75,6 +80,21 @@ struct PdrRun {
     return out;
   }
 };
+
+/// Bounds-check a mailbox clause against `ts` and return its canonical cube;
+/// nullopt when it does not fit (foreign-system clause) or is a tautology.
+std::optional<Cube> mailbox_cube(const ExchangedClause& clause,
+                                 const ir::TransitionSystem& ts) {
+  Cube cube;
+  cube.reserve(clause.lits.size());
+  for (const ExchangedLit& lit : clause.lits) {
+    if (lit.state >= ts.states().size()) return std::nullopt;
+    if (lit.bit >= ts.states()[lit.state].var->width()) return std::nullopt;
+    cube.push_back({lit.state, lit.bit, lit.negated});
+  }
+  if (!canonicalize_clause_cube(cube)) return std::nullopt;
+  return cube;
+}
 
 }  // namespace
 
@@ -122,10 +142,49 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
     result.stats.absorb(run.pool.total_stats());
     for (const QueryContext* ctx : contexts) {
       result.stats.retired_gates += ctx->retired_gates();
+      result.stats.lifted_bits += ctx->lifted_bits();
     }
     result.stats.solver_rebuilds += run.pool.rebuilds();
+    result.stats.candidates_seeded += run.db.may_seeded();
+    result.stats.candidates_graduated += run.db.may_graduated();
+    result.stats.candidates_retracted += run.db.may_retracted();
     result.stats.seconds = watch.seconds();
     return result;
+  };
+
+  // Candidate-lemma seeding: admit clause-shaped unproven candidates as
+  // "may" clauses (docs/lemmas.md). Non-clause candidates are skipped — the
+  // frame database trades exclusively in state-bit clauses.
+  if (options_.seed_candidates) {
+    for (const ir::NodeRef cand : options_.candidate_lemmas) {
+      if (const auto cube = cube_of_clause(ts_, cand)) run.db.seed_may(*cube);
+    }
+  }
+
+  // Mailbox intake (seed_candidates only): proven clauses are invariants of
+  // this very system and join F_∞ directly — each publisher's F_∞ set is
+  // mutually inductive relative to the shared lemmas, so the exported
+  // certificate stays inductive (docs/lemmas.md). Level-tagged clauses are
+  // merely bounded facts here and enter as candidates instead.
+  auto poll_mailbox = [&] {
+    if (!options_.seed_candidates || options_.exchange == nullptr) return;
+    const auto fetched =
+        options_.exchange->fetch(options_.exchange_slot, &run.mailbox_cursor);
+    std::size_t absorbed = 0;
+    for (const ExchangedClause& clause : fetched) {
+      if (!run.absorb_filter.admit(clause)) continue;
+      const auto cube = mailbox_cube(clause, ts_);
+      if (!cube.has_value()) continue;
+      if (clause.proven()) {
+        run.db.add_infinity(*cube);
+        ++absorbed;
+      } else if (run.db.seed_may(*cube).has_value()) {
+        ++absorbed;
+      }
+    }
+    if (absorbed != 0) {
+      options_.exchange->note_absorbed(options_.exchange_slot, absorbed);
+    }
   };
 
   // 0-step: a property violation inside the initial states themselves.
@@ -143,6 +202,15 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
   // input vector drives its state into the next one. Obligations carry only
   // manager-neutral values, so this works no matter which worker's context
   // discovered each link.
+  //
+  // With ternary lifting the stored per-link state values are witnesses of
+  // *cubes*, not one execution: the init-end link holds a genuine initial
+  // state inside its lifted cube (extract_init_witness), but the later
+  // links' concrete states need not be its successors. Lifting guarantees
+  // every state of a link's cube steps — under the stored inputs — into the
+  // next link's cube (and the last cube forces the violation), so the real
+  // trace is recovered by re-simulating forward from the initial witness
+  // through the stored input vectors.
   auto build_cex = [&](std::size_t index) {
     sim::Trace trace(&ts_);
     std::vector<std::size_t> chain;
@@ -150,15 +218,31 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
          at = run.queue.at(static_cast<std::size_t>(at)).parent) {
       chain.push_back(static_cast<std::size_t>(at));
     }
+    if (!options_.ternary_lifting) {
+      for (const std::size_t at : chain) {
+        const Obligation& o = run.queue.at(at);
+        sim::Assignment env;
+        for (std::size_t si = 0; si < ts_.states().size(); ++si) {
+          env[ts_.states()[si].var] = o.state_values[si];
+        }
+        for (std::size_t ii = 0; ii < ts_.inputs().size(); ++ii) {
+          env[ts_.inputs()[ii]] = o.input_values[ii];
+        }
+        trace.append(std::move(env));
+      }
+      return trace;
+    }
+    sim::Assignment states;
+    for (std::size_t si = 0; si < ts_.states().size(); ++si) {
+      states[ts_.states()[si].var] = run.queue.at(chain.front()).state_values[si];
+    }
     for (const std::size_t at : chain) {
       const Obligation& o = run.queue.at(at);
-      sim::Assignment env;
-      for (std::size_t si = 0; si < ts_.states().size(); ++si) {
-        env[ts_.states()[si].var] = o.state_values[si];
-      }
+      sim::Assignment env = states;
       for (std::size_t ii = 0; ii < ts_.inputs().size(); ++ii) {
         env[ts_.inputs()[ii]] = o.input_values[ii];
       }
+      states = sim::step(ts_, env);
       trace.append(std::move(env));
     }
     return trace;
@@ -167,6 +251,21 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
   while (true) {
     const std::size_t frontier = run.db.frontier();
     if (main.stopped()) return finish(Verdict::Unknown, frontier);
+
+    // Absorb new candidate material before the SAT-heavy phases: proven
+    // clauses strengthen every query unconditionally, fresh candidates ride
+    // along as may clauses until the may-proof pass decides them.
+    poll_mailbox();
+
+    // May-proof pass *before* blocking: candidates that are relatively
+    // inductive at the current frontier graduate into real frame clauses
+    // right away — before any frontier query can implicate a still-unproven
+    // candidate in a spurious "blocked" answer and retract it. A true
+    // candidate thus gets its graduation chance first; only speculative ones
+    // survive into the blocking phase as may assumptions.
+    if (!may_proof_pass(main, run.db, options_)) {
+      return finish(Verdict::Unknown, frontier);
+    }
 
     // Strengthen the frontier: block every state that violates the property
     // (and every predecessor chain those states drag in) — sequentially on

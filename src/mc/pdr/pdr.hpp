@@ -69,6 +69,29 @@ struct PdrOptions {
   /// Also publish every frame-k blocked clause, tagged with its level
   /// (bounded facts; consumers restrict them to init-rooted frames <= k).
   bool publish_frame_clauses = false;
+  /// Ternary-simulation cube lifting: shrink every extracted predecessor /
+  /// frontier bad-state cube by dropping state bits whose X-valuation still
+  /// forces the bad successor (or the property violation) before
+  /// generalization sees the cube. Off (the default) preserves the legacy
+  /// engine bit for bit; on changes the frame trajectory (usually for the
+  /// better) but never a verdict. Counterexample chains are rebuilt by
+  /// re-simulating through the lifted cubes — see ternary.hpp.
+  bool ternary_lifting = false;
+  /// Candidate-lemma frame seeding: admit *unproven* candidate clauses
+  /// (`candidate_lemmas`, plus level-tagged clauses fetched from `exchange`)
+  /// into the frame database as "may" clauses — assumed in queries behind
+  /// dedicated activation gates, never exported, never pushed to F_∞.
+  /// A may-proof pass graduates candidates whose mutual relative-induction
+  /// check succeeds into ordinary frame clauses; a candidate implicated in a
+  /// spurious "blocked" answer (a may-contaminated UNSAT whose clean re-run
+  /// finds a state the candidate excludes) has its gate retracted. See
+  /// docs/lemmas.md for the full soundness story.
+  bool seed_candidates = false;
+  /// Unproven candidate helper lemmas (e.g. LemmaManager candidates that
+  /// failed their k-induction proof). Only clause-shaped expressions —
+  /// disjunctions of state-bit literals — can seed; others are skipped.
+  /// Ignored unless `seed_candidates` is set.
+  std::vector<ir::NodeRef> candidate_lemmas;
   /// Worker shards for obligation blocking and clause propagation. 1 (the
   /// default) runs a single query context on the caller's system — bit for
   /// bit the legacy single-threaded engine. n > 1 runs n query contexts,

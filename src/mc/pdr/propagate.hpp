@@ -35,6 +35,21 @@ PropagateOutcome propagate_all(QueryContext& ctx, FrameDb& db, const PdrOptions&
 PropagateOutcome propagate_sharded(const std::vector<QueryContext*>& contexts,
                                    FrameDb& db, const PdrOptions& options);
 
+/// The may-proof pass (PdrOptions::seed_candidates; no-op otherwise): try to
+/// graduate candidate ("may") clauses into ordinary frame clauses.
+///  1. Initiation filter: a candidate whose cube contains an initial state
+///     is refuted outright and retracted.
+///  2. Mutual may-induction fixpoint at the frontier level N: starting from
+///     every live candidate, repeatedly drop any with a counterexample-to-
+///     consecution relative to F_{N-1} ∧ survivors (a *clean* query — no
+///     other candidate assumptions). Survivors S satisfy init ⊨ S and
+///     F_{N-1} ∧ S ∧ T ⊨ S′, so by induction over path length every state
+///     reachable in ≤ N steps satisfies S — each survivor is blockable at
+///     level N and graduates into the delta levels, where propagation and
+///     the F_∞ fixpoint treat it like any other clause.
+/// Returns false when the budget/stop flag interrupted.
+bool may_proof_pass(QueryContext& ctx, FrameDb& db, const PdrOptions& options);
+
 /// Push frontier clauses to F_∞ when a subset is mutually inductive: the
 /// greatest fixpoint of "drop any clause with a counterexample-to-
 /// consecution relative to the remaining set (∧ F_∞ ∧ lemmas)". Survivors

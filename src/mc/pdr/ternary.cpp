@@ -1,0 +1,331 @@
+#include "mc/pdr/ternary.hpp"
+
+#include <bit>
+
+#include "util/status.hpp"
+
+namespace genfv::mc::pdr {
+
+namespace {
+
+using ir::width_mask;
+
+/// Largest value a word can take over all concretizations (X bits -> 1).
+std::uint64_t max_value(const TernaryWord& a, unsigned width) {
+  return (a.value | (~a.known & width_mask(width))) & width_mask(width);
+}
+/// Smallest value (X bits -> 0); the invariant keeps X positions of `value`
+/// at 0 already.
+std::uint64_t min_value(const TernaryWord& a) { return a.value; }
+
+TernaryWord known_bool(bool v) { return {v ? 1ULL : 0ULL, 1}; }
+
+/// Add/sub with a known-prefix carry argument: bit i of the sum is forced
+/// whenever every operand bit at positions <= i is known (the carry into
+/// i+1 is then exact too). `raw` is the full-width two's-complement result
+/// computed from the min values.
+TernaryWord prefix_arith(std::uint64_t raw, std::uint64_t known_both, unsigned width) {
+  const unsigned prefix = std::countr_one(known_both & width_mask(width));
+  const std::uint64_t mask = prefix >= 64 ? ~0ULL : ((1ULL << prefix) - 1);
+  const std::uint64_t known = mask & width_mask(width);
+  return {raw & known, known};
+}
+
+}  // namespace
+
+TernaryWord ternary_op(ir::Op op, unsigned width, unsigned p0, unsigned p1,
+                       const std::vector<TernaryWord>& v,
+                       const std::vector<unsigned>& w) {
+  const std::uint64_t mask = width_mask(width);
+
+  // Fast path: every operand fully known -> defer to the exact evaluator,
+  // the single source of truth for operator semantics.
+  bool all_known = true;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!v[i].fully_known(w[i])) {
+      all_known = false;
+      break;
+    }
+  }
+  if (all_known) {
+    std::vector<std::uint64_t> vals;
+    vals.reserve(v.size());
+    for (const TernaryWord& word : v) vals.push_back(word.value);
+    return {ir::eval_op(op, width, p0, p1, vals, w), mask};
+  }
+
+  switch (op) {
+    case ir::Op::Const:
+    case ir::Op::Input:
+    case ir::Op::State:
+      throw UsageError("ternary_op called on a leaf");
+
+    case ir::Op::Not:
+      return {~v[0].value & v[0].known & mask, v[0].known & mask};
+    case ir::Op::And: {
+      const std::uint64_t known0 =
+          (v[0].known & ~v[0].value) | (v[1].known & ~v[1].value);
+      const std::uint64_t known1 = v[0].known & v[0].value & v[1].known & v[1].value;
+      return {known1 & mask, (known0 | known1) & mask};
+    }
+    case ir::Op::Or: {
+      const std::uint64_t known1 = (v[0].known & v[0].value) | (v[1].known & v[1].value);
+      const std::uint64_t known0 =
+          v[0].known & ~v[0].value & v[1].known & ~v[1].value;
+      return {known1 & mask, (known0 | known1) & mask};
+    }
+    case ir::Op::Xor: {
+      const std::uint64_t known = v[0].known & v[1].known & mask;
+      return {(v[0].value ^ v[1].value) & known, known};
+    }
+
+    case ir::Op::Neg:
+      // -a = 0 - a: exact up to (excluding) the lowest unknown bit.
+      return prefix_arith((~v[0].value + 1), v[0].known, width);
+    case ir::Op::Add:
+      return prefix_arith(v[0].value + v[1].value, v[0].known & v[1].known, width);
+    case ir::Op::Sub:
+      return prefix_arith(v[0].value - v[1].value, v[0].known & v[1].known, width);
+
+    // Products, quotients and data-dependent shifts do not propagate X
+    // profitably bit by bit; give up (the all-known fast path above still
+    // evaluates them exactly).
+    case ir::Op::Mul:
+    case ir::Op::Udiv:
+    case ir::Op::Urem:
+      return TernaryWord::unknown(width);
+
+    case ir::Op::Shl: {
+      if (!v[1].fully_known(w[1])) return TernaryWord::unknown(width);
+      const std::uint64_t amount = v[1].value;
+      if (amount >= width) return TernaryWord::constant(0, width);
+      // Vacated low positions are known zeros.
+      return {(v[0].value << amount) & mask,
+              ((v[0].known << amount) | width_mask(static_cast<unsigned>(amount))) & mask};
+    }
+    case ir::Op::Lshr: {
+      if (!v[1].fully_known(w[1])) return TernaryWord::unknown(width);
+      const std::uint64_t amount = v[1].value;
+      if (amount >= width) return TernaryWord::constant(0, width);
+      // Vacated high positions are known zeros.
+      const std::uint64_t high =
+          mask & ~(width_mask(width) >> amount);
+      return {v[0].value >> amount, ((v[0].known >> amount) | high) & mask};
+    }
+    case ir::Op::Ashr: {
+      const unsigned opw = w[0];
+      if (!v[1].fully_known(w[1])) return TernaryWord::unknown(width);
+      const std::uint64_t amount = v[1].value;
+      const bool sign_known = ((v[0].known >> (opw - 1)) & 1) != 0;
+      const bool sign = ((v[0].value >> (opw - 1)) & 1) != 0;
+      if (amount >= opw) {
+        if (!sign_known) return TernaryWord::unknown(width);
+        return TernaryWord::constant(sign ? width_mask(opw) : 0, width);
+      }
+      const std::uint64_t high = width_mask(opw) & ~(width_mask(opw) >> amount);
+      TernaryWord out{v[0].value >> amount, v[0].known >> amount};
+      if (sign_known) {
+        out.known |= high;
+        if (sign) out.value |= high;
+      }
+      out.value &= width_mask(opw);
+      out.known &= width_mask(opw);
+      return out;
+    }
+
+    case ir::Op::Eq: {
+      // Any position known on both sides with differing values decides it.
+      if (((v[0].known & v[1].known) & (v[0].value ^ v[1].value)) != 0) {
+        return known_bool(false);
+      }
+      return TernaryWord::unknown(1);
+    }
+    case ir::Op::Ult: {
+      if (max_value(v[0], w[0]) < min_value(v[1])) return known_bool(true);
+      if (min_value(v[0]) >= max_value(v[1], w[1])) return known_bool(false);
+      return TernaryWord::unknown(1);
+    }
+    case ir::Op::Ule: {
+      if (max_value(v[0], w[0]) <= min_value(v[1])) return known_bool(true);
+      if (min_value(v[0]) > max_value(v[1], w[1])) return known_bool(false);
+      return TernaryWord::unknown(1);
+    }
+    case ir::Op::Slt:
+    case ir::Op::Sle:
+      return TernaryWord::unknown(1);
+
+    case ir::Op::Concat:
+      return {((v[0].value << w[1]) | v[1].value) & mask,
+              ((v[0].known << w[1]) | v[1].known) & mask};
+    case ir::Op::Extract: {
+      const std::uint64_t m = width_mask(p0 - p1 + 1);
+      return {(v[0].value >> p1) & m, (v[0].known >> p1) & m};
+    }
+    case ir::Op::ZExt:
+      // Extension bits are known zeros.
+      return {v[0].value, (v[0].known | (mask & ~width_mask(w[0]))) & mask};
+    case ir::Op::SExt: {
+      const unsigned opw = w[0];
+      const std::uint64_t high = mask & ~width_mask(opw);
+      const bool sign_known = ((v[0].known >> (opw - 1)) & 1) != 0;
+      const bool sign = ((v[0].value >> (opw - 1)) & 1) != 0;
+      TernaryWord out = v[0];
+      if (sign_known) {
+        out.known |= high;
+        if (sign) out.value |= high;
+      }
+      return out;
+    }
+    case ir::Op::Ite: {
+      if ((v[0].known & 1) != 0) return (v[0].value & 1) != 0 ? v[1] : v[2];
+      // Unknown selector: a bit is forced only where both branches agree.
+      const std::uint64_t agree = ~(v[1].value ^ v[2].value);
+      const std::uint64_t known = v[1].known & v[2].known & agree & mask;
+      return {v[1].value & known, known};
+    }
+
+    case ir::Op::RedAnd:
+      if ((v[0].known & ~v[0].value & width_mask(w[0])) != 0) return known_bool(false);
+      return TernaryWord::unknown(1);
+    case ir::Op::RedOr:
+      if ((v[0].known & v[0].value) != 0) return known_bool(true);
+      return TernaryWord::unknown(1);
+    case ir::Op::RedXor:
+      return TernaryWord::unknown(1);
+
+    case ir::Op::Implies: {
+      if (v[0].is(0, false) || v[1].is(0, true)) return known_bool(true);
+      if (v[0].is(0, true) && v[1].is(0, false)) return known_bool(false);
+      return TernaryWord::unknown(1);
+    }
+  }
+  throw UsageError("ternary_op: unhandled operator");
+}
+
+TernarySim::TernarySim(const ir::TransitionSystem& ts) : ts_(ts) {}
+
+void TernarySim::load(const std::vector<std::uint64_t>& state_values,
+                      const std::vector<std::uint64_t>& input_values) {
+  GENFV_ASSERT(state_values.size() == ts_.states().size(),
+               "ternary load: state value count mismatch");
+  GENFV_ASSERT(input_values.size() == ts_.inputs().size(),
+               "ternary load: input value count mismatch");
+  env_.clear();
+  memo_.clear();
+  for (std::size_t i = 0; i < state_values.size(); ++i) {
+    const ir::NodeRef var = ts_.states()[i].var;
+    env_[var] = TernaryWord::constant(state_values[i], var->width());
+  }
+  for (std::size_t i = 0; i < input_values.size(); ++i) {
+    const ir::NodeRef in = ts_.inputs()[i];
+    env_[in] = TernaryWord::constant(input_values[i], in->width());
+  }
+}
+
+void TernarySim::set_state_bit_unknown(std::uint32_t state, std::uint32_t bit) {
+  TernaryWord& word = env_.at(ts_.states().at(state).var);
+  word.known &= ~(1ULL << bit);
+  word.value &= ~(1ULL << bit);
+  memo_.clear();
+}
+
+void TernarySim::set_state_bit(std::uint32_t state, std::uint32_t bit, bool value) {
+  TernaryWord& word = env_.at(ts_.states().at(state).var);
+  word.known |= 1ULL << bit;
+  if (value) {
+    word.value |= 1ULL << bit;
+  } else {
+    word.value &= ~(1ULL << bit);
+  }
+  memo_.clear();
+}
+
+TernaryWord TernarySim::state_word(std::uint32_t state) const {
+  return env_.at(ts_.states().at(state).var);
+}
+
+TernaryWord TernarySim::evaluate(ir::NodeRef root) {
+  // Iterative post-order, mirroring sim::evaluate (deep DAGs).
+  std::vector<std::pair<ir::NodeRef, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    auto [node, expanded] = stack.back();
+    stack.pop_back();
+    if (memo_.contains(node)) continue;
+
+    if (node->is_leaf()) {
+      if (node->is_const()) {
+        memo_[node] = TernaryWord::constant(node->value(), node->width());
+      } else {
+        const auto it = env_.find(node);
+        if (it == env_.end()) {
+          throw UsageError("ternary evaluate: unbound leaf '" + node->name() + "'");
+        }
+        memo_[node] = it->second;
+      }
+      continue;
+    }
+    if (!expanded) {
+      stack.push_back({node, true});
+      for (const ir::NodeRef c : node->children()) {
+        if (!memo_.contains(c)) stack.push_back({c, false});
+      }
+      continue;
+    }
+    std::vector<TernaryWord> vals;
+    std::vector<unsigned> widths;
+    vals.reserve(node->arity());
+    widths.reserve(node->arity());
+    for (const ir::NodeRef c : node->children()) {
+      vals.push_back(memo_.at(c));
+      widths.push_back(c->width());
+    }
+    memo_[node] =
+        ternary_op(node->op(), node->width(), node->hi(), node->lo(), vals, widths);
+  }
+  return memo_.at(root);
+}
+
+std::size_t lift_obligation(TernarySim& sim, const ir::TransitionSystem& ts,
+                            Obligation& o, const Cube* successor,
+                            ir::NodeRef property) {
+  GENFV_ASSERT(successor != nullptr || property != nullptr,
+               "lifting needs a successor cube or a property goal");
+  sim.load(o.state_values, o.input_values);
+
+  // The goal must stay *forced* — known with the required value — for every
+  // concretization of the X bits. With everything concrete it holds by
+  // construction (the solver model satisfies the circuit semantics), so the
+  // loop only ever weakens from a holding goal.
+  auto forced = [&]() -> bool {
+    for (const ir::NodeRef c : ts.constraints()) {
+      if (!sim.evaluate(c).is(0, true)) return false;
+    }
+    if (successor != nullptr) {
+      for (const StateLit& l : *successor) {
+        const TernaryWord next = sim.evaluate(ts.states()[l.state].next);
+        if (!next.is(l.bit, !l.negated)) return false;
+      }
+    } else {
+      if (!sim.evaluate(property).is(0, false)) return false;
+    }
+    return true;
+  };
+
+  Cube kept;
+  kept.reserve(o.cube.size());
+  std::size_t dropped = 0;
+  for (const StateLit& l : o.cube) {
+    sim.set_state_bit_unknown(l.state, l.bit);
+    if (forced()) {
+      ++dropped;
+      continue;
+    }
+    sim.set_state_bit(l.state, l.bit, !l.negated);  // restore the witness value
+    kept.push_back(l);
+  }
+  if (kept.empty()) return 0;  // degenerate: keep the full concrete cube
+  o.cube = std::move(kept);
+  return dropped;
+}
+
+}  // namespace genfv::mc::pdr

@@ -94,6 +94,7 @@ EngineResult PortfolioEngine::run_threaded(const std::vector<ir::NodeRef>& prope
   std::vector<std::unique_ptr<ir::SystemClone>> clones;
   std::vector<std::vector<ir::NodeRef>> member_props(n);
   std::vector<std::vector<ir::NodeRef>> member_lemmas(n);
+  std::vector<std::vector<ir::NodeRef>> member_candidates(n);
   for (std::size_t i = 0; i < n; ++i) {
     clones.push_back(std::make_unique<ir::SystemClone>(ts_));
     for (const ir::NodeRef p : properties) {
@@ -101,6 +102,9 @@ EngineResult PortfolioEngine::run_threaded(const std::vector<ir::NodeRef>& prope
     }
     for (const ir::NodeRef l : options_.lemmas) {
       member_lemmas[i].push_back(clones[i]->to_clone(l));
+    }
+    for (const ir::NodeRef c : options_.pdr_candidate_lemmas) {
+      member_candidates[i].push_back(clones[i]->to_clone(c));
     }
   }
 
@@ -127,6 +131,7 @@ EngineResult PortfolioEngine::run_threaded(const std::vector<ir::NodeRef>& prope
       try {
         EngineOptions opts = member_options(options_, mailbox, i);
         opts.lemmas = member_lemmas[i];  // translated into this member's clone
+        opts.pdr_candidate_lemmas = member_candidates[i];
         opts.stop = cancel;
         auto engine = make_engine(members_[i], clones[i]->system(), opts);
         r = engine->prove_all(member_props[i]);

@@ -45,6 +45,16 @@ struct EngineStats {
   /// and in-place solver rebuilds triggered by PdrOptions::rebuild_gate_limit.
   std::uint64_t retired_gates = 0;
   std::uint64_t solver_rebuilds = 0;
+  /// PDR ternary lifting: state-bit literals dropped from extracted cubes
+  /// before generalization (PdrOptions::ternary_lifting).
+  std::uint64_t lifted_bits = 0;
+  /// PDR candidate seeding (PdrOptions::seed_candidates): candidate clauses
+  /// admitted as "may" clauses, graduated into real frame clauses by the
+  /// may-proof pass, and retracted (refuted at init or implicated in a
+  /// spurious blocked answer).
+  std::uint64_t candidates_seeded = 0;
+  std::uint64_t candidates_graduated = 0;
+  std::uint64_t candidates_retracted = 0;
   double seconds = 0.0;
 
   /// Fold one solver's lifetime counters into this record (sat_calls gains
@@ -60,6 +70,10 @@ struct EngineStats {
     learnt_clauses += other.learnt_clauses;
     retired_gates += other.retired_gates;
     solver_rebuilds += other.solver_rebuilds;
+    lifted_bits += other.lifted_bits;
+    candidates_seeded += other.candidates_seeded;
+    candidates_graduated += other.candidates_graduated;
+    candidates_retracted += other.candidates_retracted;
     seconds += other.seconds;
     return *this;
   }

@@ -19,6 +19,12 @@
 ///   --pdr-workers <n>                PDR worker shards for obligation
 ///                                    blocking / clause propagation
 ///                                    (default: 1 = single-threaded PDR)
+///   --pdr-ternary on|off             PDR ternary-simulation cube lifting:
+///                                    shrink extracted cubes before
+///                                    generalization (default: off)
+///   --seed-candidates on|off         seed PDR frames with unproven candidate
+///                                    lemmas under the may-proof discipline
+///                                    (default: off; see docs/lemmas.md)
 ///   --property "<sva>"               may repeat; an `<engine>:` prefix (e.g.
 ///                                    "pdr:count <= 8") overrides the engine
 ///                                    for that property (plain flow only)
@@ -70,6 +76,8 @@ struct CliOptions {
   mc::EngineKind engine = mc::EngineKind::KInduction;
   bool exchange = true;
   std::size_t pdr_workers = 1;
+  bool pdr_ternary = false;
+  bool seed_candidates = false;
   std::string model = "gpt-4o";
   std::uint64_t seed = 42;
   std::size_t max_k = 8;
@@ -89,7 +97,8 @@ struct CliOptions {
                "  genfv_cli demo <design> [options]\n"
                "  genfv_cli designs | models\n"
                "options: --flow cex|helper|direct|plain  --engine bmc|kind|pdr|portfolio\n"
-               "         --exchange on|off  --pdr-workers <n>\n"
+               "         --exchange on|off  --pdr-workers <n>  --pdr-ternary on|off\n"
+               "         --seed-candidates on|off\n"
                "         --emit-lemmas <file>  --use-lemmas <file>\n"
                "         --model <name>  --seed <n>  --max-k <n>  --no-screen\n"
                "         --dump-ts <file>  --vcd <file>  --verbose\n"
@@ -161,6 +170,18 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--pdr-workers") {
       opts.pdr_workers = std::stoull(need_value("--pdr-workers"));
       if (opts.pdr_workers == 0) usage("--pdr-workers requires at least one worker");
+    }
+    else if (arg == "--pdr-ternary") {
+      const std::string value = need_value("--pdr-ternary");
+      if (value == "on") opts.pdr_ternary = true;
+      else if (value == "off") opts.pdr_ternary = false;
+      else usage("--pdr-ternary takes 'on' or 'off'");
+    }
+    else if (arg == "--seed-candidates") {
+      const std::string value = need_value("--seed-candidates");
+      if (value == "on") opts.seed_candidates = true;
+      else if (value == "off") opts.seed_candidates = false;
+      else usage("--seed-candidates takes 'on' or 'off'");
     }
     else if (arg == "--model") opts.model = need_value("--model");
     else if (arg == "--seed") opts.seed = std::stoull(need_value("--seed"));
@@ -238,6 +259,8 @@ int run_plain(flow::VerificationTask& task, const CliOptions& opts) {
   base.max_steps = opts.max_k;
   base.exchange = opts.exchange;
   base.pdr_workers = opts.pdr_workers;
+  base.pdr_ternary_lifting = opts.pdr_ternary;
+  base.pdr_seed_candidates = opts.seed_candidates;
   if (!opts.use_lemmas_path.empty()) {
     base.lemmas = ingest_lemma_file(task, opts.use_lemmas_path, opts.max_k);
   }
@@ -329,6 +352,8 @@ int run_task(flow::VerificationTask& task, const CliOptions& opts) {
   options.target_engine = opts.engine;
   options.exchange = opts.exchange;
   options.pdr_workers = opts.pdr_workers;
+  options.pdr_ternary = opts.pdr_ternary;
+  options.pdr_seed_candidates = opts.seed_candidates;
   if (!opts.use_lemmas_path.empty()) {
     options.engine.lemmas = ingest_lemma_file(task, opts.use_lemmas_path, opts.max_k);
   }
