@@ -10,11 +10,17 @@
 /// shrinking every extracted cube before generalization.
 ///
 /// `--json <path>` additionally writes machine-readable records (design,
-/// engine, workers, verdict, wall-ms, solver stats) for BENCH_*.json
-/// trajectory tracking; scripts/check_shootout.py consumes them in CI.
+/// engine, workers, verdict, wall-ms, solver stats, and per-phase wall
+/// times read as metrics-registry deltas around each cell) for
+/// BENCH_*.json trajectory tracking; scripts/check_shootout.py consumes
+/// them in CI. `--trace-out <path>` records every cell's spans and writes
+/// one Perfetto-loadable Chrome trace for the whole shootout; without
+/// either flag telemetry stays off, so the wall-time columns measure the
+/// disabled-overhead configuration.
 
 #include "bench_common.hpp"
 #include "mc/engine.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv {
 namespace {
@@ -29,8 +35,13 @@ void run_experiment(bench::JsonRecords* json) {
       "PDR proves designs the others cannot at this bound, and sharded PDR "
       "(--pdr-workers) cuts wall-clock on blocking-heavy designs.");
 
-  util::Table table(
-      {"design", "engine", "verdict", "depth", "SAT calls", "conflicts", "time"});
+  const bool phases = util::telemetry_on();
+  std::vector<std::string> columns = {"design",    "engine",    "verdict", "depth",
+                                      "SAT calls", "conflicts", "time"};
+  // With telemetry on, break the wall time down by engine phase straight
+  // from the metrics registry (blocking / propagate / SAT-solve time).
+  if (phases) columns.push_back("b/p/s ms");
+  util::Table table(columns);
 
   struct Contender {
     const char* label;
@@ -65,13 +76,36 @@ void run_experiment(bench::JsonRecords* json) {
       options.pdr_workers = contender.pdr_workers;
       options.pdr_ternary_lifting = contender.pdr_ternary;
       auto engine = mc::make_engine(contender.kind, task.ts, options);
+      const auto before = phases ? util::metrics().snapshot_values()
+                                 : std::map<std::string, std::int64_t>{};
       const mc::EngineResult r = engine->prove_all(task.target_exprs());
+      const auto after = phases ? util::metrics().snapshot_values()
+                                : std::map<std::string, std::int64_t>{};
+      // Registry delta across this cell, in milliseconds. The counters are
+      // process-global and every cell runs sequentially, so the delta is
+      // exactly this (design, engine) pair's share.
+      const auto delta_ms = [&](const std::string& key) -> double {
+        const auto b = before.find(key);
+        const auto a = after.find(key);
+        const std::int64_t bv = b == before.end() ? 0 : b->second;
+        const std::int64_t av = a == after.end() ? 0 : a->second;
+        return static_cast<double>(av - bv) / 1e6;
+      };
       std::string shown = contender.label;
       if (!r.winner.empty()) shown += " (" + r.winner + ")";
-      table.add_row({name, shown, mc::to_string(r.verdict),
-                     std::to_string(r.depth), std::to_string(r.stats.sat_calls),
-                     std::to_string(r.stats.conflicts),
-                     util::format_duration(r.stats.seconds)});
+      std::vector<std::string> row = {name, shown, mc::to_string(r.verdict),
+                                      std::to_string(r.depth),
+                                      std::to_string(r.stats.sat_calls),
+                                      std::to_string(r.stats.conflicts),
+                                      util::format_duration(r.stats.seconds)};
+      if (phases) {
+        char cell[64];
+        std::snprintf(cell, sizeof(cell), "%.0f/%.0f/%.0f",
+                      delta_ms("pdr.blocking_ns"), delta_ms("pdr.propagate_ns"),
+                      delta_ms("sat.solve_ns"));
+        row.push_back(cell);
+      }
+      table.add_row(row);
       if (json != nullptr) {
         json->record()
             .field("design", name)
@@ -89,6 +123,14 @@ void run_experiment(bench::JsonRecords* json) {
             .field("retired_gates", r.stats.retired_gates)
             .field("solver_rebuilds", r.stats.solver_rebuilds)
             .field("lifted_bits", r.stats.lifted_bits);
+        if (phases) {
+          json->field("blocking_ms", delta_ms("pdr.blocking_ns"))
+              .field("propagate_ms", delta_ms("pdr.propagate_ns"))
+              .field("may_proof_ms", delta_ms("pdr.may_proof_ns"))
+              .field("push_infinity_ms", delta_ms("pdr.push_infinity_ns"))
+              .field("sat_solve_ms", delta_ms("sat.solve_ns"))
+              .field("framedb_wait_ms", delta_ms("pdr.framedb_mutex_wait_ns"));
+        }
       }
     }
   }
@@ -134,8 +176,22 @@ BENCHMARK(BM_PdrWorkers)->Arg(1)->Arg(2)->Arg(4);
 
 int main(int argc, char** argv) {
   const std::string json_path = genfv::bench::take_flag_value(&argc, argv, "--json");
+  const std::string trace_path = genfv::bench::take_flag_value(&argc, argv, "--trace-out");
+  // --trace-out wants spans; --json wants the registry for the per-phase
+  // columns. Neither flag leaves telemetry off, which keeps the default
+  // shootout measuring the disabled-overhead configuration.
+  if (!trace_path.empty()) {
+    genfv::util::set_telemetry_level(genfv::util::TelemetryLevel::Tracing);
+    genfv::util::set_trace_thread_name("shootout");
+  } else if (!json_path.empty()) {
+    genfv::util::set_telemetry_level(genfv::util::TelemetryLevel::Metrics);
+  }
   genfv::bench::JsonRecords json;
   genfv::run_experiment(json_path.empty() ? nullptr : &json);
   if (!json_path.empty() && !json.write(json_path)) return 1;
+  if (!trace_path.empty()) {
+    if (!genfv::util::write_trace_json(trace_path)) return 1;
+    std::printf("wrote trace to %s\n", trace_path.c_str());
+  }
   return genfv::bench::run_benchmarks(argc, argv);
 }

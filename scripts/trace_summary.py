@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate a genfv Chrome trace-format file and print a per-phase summary.
+
+Usage: trace_summary.py <trace.json> [--require-category CAT]...
+                        [--min-threads N] [--min-events N]
+
+The file is what `genfv_cli --trace-out` (or `bench_engine_shootout
+--trace-out`) writes: `{"traceEvents": [...]}` in Chrome trace format,
+loadable in Perfetto / chrome://tracing. This checker fails CI when the
+file is not well-formed trace JSON, when an expected layer (trace
+category) recorded no spans, or when events were dropped because a
+per-thread buffer overflowed — any of which means the telemetry story
+regressed even though the engines still pass their tests.
+
+On success it prints a per-category table (event count, total span time)
+and a per-name table of the heaviest spans, which is the quick look one
+wants from a CI artifact before opening the trace in a UI.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "M"}
+
+
+def fail(message: str) -> int:
+    print(f"trace_summary: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-format JSON file")
+    parser.add_argument(
+        "--require-category",
+        action="append",
+        default=[],
+        metavar="CAT",
+        help="fail unless at least one event carries this category "
+        "(repeatable; e.g. --require-category pdr --require-category sat)",
+    )
+    parser.add_argument(
+        "--min-threads",
+        type=int,
+        default=1,
+        help="fail unless events came from at least N distinct threads",
+    )
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="fail unless the trace holds at least N span/instant events",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(f"cannot load {args.trace}: {err}")
+
+    if not isinstance(data, dict) or not isinstance(data.get("traceEvents"), list):
+        return fail('top level must be an object with a "traceEvents" list')
+
+    by_category = collections.Counter()
+    dur_by_category = collections.defaultdict(float)
+    dur_by_name = collections.defaultdict(float)
+    count_by_name = collections.Counter()
+    threads = set()
+    thread_names = {}
+    events = 0
+
+    for i, event in enumerate(data["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            return fail(f"{where} is not an object")
+        ph = event.get("ph")
+        if ph not in VALID_PHASES:
+            return fail(f"{where}: unexpected phase {ph!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            return fail(f"{where}: missing event name")
+        if not isinstance(event.get("pid"), int) or not isinstance(event.get("tid"), int):
+            return fail(f"{where}: pid/tid must be integers")
+        if ph == "M":
+            if event["name"] == "thread_name":
+                thread_names[event["tid"]] = event.get("args", {}).get("name", "?")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return fail(f"{where}: bad timestamp {ts!r}")
+        category = event.get("cat")
+        if not isinstance(category, str) or not category:
+            return fail(f"{where}: missing category")
+        dur = 0.0
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(f"{where}: complete event without a valid dur")
+        events += 1
+        threads.add(event["tid"])
+        by_category[category] += 1
+        dur_by_category[category] += dur
+        key = f"{category}/{event['name']}"
+        count_by_name[key] += 1
+        dur_by_name[key] += dur
+
+    dropped = data.get("otherData", {}).get("droppedEvents", 0)
+    if not isinstance(dropped, int) or dropped < 0:
+        return fail(f"otherData.droppedEvents must be a non-negative integer, got {dropped!r}")
+
+    print(f"{args.trace}: {events} events, {len(threads)} threads, {dropped} dropped")
+    if thread_names:
+        by_name = collections.Counter(thread_names.values())
+        named = ", ".join(f"{name} x{n}" if n > 1 else name for name, n in sorted(by_name.items()))
+        print(f"  named threads: {named}")
+    print(f"  {'category':<12} {'events':>8} {'span ms':>10}")
+    for category in sorted(by_category):
+        print(
+            f"  {category:<12} {by_category[category]:>8} "
+            f"{dur_by_category[category] / 1000.0:>10.3f}"
+        )
+    print(f"  {'heaviest spans':<32} {'count':>8} {'span ms':>10}")
+    heaviest = sorted(dur_by_name.items(), key=lambda kv: -kv[1])[:10]
+    for key, dur in heaviest:
+        print(f"  {key:<32} {count_by_name[key]:>8} {dur / 1000.0:>10.3f}")
+
+    if events < args.min_events:
+        return fail(f"only {events} events; expected at least {args.min_events}")
+    if len(threads) < args.min_threads:
+        return fail(f"events from only {len(threads)} threads; expected >= {args.min_threads}")
+    if dropped > 0:
+        return fail(f"{dropped} events were dropped (per-thread buffer overflow)")
+    missing = [c for c in args.require_category if by_category[c] == 0]
+    if missing:
+        return fail(f"required categories recorded no events: {', '.join(missing)}")
+    print("trace_summary: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::flow {
 
@@ -40,7 +41,10 @@ FlowReport CexRepairFlow::run(VerificationTask& task) {
     opts.lemmas.insert(opts.lemmas.end(), lemmas.lemma_exprs().begin(),
                        lemmas.lemma_exprs().end());
     auto engine = mc::make_engine(options_.target_engine, task.ts, opts);
-    last_result = engine->prove_all(task.target_exprs());
+    last_result = [&] {
+      GENFV_TRACE_SPAN("flow", "prove_targets");
+      return engine->prove_all(task.target_exprs());
+    }();
     report.prove_seconds += last_result.stats.seconds;
 
     // Engines without a step-case artefact (BMC, PDR) cannot feed the
@@ -83,7 +87,10 @@ FlowReport CexRepairFlow::run(VerificationTask& task) {
     inputs.induction_depth = last_result.depth;
     const genai::Prompt prompt = genai::render_cex_repair_prompt(inputs);
 
-    const genai::Completion completion = llm_.complete(prompt);
+    const genai::Completion completion = [&] {
+      GENFV_TRACE_SPAN("flow", "mine");
+      return llm_.complete(prompt);
+    }();
     report.llm_seconds += completion.latency_seconds;
 
     IterationReport iteration;
@@ -92,7 +99,10 @@ FlowReport CexRepairFlow::run(VerificationTask& task) {
     iteration.completion_tokens = completion.completion_tokens;
     iteration.llm_latency_seconds = completion.latency_seconds;
     const auto extracted = genai::extract_assertions(completion.text);
-    iteration.candidates = lemmas.process(extracted);
+    iteration.candidates = [&] {
+      GENFV_TRACE_SPAN("flow", "screen_prove_candidates");
+      return lemmas.process(extracted);
+    }();
     for (const auto& c : iteration.candidates) {
       if (c.status == CandidateStatus::Proven) ++iteration.lemmas_admitted;
     }

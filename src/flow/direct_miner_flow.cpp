@@ -2,6 +2,7 @@
 
 #include "genai/mining/miner.hpp"
 #include "util/stopwatch.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::flow {
 
@@ -34,7 +35,10 @@ FlowReport DirectMinerFlow::run(VerificationTask& task) {
   LemmaManager lemmas(task, {options_.engine, options_.review, options_.joint_induction});
   IterationReport iteration;
   iteration.index = 1;
-  iteration.candidates = lemmas.process(texts);
+  iteration.candidates = [&] {
+    GENFV_TRACE_SPAN("flow", "screen_prove_candidates");
+    return lemmas.process(texts);
+  }();
   for (const auto& c : iteration.candidates) {
     if (c.status == CandidateStatus::Proven) ++iteration.lemmas_admitted;
   }

@@ -5,6 +5,7 @@
 #include "ir/printer.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::flow {
 
@@ -28,7 +29,11 @@ FlowReport HelperGenFlow::run(VerificationTask& task) {
   const genai::Prompt prompt = genai::render_helper_generation_prompt(inputs);
 
   // 2. One model round trip.
-  const genai::Completion completion = llm_.complete(prompt);
+  GENFV_TRACE_INSTANT("flow", "mine_start");
+  const genai::Completion completion = [&] {
+    GENFV_TRACE_SPAN("flow", "mine");
+    return llm_.complete(prompt);
+  }();
   report.llm_seconds += completion.latency_seconds;
 
   IterationReport iteration;
@@ -39,7 +44,10 @@ FlowReport HelperGenFlow::run(VerificationTask& task) {
 
   // 3. Candidate pipeline: parse -> screen -> prove -> admit.
   LemmaManager lemmas(task, {options_.engine, options_.review, options_.joint_induction});
-  iteration.candidates = lemmas.process(genai::extract_assertions(completion.text));
+  {
+    GENFV_TRACE_SPAN("flow", "screen_prove_candidates");
+    iteration.candidates = lemmas.process(genai::extract_assertions(completion.text));
+  }
   for (const auto& c : iteration.candidates) {
     if (c.status == CandidateStatus::Proven) ++iteration.lemmas_admitted;
   }
@@ -63,7 +71,10 @@ FlowReport HelperGenFlow::run(VerificationTask& task) {
     target_opts.lemmas.insert(target_opts.lemmas.end(), lemmas.lemma_exprs().begin(),
                               lemmas.lemma_exprs().end());
     auto engine = mc::make_engine(options_.target_engine, task.ts, target_opts);
-    const mc::EngineResult result = engine->prove(prop.expr);
+    const mc::EngineResult result = [&] {
+      GENFV_TRACE_SPAN("flow", "prove_target");
+      return engine->prove(prop.expr);
+    }();
     for (const ir::NodeRef clause : result.invariant) {
       lemmas.admit_proven(clause, ir::to_string(clause));
     }

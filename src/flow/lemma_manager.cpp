@@ -5,6 +5,7 @@
 #include "sva/compiler.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::flow {
 
@@ -90,7 +91,17 @@ std::vector<CandidateOutcome> LemmaManager::process(
     }
 
     // Stage 1: simulation screen (cheap hallucination filter).
-    if (const auto witness = gate_.screen(expr)) {
+    if (util::telemetry_on()) {
+      static util::Counter& screened = util::metrics().counter("flow.candidates_screened");
+      screened.increment();
+    }
+    const auto witness = [&] {
+      GENFV_TRACE_SPAN("flow", "screen_candidate");
+      static util::Counter& screen_ns = util::metrics().counter("flow.screen_ns");
+      util::ScopedTimerNs timer(screen_ns);
+      return gate_.screen(expr);
+    }();
+    if (witness) {
       outcome.status = CandidateStatus::SimFalsified;
       outcome.detail = "violated at frame " + std::to_string(witness->size() - 1) +
                        " of a random run";
@@ -100,7 +111,12 @@ std::vector<CandidateOutcome> LemmaManager::process(
 
     // Stage 2: the proof gate.
     mc::KInductionEngine engine(task_.ts, engine_with_lemmas());
-    const mc::InductionResult result = engine.prove(expr);
+    const mc::InductionResult result = [&] {
+      GENFV_TRACE_SPAN("flow", "prove_candidate");
+      static util::Counter& prove_ns = util::metrics().counter("flow.prove_ns");
+      util::ScopedTimerNs timer(prove_ns);
+      return engine.prove(expr);
+    }();
     prove_seconds_ += result.stats.seconds;
     outcome.prove_seconds = result.stats.seconds;
     outcome.proof_k = result.k;
@@ -130,7 +146,10 @@ std::vector<CandidateOutcome> LemmaManager::process(
     joint.insert(joint.end(), targets.begin(), targets.end());
 
     mc::KInductionEngine engine(task_.ts, engine_with_lemmas());
-    const mc::InductionResult result = engine.prove_all(joint);
+    const mc::InductionResult result = [&] {
+      GENFV_TRACE_SPAN("flow", "prove_joint");
+      return engine.prove_all(joint);
+    }();
     prove_seconds_ += result.stats.seconds;
     if (result.verdict == mc::Verdict::Proven) {
       GENFV_LOG(Info, "lemma") << "joint induction rescued " << proof_failed.size()

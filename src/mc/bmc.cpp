@@ -1,6 +1,7 @@
 #include "mc/bmc.hpp"
 
 #include "util/stopwatch.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::mc {
 
@@ -8,6 +9,7 @@ BmcEngine::BmcEngine(const ir::TransitionSystem& ts, BmcOptions options)
     : ts_(ts), options_(std::move(options)) {}
 
 BmcResult BmcEngine::check(ir::NodeRef property) {
+  GENFV_TRACE_SPAN("mc", "bmc_check");
   util::Stopwatch watch;
   BmcResult result;
 

@@ -1,6 +1,18 @@
 #include "mc/exchange.hpp"
 
 #include "util/status.hpp"
+#include "util/telemetry.hpp"
+
+namespace {
+genfv::util::Counter& published_counter() {
+  static genfv::util::Counter& c = genfv::util::metrics().counter("exchange.published");
+  return c;
+}
+genfv::util::Counter& absorbed_counter() {
+  static genfv::util::Counter& c = genfv::util::metrics().counter("exchange.absorbed");
+  return c;
+}
+}  // namespace
 
 namespace genfv::mc {
 
@@ -26,6 +38,8 @@ LemmaMailbox::LemmaMailbox(std::size_t member_count)
 
 void LemmaMailbox::publish(std::size_t member, ExchangedClause clause) {
   GENFV_ASSERT(member < members_, "mailbox slot out of range");
+  if (util::telemetry_on()) published_counter().increment();
+  GENFV_TRACE_INSTANT("exchange", "publish");
   std::lock_guard<std::mutex> lock(mu_);
   entries_.push_back({std::move(clause), member});
   ++counters_[member].published;
@@ -35,6 +49,8 @@ void LemmaMailbox::publish_batch(std::size_t member,
                                  std::vector<ExchangedClause> clauses) {
   GENFV_ASSERT(member < members_, "mailbox slot out of range");
   if (clauses.empty()) return;
+  if (util::telemetry_on()) published_counter().add(clauses.size());
+  GENFV_TRACE_INSTANT("exchange", "publish_batch");
   std::lock_guard<std::mutex> lock(mu_);
   for (ExchangedClause& clause : clauses) {
     entries_.push_back({std::move(clause), member});
@@ -58,6 +74,7 @@ std::vector<ExchangedClause> LemmaMailbox::fetch(std::size_t member,
 void LemmaMailbox::note_absorbed(std::size_t member, std::size_t count) {
   GENFV_ASSERT(member < members_, "mailbox slot out of range");
   if (count == 0) return;
+  if (util::telemetry_on()) absorbed_counter().add(count);
   std::lock_guard<std::mutex> lock(mu_);
   counters_[member].absorbed += count;
 }

@@ -2,6 +2,7 @@
 
 #include "util/status.hpp"
 #include "util/stopwatch.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::mc {
 
@@ -13,6 +14,7 @@ InductionResult KInductionEngine::prove(ir::NodeRef property) {
 }
 
 InductionResult KInductionEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
+  GENFV_TRACE_SPAN("mc", "kinduction_prove");
   util::Stopwatch watch;
   InductionResult result;
 

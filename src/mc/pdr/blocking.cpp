@@ -7,6 +7,7 @@
 
 #include "mc/pdr/generalize.hpp"
 #include "util/status.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::mc::pdr {
 
@@ -50,6 +51,7 @@ struct BlockStep {
 BlockStep block_one(QueryContext& ctx, FrameDb& db, const PdrOptions& options,
                     const Cube& cube, std::size_t level, std::size_t frontier,
                     std::size_t index) {
+  GENFV_TRACE_SPAN("pdr", "block_one");
   BlockStep step;
   if (db.is_blocked(cube, level)) return step;
 
@@ -191,6 +193,10 @@ struct ShardState {
 void shard_worker(std::size_t worker, QueryContext& ctx, FrameDb& db,
                   ObligationQueue& queue, const PdrOptions& options,
                   std::size_t frontier, ShardState& st) {
+  if (worker != 0 && util::tracing_on()) {
+    util::set_trace_thread_name("pdr-worker-" + std::to_string(worker));
+  }
+  GENFV_TRACE_SPAN("pdr", "shard_worker");
   std::unique_lock<std::mutex> lock(st.mu);
   for (;;) {
     st.cv.wait(lock, [&] {

@@ -1,6 +1,7 @@
 #include "mc/pdr/context.hpp"
 
 #include "util/status.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::mc::pdr {
 
@@ -56,6 +57,7 @@ void QueryContext::bootstrap() {
 }
 
 void QueryContext::rebuild() {
+  GENFV_TRACE_SPAN("pdr", "context_rebuild");
   // Snapshot first: the snapshot's epoch and contents are consistent, so the
   // rebuilt mirror resumes syncing exactly where the snapshot ends.
   const FrameDb::Snapshot snapshot = db_.snapshot();
@@ -271,12 +273,14 @@ void QueryContext::extract_init_witness(Obligation& out) {
 }
 
 void QueryContext::lift_bad(Obligation& o) {
+  GENFV_TRACE_SPAN("pdr", "lift_bad");
   if (!options_.ternary_lifting) return;
   if (ternary_ == nullptr) ternary_ = std::make_unique<TernarySim>(ts_);
   lifted_bits_ += lift_obligation(*ternary_, ts_, o, nullptr, property_);
 }
 
 void QueryContext::lift_pred(Obligation& o, const Cube& successor) {
+  GENFV_TRACE_SPAN("pdr", "lift_pred");
   if (!options_.ternary_lifting) return;
   if (ternary_ == nullptr) ternary_ = std::make_unique<TernarySim>(ts_);
   lifted_bits_ += lift_obligation(*ternary_, ts_, o, &successor, nullptr);

@@ -163,6 +163,11 @@ class FrameDb {
   /// journal a RetractMay (mirrors handle both cases identically).
   bool remove_may(std::size_t id, std::size_t* counter);
 
+  /// Acquire `mu_`, attributing any wait to `pdr.framedb_mutex_wait_ns` when
+  /// telemetry is on. The one-mutex design was flagged as a contention risk
+  /// when sharded PDR landed; this makes the actual cost measurable.
+  std::unique_lock<std::mutex> lock_timed() const;
+
   mutable std::mutex mu_;
   std::vector<std::vector<Cube>> levels_;  ///< blocked cubes, delta-encoded
   std::vector<Cube> infinity_;

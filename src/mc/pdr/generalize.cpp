@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "util/telemetry.hpp"
+
 namespace genfv::mc::pdr {
 
 void repair_initiation(QueryContext& ctx, Cube& g, const Cube& full) {
@@ -16,6 +18,7 @@ void repair_initiation(QueryContext& ctx, Cube& g, const Cube& full) {
 
 Cube generalize(QueryContext& ctx, const Cube& cube, std::size_t level,
                 const std::vector<sat::Lit>& core, const PdrOptions& options) {
+  GENFV_TRACE_SPAN("pdr", "generalize");
   std::unordered_set<std::int32_t> needed;
   for (const sat::Lit p : core) needed.insert(p.code);
   Cube g;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mc/pdr/cube.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::mc::pdr {
 
@@ -44,6 +45,7 @@ class ObligationQueue {
   /// Move an obligation into the arena; returns its arena index.
   std::size_t add(Obligation obligation) {
     arena_.push_back(std::move(obligation));
+    if (util::telemetry_on()) queue_created().increment();
     return arena_.size() - 1;
   }
 
@@ -51,6 +53,7 @@ class ObligationQueue {
   /// scheduled twice without an intervening pop.
   void push(std::size_t index) {
     heap_.push({arena_[index].level, seq_++, index});
+    if (util::telemetry_on()) queue_depth().add(1);
   }
 
   bool empty() const noexcept { return heap_.empty(); }
@@ -59,6 +62,7 @@ class ObligationQueue {
   std::size_t pop() {
     const std::size_t index = heap_.top().index;
     heap_.pop();
+    if (util::telemetry_on()) queue_depth().add(-1);
     return index;
   }
 
@@ -69,6 +73,18 @@ class ObligationQueue {
   std::size_t created() const noexcept { return arena_.size(); }
 
  private:
+  // Process-global gauges: several queues may coexist (portfolio members),
+  // but in practice one PDR run dominates and the heartbeat wants a single
+  // live depth figure.
+  static util::Gauge& queue_depth() {
+    static util::Gauge& g = util::metrics().gauge("pdr.obligations_queued");
+    return g;
+  }
+  static util::Counter& queue_created() {
+    static util::Counter& c = util::metrics().counter("pdr.obligations_created");
+    return c;
+  }
+
   struct Entry {
     std::size_t level;
     std::uint64_t seq;

@@ -14,6 +14,7 @@
 #include "sim/interpreter.hpp"
 #include "util/status.hpp"
 #include "util/stopwatch.hpp"
+#include "util/telemetry.hpp"
 #include "util/strings.hpp"
 
 namespace genfv::mc::pdr {
@@ -248,8 +249,16 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
     return trace;
   };
 
+  static util::Counter& may_proof_ns = util::metrics().counter("pdr.may_proof_ns");
+  static util::Counter& blocking_ns = util::metrics().counter("pdr.blocking_ns");
+  static util::Counter& propagate_ns = util::metrics().counter("pdr.propagate_ns");
+  static util::Counter& push_infinity_ns = util::metrics().counter("pdr.push_infinity_ns");
+  static util::Gauge& frontier_gauge = util::metrics().gauge("pdr.frontier");
+
+  GENFV_TRACE_SPAN("pdr", "prove_all");
   while (true) {
     const std::size_t frontier = run.db.frontier();
+    if (util::telemetry_on()) frontier_gauge.set(static_cast<std::int64_t>(frontier));
     if (main.stopped()) return finish(Verdict::Unknown, frontier);
 
     // Absorb new candidate material before the SAT-heavy phases: proven
@@ -263,37 +272,53 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
     // candidate in a spurious "blocked" answer and retract it. A true
     // candidate thus gets its graduation chance first; only speculative ones
     // survive into the blocking phase as may assumptions.
-    if (!may_proof_pass(main, run.db, options_)) {
-      return finish(Verdict::Unknown, frontier);
+    {
+      GENFV_TRACE_SPAN("pdr", "may_proof");
+      util::ScopedTimerNs timer(may_proof_ns);
+      if (!may_proof_pass(main, run.db, options_)) {
+        return finish(Verdict::Unknown, frontier);
+      }
     }
 
     // Strengthen the frontier: block every state that violates the property
     // (and every predecessor chain those states drag in) — sequentially on
     // context 0 for workers == 1, sharded across the pool otherwise.
     std::size_t cex_index = 0;
-    switch (strengthen_frontier(contexts, run.db, run.queue, options_, frontier,
-                                &cex_index)) {
-      case BlockOutcome::Blocked: break;
-      case BlockOutcome::Counterexample:
-        result.cex = build_cex(cex_index);
-        return finish(Verdict::Falsified, result.cex->size() - 1);
-      case BlockOutcome::Budget: return finish(Verdict::Unknown, frontier);
+    {
+      GENFV_TRACE_SPAN("pdr", "blocking");
+      util::ScopedTimerNs timer(blocking_ns);
+      switch (strengthen_frontier(contexts, run.db, run.queue, options_, frontier,
+                                  &cex_index)) {
+        case BlockOutcome::Blocked: break;
+        case BlockOutcome::Counterexample:
+          result.cex = build_cex(cex_index);
+          return finish(Verdict::Falsified, result.cex->size() - 1);
+        case BlockOutcome::Budget: return finish(Verdict::Unknown, frontier);
+      }
     }
 
     // Propagation: push clauses that remain inductive at their level.
-    const PropagateOutcome propagated =
-        contexts.size() == 1 ? propagate_all(main, run.db, options_)
-                             : propagate_sharded(contexts, run.db, options_);
-    if (propagated == PropagateOutcome::Budget) {
-      return finish(Verdict::Unknown, frontier);
+    {
+      GENFV_TRACE_SPAN("pdr", "propagate");
+      util::ScopedTimerNs timer(propagate_ns);
+      const PropagateOutcome propagated =
+          contexts.size() == 1 ? propagate_all(main, run.db, options_)
+                               : propagate_sharded(contexts, run.db, options_);
+      if (propagated == PropagateOutcome::Budget) {
+        return finish(Verdict::Unknown, frontier);
+      }
     }
 
     // Clauses that propagated all the way to the frontier are candidates for
     // F_∞: certify the mutually-inductive subset invariant and publish it to
     // the exchange mailbox — this is where racing members learn from PDR
     // long before this run converges.
-    if (!push_to_infinity(main, run.db, options_)) {
-      return finish(Verdict::Unknown, frontier);
+    {
+      GENFV_TRACE_SPAN("pdr", "push_infinity");
+      util::ScopedTimerNs timer(push_infinity_ns);
+      if (!push_to_infinity(main, run.db, options_)) {
+        return finish(Verdict::Unknown, frontier);
+      }
     }
 
     // Convergence: an empty level means two adjacent frames agree, and the
@@ -313,6 +338,7 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
     }
 
     if (frontier >= options_.max_frames) return finish(Verdict::Unknown, frontier);
+    GENFV_TRACE_INSTANT("pdr", "push_level");
     run.db.push_level();
   }
 }

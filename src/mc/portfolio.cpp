@@ -10,12 +10,25 @@
 #include "ir/clone.hpp"
 #include "util/status.hpp"
 #include "util/stopwatch.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::mc {
 
 namespace {
 
 bool conclusive(Verdict v) noexcept { return v != Verdict::Unknown; }
+
+/// Span/thread names must be immortal strings (trace events store raw
+/// pointers), so members map to literals rather than to_string() copies.
+const char* member_span_name(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::Bmc: return "member:bmc";
+    case EngineKind::KInduction: return "member:k-induction";
+    case EngineKind::Pdr: return "member:pdr";
+    case EngineKind::Portfolio: break;  // never a member (ctor rejects it)
+  }
+  return "member:?";
+}
 
 /// Rebuild a trace produced over a clone against the original system. Trace
 /// frames bind only Input/State leaves, which the clone maps one-to-one.
@@ -126,6 +139,10 @@ EngineResult PortfolioEngine::run_threaded(const std::vector<ir::NodeRef>& prope
   workers.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers.emplace_back([&, i] {
+      if (util::tracing_on()) {
+        util::set_trace_thread_name(std::string("portfolio-") + to_string(members_[i]));
+      }
+      GENFV_TRACE_SPAN("portfolio", member_span_name(members_[i]));
       EngineResult r;
       std::string note;
       try {
@@ -148,6 +165,7 @@ EngineResult PortfolioEngine::run_threaded(const std::vector<ir::NodeRef>& prope
       if (conclusive(results[i].verdict) && winner < 0) {
         winner = static_cast<std::ptrdiff_t>(i);
         cancel->store(true, std::memory_order_relaxed);
+        GENFV_TRACE_INSTANT("portfolio", "winner");
       }
       ++done;
       cv.notify_all();
@@ -270,6 +288,7 @@ EngineResult PortfolioEngine::run_time_sliced(const std::vector<ir::NodeRef>& pr
         return finish(-1, {});
       }
       EngineResult r;
+      GENFV_TRACE_SPAN("portfolio", member_span_name(members_[i]));
       try {
         EngineOptions opts = member_options(options_, mailbox, i);
         opts.max_steps = budget;

@@ -5,6 +5,7 @@
 #include "sat/solver.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::mc {
 
@@ -27,6 +28,23 @@ void EngineStats::absorb(const sat::SolverStats& solver) {
   propagations += solver.propagations;
   restarts += solver.restarts;
   learnt_clauses += solver.learnt_clauses;
+}
+
+void EngineStats::publish_metrics(const std::string& prefix) const {
+  auto& reg = util::metrics();
+  reg.counter(prefix + "sat_calls").add(sat_calls);
+  reg.counter(prefix + "conflicts").add(conflicts);
+  reg.counter(prefix + "decisions").add(decisions);
+  reg.counter(prefix + "propagations").add(propagations);
+  reg.counter(prefix + "restarts").add(restarts);
+  reg.counter(prefix + "learnt_clauses").add(learnt_clauses);
+  reg.counter(prefix + "retired_gates").add(retired_gates);
+  reg.counter(prefix + "solver_rebuilds").add(solver_rebuilds);
+  reg.counter(prefix + "lifted_bits").add(lifted_bits);
+  reg.counter(prefix + "candidates_seeded").add(candidates_seeded);
+  reg.counter(prefix + "candidates_graduated").add(candidates_graduated);
+  reg.counter(prefix + "candidates_retracted").add(candidates_retracted);
+  reg.counter(prefix + "seconds_us").add(static_cast<std::uint64_t>(seconds * 1e6));
 }
 
 std::string to_string(Verdict v) {

@@ -61,6 +61,12 @@ struct EngineStats {
   /// the solver's solve() count).
   void absorb(const sat::SolverStats& solver);
 
+  /// Publish every counter into the global metrics registry under `prefix`
+  /// (e.g. "engine." -> "engine.sat_calls"). The CLI's stats printing and
+  /// --metrics-out read the registry, so end-of-run stats and live telemetry
+  /// are one source of truth rather than hand-copied numbers.
+  void publish_metrics(const std::string& prefix) const;
+
   EngineStats& operator+=(const EngineStats& other) {
     sat_calls += other.sat_calls;
     conflicts += other.conflicts;

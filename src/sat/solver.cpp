@@ -5,6 +5,7 @@
 
 #include "sat/luby.hpp"
 #include "util/status.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::sat {
 
@@ -407,6 +408,33 @@ LBool Solver::search(int conflicts_before_restart, const std::vector<Lit>& assum
 }
 
 LBool Solver::solve(const std::vector<Lit>& assumptions) {
+  GENFV_TRACE_SPAN("sat", "solve");
+  if (!util::telemetry_on()) return solve_core(assumptions);
+  // Publish per-call deltas to the registry so the heartbeat and
+  // --metrics-out see live solver effort, not just end-of-run stats.
+  static util::Counter& solves = util::metrics().counter("sat.solves");
+  static util::Counter& conflicts = util::metrics().counter("sat.conflicts");
+  static util::Counter& decisions = util::metrics().counter("sat.decisions");
+  static util::Counter& propagations = util::metrics().counter("sat.propagations");
+  static util::Counter& restarts = util::metrics().counter("sat.restarts");
+  static util::Counter& solve_ns = util::metrics().counter("sat.solve_ns");
+  static util::Histogram& latency =
+      util::metrics().histogram("sat.solve_latency_ns", /*first_bound=*/1024, /*buckets=*/28);
+  const SolverStats before = stats_;
+  const std::uint64_t t0 = util::telemetry_now_ns();
+  const LBool status = solve_core(assumptions);
+  const std::uint64_t elapsed = util::telemetry_now_ns() - t0;
+  solves.increment();
+  conflicts.add(stats_.conflicts - before.conflicts);
+  decisions.add(stats_.decisions - before.decisions);
+  propagations.add(stats_.propagations - before.propagations);
+  restarts.add(stats_.restarts - before.restarts);
+  solve_ns.add(elapsed);
+  latency.observe(elapsed);
+  return status;
+}
+
+LBool Solver::solve_core(const std::vector<Lit>& assumptions) {
   model_.clear();
   core_.clear();
   ++stats_.solves;

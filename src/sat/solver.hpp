@@ -117,6 +117,8 @@ class Solver {
   Lit true_lit();
 
  private:
+  LBool solve_core(const std::vector<Lit>& assumptions);
+
   struct Clause {
     float activity = 0.0f;
     bool learnt = false;

@@ -1,6 +1,7 @@
 #include "sat/solver_pool.hpp"
 
 #include "util/status.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::sat {
 
@@ -30,6 +31,11 @@ const Solver& SolverPool::at(std::size_t handle) const {
 
 Solver& SolverPool::rebuild(std::size_t handle) {
   GENFV_ASSERT(handle < solvers_.size(), "solver handle out of range");
+  GENFV_TRACE_SPAN("sat", "pool_rebuild");
+  if (util::telemetry_on()) {
+    static util::Counter& rebuilds = util::metrics().counter("sat.pool_rebuilds");
+    rebuilds.increment();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     retired_ += solvers_[handle]->stats();

@@ -2,11 +2,21 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+
+#include "util/telemetry.hpp"
 
 namespace genfv::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+// Serializes emission so concurrent portfolio/PDR workers never interleave
+// partial lines on stderr.
+std::mutex& emit_mutex() {
+  static std::mutex* mu = new std::mutex();  // immortal
+  return *mu;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -31,7 +41,13 @@ LogLevel log_level() noexcept {
 
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
   if (static_cast<int>(level) > static_cast<int>(log_level())) return;
-  std::fprintf(stderr, "[%s][%s] %s\n", level_tag(level), component.c_str(), message.c_str());
+  // Timestamps share the telemetry epoch, and the thread id is the trace
+  // tid, so a log line correlates directly with spans in a trace file.
+  const double seconds = static_cast<double>(telemetry_now_ns()) / 1e9;
+  const int tid = telemetry_thread_id();
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::fprintf(stderr, "[%10.3f][T%02d][%s][%s] %s\n", seconds, tid, level_tag(level),
+               component.c_str(), message.c_str());
 }
 
 }  // namespace genfv::util

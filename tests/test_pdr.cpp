@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <set>
+#include <string>
 
 #include "designs/design.hpp"
 #include "mc/engine.hpp"
@@ -26,6 +28,7 @@
 #include "sva/compiler.hpp"
 #include "sva/parser.hpp"
 #include "util/status.hpp"
+#include "util/telemetry.hpp"
 
 namespace genfv::mc::pdr {
 namespace {
@@ -523,6 +526,47 @@ TEST(PdrSharding, MultiWorkerProvesWithCheckedInvariant) {
   EXPECT_EQ(result.verdict, Verdict::Proven);
   ASSERT_FALSE(result.invariant.empty());
   EXPECT_TRUE(check_invariant(ts, result.invariant, {}, prop));
+}
+
+TEST(PdrSharding, MultiWorkerTracingAttributesSpansAcrossThreads) {
+  // Tracing enabled during a 4-worker proof (the PdrSharding.MultiWorker*
+  // name keeps this under TSan in CI): spans must land in per-thread
+  // buffers from more than one thread, cover both the pdr and sat layers,
+  // and survive export with the shard workers' thread names intact.
+  util::set_telemetry_level(util::TelemetryLevel::Tracing);
+  util::trace_reset();
+  auto ts = stride_counter(8, 2);
+  auto& nm = ts.nm();
+  const NodeRef prop = nm.mk_ne(ts.lookup("count"), nm.mk_const(7, 8));
+  PdrOptions options;
+  options.max_frames = 16;
+  options.workers = 4;
+  PdrEngine engine(ts, options);
+  const PdrResult result = engine.prove(prop);
+
+  const auto events = util::trace_snapshot();
+  const std::string json = util::trace_to_json();
+  const std::uint64_t dropped = util::trace_dropped_events();
+  util::set_telemetry_level(util::TelemetryLevel::Off);
+  util::trace_reset();
+
+  EXPECT_EQ(result.verdict, Verdict::Proven);
+  std::set<std::string> categories;
+  std::set<int> threads;
+  std::size_t shard_spans = 0;
+  for (const auto& e : events) {
+    categories.insert(e.category);
+    threads.insert(e.thread);
+    if (std::string(e.name) == "shard_worker") ++shard_spans;
+  }
+  EXPECT_TRUE(categories.count("pdr")) << "no pdr spans recorded";
+  EXPECT_TRUE(categories.count("sat")) << "no sat spans recorded";
+  EXPECT_GT(threads.size(), 1u) << "all spans landed on one thread";
+  EXPECT_GT(shard_spans, 0u);
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("pdr-worker-"), std::string::npos)
+      << "worker thread names missing from the export";
 }
 
 // --- query-gate hygiene ------------------------------------------------------

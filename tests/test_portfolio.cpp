@@ -17,6 +17,7 @@
 #include "ir/printer.hpp"
 #include "mc/engine.hpp"
 #include "mc/portfolio.hpp"
+#include "sat/solver.hpp"
 #include "sva/compiler.hpp"
 #include "util/status.hpp"
 
@@ -228,6 +229,102 @@ TEST(Portfolio, TimeSlicedIsDeterministic) {
     EXPECT_EQ(a.breakdown[i].lemmas_published, b.breakdown[i].lemmas_published);
     EXPECT_EQ(a.breakdown[i].lemmas_absorbed, b.breakdown[i].lemmas_absorbed);
   }
+}
+
+// --- stats conservation ------------------------------------------------------
+
+/// Per-field check that the merged portfolio stats equal the sum of the
+/// member breakdowns. `seconds` is excluded by design: the merged value is
+/// the race's wall clock, not the sum of concurrent member clocks.
+testing::AssertionResult stats_conserved(const EngineResult& result) {
+  EngineStats sum;
+  for (const EngineBreakdown& member : result.breakdown) sum += member.stats;
+  const EngineStats& merged = result.stats;
+  const struct {
+    const char* name;
+    std::uint64_t merged;
+    std::uint64_t summed;
+  } fields[] = {
+      {"sat_calls", merged.sat_calls, sum.sat_calls},
+      {"conflicts", merged.conflicts, sum.conflicts},
+      {"decisions", merged.decisions, sum.decisions},
+      {"propagations", merged.propagations, sum.propagations},
+      {"restarts", merged.restarts, sum.restarts},
+      {"learnt_clauses", merged.learnt_clauses, sum.learnt_clauses},
+      {"retired_gates", merged.retired_gates, sum.retired_gates},
+      {"solver_rebuilds", merged.solver_rebuilds, sum.solver_rebuilds},
+      {"lifted_bits", merged.lifted_bits, sum.lifted_bits},
+      {"candidates_seeded", merged.candidates_seeded, sum.candidates_seeded},
+      {"candidates_graduated", merged.candidates_graduated, sum.candidates_graduated},
+      {"candidates_retracted", merged.candidates_retracted, sum.candidates_retracted},
+  };
+  for (const auto& f : fields) {
+    if (f.merged != f.summed) {
+      return testing::AssertionFailure()
+             << f.name << ": merged result reports " << f.merged
+             << " but the member breakdowns sum to " << f.summed;
+    }
+  }
+  return testing::AssertionSuccess();
+}
+
+TEST(StatsConservation, ThreadedPortfolioMergeEqualsMemberSum) {
+  // Multi-worker PDR with forced solver rebuilds inside a threaded race:
+  // every effort counter a member accumulated (including the rebuild-fold
+  // paths through the solver pool) must survive into the merged stats —
+  // nothing lost, nothing double-counted.
+  auto task = designs::make_task("sequencer");
+  EngineOptions options;
+  options.max_steps = 12;
+  options.pdr_workers = 4;
+  options.pdr_rebuild_gate_limit = 2;
+  auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+  const EngineResult result = engine->prove_all(task.target_exprs());
+  EXPECT_EQ(result.verdict, Verdict::Proven);
+  ASSERT_EQ(result.breakdown.size(), 3u);
+  EXPECT_TRUE(stats_conserved(result));
+  // The run did real work, so conservation is not vacuous.
+  EXPECT_GT(result.stats.sat_calls, 0u);
+  EXPECT_GT(result.stats.conflicts, 0u);
+  EXPECT_GT(result.stats.solver_rebuilds, 0u);
+}
+
+TEST(StatsConservation, TimeSlicedPortfolioMergeEqualsMemberSum) {
+  // Same invariant on the deterministic scheduler, whose merge path is
+  // different: per-slice accumulation into the breakdown, summed at finish.
+  auto task = designs::make_task("token_ring");
+  EngineOptions options;
+  options.max_steps = 16;
+  options.portfolio_threads = false;
+  auto engine = make_engine(EngineKind::Portfolio, task.ts, options);
+  const EngineResult result = engine->prove_all(task.target_exprs());
+  EXPECT_EQ(result.verdict, Verdict::Proven);
+  ASSERT_EQ(result.breakdown.size(), 3u);
+  EXPECT_TRUE(stats_conserved(result));
+  EXPECT_GT(result.stats.sat_calls, 0u);
+}
+
+TEST(StatsConservation, AbsorbAccumulatesEveryMappedSolverCounter) {
+  // EngineStats::absorb is the single funnel from solver-level to
+  // engine-level counters; distinct primes catch any crossed-wire or
+  // dropped-field regression in the mapping.
+  sat::SolverStats solver;
+  solver.solves = 2;
+  solver.decisions = 3;
+  solver.propagations = 5;
+  solver.conflicts = 7;
+  solver.restarts = 11;
+  solver.learnt_clauses = 13;
+
+  EngineStats stats;
+  stats.absorb(solver);
+  stats.absorb(solver);  // absorption must accumulate, not overwrite
+  EXPECT_EQ(stats.sat_calls, 4u);  // SolverStats::solves maps to sat_calls
+  EXPECT_EQ(stats.decisions, 6u);
+  EXPECT_EQ(stats.propagations, 10u);
+  EXPECT_EQ(stats.conflicts, 14u);
+  EXPECT_EQ(stats.restarts, 22u);
+  EXPECT_EQ(stats.learnt_clauses, 26u);
 }
 
 TEST(Portfolio, SeededLemmasReachEveryMemberClone) {

@@ -41,6 +41,13 @@
 ///   --no-screen                      disable the simulation review screen
 ///   --dump-ts <file>                 serialize the elaborated system
 ///   --vcd <file>                     dump the last step-CEX (plain flow) as VCD
+///   --trace-out <file.json>          record trace spans across the whole run
+///                                    and write Chrome trace-format JSON
+///                                    (open in Perfetto; docs/observability.md)
+///   --metrics-out <file.json>        snapshot the metrics registry (counters,
+///                                    gauges, histograms) to JSON at exit
+///   --progress <seconds>             live one-line status heartbeat at Info
+///                                    level every <seconds> (implies metrics)
 ///   --verbose                        info-level logging
 
 #include <cstdio>
@@ -60,6 +67,7 @@
 #include "mc/engine.hpp"
 #include "sim/vcd.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 
@@ -86,6 +94,9 @@ struct CliOptions {
   std::string vcd_path;
   std::string emit_lemmas_path;
   std::string use_lemmas_path;
+  std::string trace_out_path;
+  std::string metrics_out_path;
+  double progress_seconds = 0.0;  // 0 = no heartbeat
   bool verbose = false;
 };
 
@@ -102,6 +113,8 @@ struct CliOptions {
                "         --emit-lemmas <file>  --use-lemmas <file>\n"
                "         --model <name>  --seed <n>  --max-k <n>  --no-screen\n"
                "         --dump-ts <file>  --vcd <file>  --verbose\n"
+               "         --trace-out <file.json>  --metrics-out <file.json>\n"
+               "         --progress <seconds>\n"
                "full reference: docs/cli.md\n");
   std::exit(2);
 }
@@ -189,6 +202,12 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--no-screen") { no_value("--no-screen"); opts.sim_screen = false; }
     else if (arg == "--dump-ts") opts.dump_ts_path = need_value("--dump-ts");
     else if (arg == "--vcd") opts.vcd_path = need_value("--vcd");
+    else if (arg == "--trace-out") opts.trace_out_path = need_value("--trace-out");
+    else if (arg == "--metrics-out") opts.metrics_out_path = need_value("--metrics-out");
+    else if (arg == "--progress") {
+      opts.progress_seconds = std::stod(need_value("--progress"));
+      if (opts.progress_seconds <= 0.0) usage("--progress requires a positive interval");
+    }
     else if (arg == "--emit-lemmas") opts.emit_lemmas_path = need_value("--emit-lemmas");
     else if (arg == "--use-lemmas") opts.use_lemmas_path = need_value("--use-lemmas");
     else if (arg == "--verbose") { no_value("--verbose"); opts.verbose = true; }
@@ -239,8 +258,37 @@ void emit_lemmas(const std::string& path, const std::string& design,
   std::printf("wrote %s (%zu lemma(s))\n", path.c_str(), lemma_svas.size());
 }
 
+/// One-line engine summary sourced from the metrics registry — the same
+/// numbers --metrics-out exports, not a second hand-copied set.
+std::string telemetry_summary_line() {
+  auto& reg = util::metrics();
+  const std::uint64_t solves = reg.counter("sat.solves").value();
+  const std::uint64_t solve_ms = reg.counter("sat.solve_ns").value() / 1000000;
+  const std::uint64_t blocking_ms = reg.counter("pdr.blocking_ns").value() / 1000000;
+  const std::uint64_t propagate_ms = reg.counter("pdr.propagate_ns").value() / 1000000;
+  const std::uint64_t lock_wait_us = reg.counter("pdr.framedb_mutex_wait_ns").value() / 1000;
+  const std::uint64_t published = reg.counter("exchange.published").value();
+  const std::uint64_t absorbed = reg.counter("exchange.absorbed").value();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "telemetry: sat %llu solves / %llu ms, pdr blocking %llu ms propagate %llu ms, "
+                "framedb wait %llu us, exchange %llu pub / %llu abs",
+                static_cast<unsigned long long>(solves),
+                static_cast<unsigned long long>(solve_ms),
+                static_cast<unsigned long long>(blocking_ms),
+                static_cast<unsigned long long>(propagate_ms),
+                static_cast<unsigned long long>(lock_wait_us),
+                static_cast<unsigned long long>(published),
+                static_cast<unsigned long long>(absorbed));
+  return buf;
+}
+
 void print_result(const std::string& label, const mc::EngineResult& result) {
   std::printf("%s: %s\n", label.c_str(), result.summary().c_str());
+  if (util::telemetry_on()) {
+    result.stats.publish_metrics("engine.");
+    std::printf("%s\n", telemetry_summary_line().c_str());
+  }
   for (const mc::EngineBreakdown& member : result.breakdown) {
     std::string exchange;
     if (member.lemmas_published != 0 || member.lemmas_absorbed != 0) {
@@ -410,14 +458,33 @@ int main(int argc, char** argv) {
   const CliOptions opts = parse_args(argc, argv);
   if (opts.verbose) util::set_log_level(util::LogLevel::Info);
 
+  // Telemetry is process-global: one switch arms every layer's
+  // instrumentation at once (docs/observability.md).
+  if (!opts.trace_out_path.empty()) {
+    util::set_telemetry_level(util::TelemetryLevel::Tracing);
+  } else if (!opts.metrics_out_path.empty() || opts.progress_seconds > 0.0) {
+    util::set_telemetry_level(util::TelemetryLevel::Metrics);
+  }
+  if (util::tracing_on()) util::set_trace_thread_name("main");
+  if (opts.progress_seconds > 0.0 &&
+      static_cast<int>(util::log_level()) < static_cast<int>(util::LogLevel::Info)) {
+    util::set_log_level(util::LogLevel::Info);  // heartbeat logs at Info
+  }
+
+  std::optional<util::Heartbeat> heartbeat;
+  if (opts.progress_seconds > 0.0) {
+    heartbeat.emplace(opts.progress_seconds, util::ProgressStatus{});
+  }
+
+  int rc = 1;
   try {
-    if (opts.command == "designs") return cmd_designs();
-    if (opts.command == "models") return cmd_models();
-    if (opts.command == "demo") {
+    if (opts.command == "designs") rc = cmd_designs();
+    else if (opts.command == "models") rc = cmd_models();
+    else if (opts.command == "demo") {
       auto task = designs::make_task(opts.design);
-      return run_task(task, opts);
+      rc = run_task(task, opts);
     }
-    if (opts.command == "prove") {
+    else if (opts.command == "prove") {
       if (opts.rtl_path.empty()) usage("prove requires --rtl");
       if (opts.properties.empty()) usage("prove requires at least one --property");
       std::vector<flow::TargetSpec> targets;
@@ -426,11 +493,23 @@ int main(int argc, char** argv) {
       }
       auto task = flow::VerificationTask::from_rtl(
           opts.rtl_path, /*spec=*/"", read_file(opts.rtl_path), targets);
-      return run_task(task, opts);
+      rc = run_task(task, opts);
     }
-    usage(("unknown command '" + opts.command + "'").c_str());
+    else usage(("unknown command '" + opts.command + "'").c_str());
   } catch (const genfv::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
+
+  // Flush observability artefacts even when the run failed — a trace of the
+  // failing run is exactly what one wants to look at.
+  heartbeat.reset();
+  if (!opts.trace_out_path.empty() && util::write_trace_json(opts.trace_out_path)) {
+    std::printf("wrote trace %s (%zu events)\n", opts.trace_out_path.c_str(),
+                util::trace_snapshot().size());
+  }
+  if (!opts.metrics_out_path.empty() && util::write_metrics_json(opts.metrics_out_path)) {
+    std::printf("wrote metrics %s\n", opts.metrics_out_path.c_str());
+  }
+  return rc;
 }
