@@ -17,8 +17,17 @@
 /// one Perfetto-loadable Chrome trace for the whole shootout; without
 /// either flag telemetry stays off, so the wall-time columns measure the
 /// disabled-overhead configuration.
+///
+/// `--dir <path>` additionally sweeps every standard-format design file
+/// (.aag / .aig / .btor / .btor2) found in <path> through the same engine
+/// matrix — the frontends turn a directory of HWMCC-style files into
+/// shootout rows next to the built-in zoo (tests/corpus/ in CI).
+
+#include <algorithm>
+#include <filesystem>
 
 #include "bench_common.hpp"
+#include "flow/session.hpp"
 #include "mc/engine.hpp"
 #include "util/telemetry.hpp"
 
@@ -27,7 +36,29 @@ namespace {
 
 constexpr std::size_t kMaxSteps = 12;
 
-void run_experiment(bench::JsonRecords* json) {
+/// A shootout row source: a zoo design (empty path) or a standard-format
+/// file loaded through the frontends.
+struct DesignSource {
+  std::string name;
+  std::string path;
+};
+
+/// Every .aag/.aig/.btor/.btor2 file in `dir`, sorted by name so row order
+/// (and the committed BENCH_*.json) is stable across filesystems.
+std::vector<DesignSource> scan_corpus_dir(const std::string& dir) {
+  std::vector<DesignSource> sources;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".aag" && ext != ".aig" && ext != ".btor" && ext != ".btor2") continue;
+    sources.push_back({entry.path().stem().string(), entry.path().string()});
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const DesignSource& a, const DesignSource& b) { return a.name < b.name; });
+  return sources;
+}
+
+void run_experiment(bench::JsonRecords* json, const std::string& corpus_dir) {
   bench::print_header(
       "E8: engine shootout over the mc::Engine interface",
       "Peled et al. IJCAI'26 motivation, Kumar-Gadde §II-A background",
@@ -64,12 +95,19 @@ void run_experiment(bench::JsonRecords* json) {
 
   // fifo_ctrl is the blocking-heavy row: thousands of obligations at this
   // bound, which is exactly the workload the sharded engine spreads out.
-  const std::vector<std::string> names = {"sync_counters", "sequencer", "token_ring",
-                                          "updown_pair",   "lfsr16",    "gray_counter",
-                                          "fifo_ctrl"};
-  for (const std::string& name : names) {
+  std::vector<DesignSource> sources = {
+      {"sync_counters", ""}, {"sequencer", ""},    {"token_ring", ""},
+      {"updown_pair", ""},   {"lfsr16", ""},       {"gray_counter", ""},
+      {"fifo_ctrl", ""}};
+  if (!corpus_dir.empty()) {
+    // Corpus rows ride after the zoo rows, so one JSON holds both.
+    for (auto& src : scan_corpus_dir(corpus_dir)) sources.push_back(std::move(src));
+  }
+  for (const DesignSource& source : sources) {
+    const std::string& name = source.name;
     for (const Contender& contender : contenders) {
-      auto task = designs::make_task(name);
+      auto task = source.path.empty() ? designs::make_task(name)
+                                      : flow::VerificationTask::from_file(source.path);
       mc::EngineOptions options;
       options.max_steps = kMaxSteps;
       options.exchange = contender.exchange;
@@ -177,6 +215,7 @@ BENCHMARK(BM_PdrWorkers)->Arg(1)->Arg(2)->Arg(4);
 int main(int argc, char** argv) {
   const std::string json_path = genfv::bench::take_flag_value(&argc, argv, "--json");
   const std::string trace_path = genfv::bench::take_flag_value(&argc, argv, "--trace-out");
+  const std::string corpus_dir = genfv::bench::take_flag_value(&argc, argv, "--dir");
   // --trace-out wants spans; --json wants the registry for the per-phase
   // columns. Neither flag leaves telemetry off, which keeps the default
   // shootout measuring the disabled-overhead configuration.
@@ -187,7 +226,7 @@ int main(int argc, char** argv) {
     genfv::util::set_telemetry_level(genfv::util::TelemetryLevel::Metrics);
   }
   genfv::bench::JsonRecords json;
-  genfv::run_experiment(json_path.empty() ? nullptr : &json);
+  genfv::run_experiment(json_path.empty() ? nullptr : &json, corpus_dir);
   if (!json_path.empty() && !json.write(json_path)) return 1;
   if (!trace_path.empty()) {
     if (!genfv::util::write_trace_json(trace_path)) return 1;

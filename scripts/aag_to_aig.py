@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Convert an ASCII AIGER file (.aag) to the binary format (.aig).
+
+Usage: aag_to_aig.py input.aag output.aig
+
+The binary format requires the standard variable ordering (inputs first,
+then latches, then gates, each numbered consecutively), which is exactly
+what genfv's AIGER writer emits. Gate operands are sorted so that
+rhs0 >= rhs1 before delta encoding, as the format demands.
+
+This is how the binary-format files in tests/corpus/ were produced; it is
+also a handy standalone tool when a consumer only accepts .aig.
+"""
+
+import sys
+
+
+def encode_varint(value: int) -> bytes:
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    src, dst = sys.argv[1], sys.argv[2]
+    lines = open(src, "r", encoding="ascii").read().splitlines()
+    header = lines[0].split()
+    if header[0] != "aag":
+        print(f"error: {src} is not an ASCII AIGER file", file=sys.stderr)
+        return 1
+    counts = [int(x) for x in header[1:]]
+    while len(counts) < 7:
+        counts.append(0)
+    m, i, l, o, a, b, c = counts[:7]
+
+    idx = 1
+    inputs = [int(lines[idx + k].split()[0]) for k in range(i)]
+    idx += i
+    latches = [lines[idx + k].split() for k in range(l)]
+    idx += l
+    outputs = lines[idx : idx + o]
+    idx += o
+    bads = lines[idx : idx + b]
+    idx += b
+    constraints = lines[idx : idx + c]
+    idx += c
+    gates = [tuple(int(x) for x in lines[idx + k].split()) for k in range(a)]
+    idx += a
+    trailer = lines[idx:]  # symbol table + comments pass through verbatim
+
+    if inputs != [2 * (k + 1) for k in range(i)]:
+        print("error: inputs are not in standard order", file=sys.stderr)
+        return 1
+    if [int(row[0]) for row in latches] != [2 * (i + 1 + k) for k in range(l)]:
+        print("error: latches are not in standard order", file=sys.stderr)
+        return 1
+
+    out = bytearray()
+    out += (" ".join(["aig"] + header[1:]) + "\n").encode("ascii")
+    for row in latches:  # binary latch lines drop the lhs literal
+        out += (" ".join(row[1:]) + "\n").encode("ascii")
+    for line in outputs + bads + constraints:
+        out += (line + "\n").encode("ascii")
+    for k, (lhs, rhs0, rhs1) in enumerate(gates):
+        if lhs != 2 * (i + l + 1 + k):
+            print("error: gates are not in standard order", file=sys.stderr)
+            return 1
+        hi, lo = max(rhs0, rhs1), min(rhs0, rhs1)
+        if hi >= lhs:
+            print(f"error: gate {lhs} references a later literal", file=sys.stderr)
+            return 1
+        out += encode_varint(lhs - hi) + encode_varint(hi - lo)
+    for line in trailer:
+        out += (line + "\n").encode("ascii")
+
+    open(dst, "wb").write(bytes(out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,33 @@
 #include "flow/session.hpp"
 
+#include <fstream>
+#include <sstream>
+
+#include "frontend/aiger.hpp"
+#include "frontend/btor2.hpp"
 #include "hdl/elaborator.hpp"
 #include "sva/compiler.hpp"
+#include "util/status.hpp"
 
 namespace genfv::flow {
+
+namespace {
+
+std::string lower_extension(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return "";
+  }
+  std::string ext = path.substr(dot + 1);
+  for (char& c : ext) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return ext;
+}
+
+}  // namespace
 
 VerificationTask VerificationTask::from_rtl(const std::string& name, const std::string& spec,
                                             const std::string& rtl,
@@ -17,6 +41,31 @@ VerificationTask VerificationTask::from_rtl(const std::string& name, const std::
   for (const auto& t : targets) {
     task.target_indices.push_back(
         sva::add_property(task.ts, t.sva, ir::PropertyRole::Target, t.name));
+  }
+  return task;
+}
+
+VerificationTask VerificationTask::from_file(const std::string& path) {
+  VerificationTask task;
+  const std::string ext = lower_extension(path);
+  if (ext == "aag" || ext == "aig") {
+    task.ts = frontend::read_aiger_file(path);
+  } else if (ext == "btor" || ext == "btor2") {
+    task.ts = frontend::read_btor2_file(path);
+  } else {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    task.rtl = buffer.str();
+    auto elab = hdl::elaborate_source(task.rtl);
+    task.ts = std::move(elab.ts);
+  }
+  task.name = task.ts.name();
+  for (std::size_t i = 0; i < task.ts.num_properties(); ++i) {
+    if (task.ts.property(i).role == ir::PropertyRole::Target) {
+      task.target_indices.push_back(i);
+    }
   }
   return task;
 }

@@ -30,6 +30,13 @@ struct VerificationTask {
                                    const std::string& rtl,
                                    const std::vector<TargetSpec>& targets);
 
+  /// Load a design file, dispatching on extension: `.aag`/`.aig` go through
+  /// the AIGER frontend, `.btor`/`.btor2` through the BTOR2 frontend, and
+  /// anything else is elaborated as HDL source. Frontend-sourced targets are
+  /// the file's embedded Target-role properties (`bad_N` et al.); HDL files
+  /// carry no targets until the caller compiles some.
+  static VerificationTask from_file(const std::string& path);
+
   /// Target property expressions, in declaration order.
   std::vector<ir::NodeRef> target_exprs() const;
   /// SVA source of every target (prompt rendering).

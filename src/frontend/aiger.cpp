@@ -1,0 +1,981 @@
+#include "frontend/aiger.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/symbols.hpp"
+#include "util/status.hpp"
+
+namespace genfv::frontend {
+
+namespace {
+
+/// Refuse absurd headers before allocating anything: a fuzzed or corrupt
+/// header must produce a located error, not an OOM.
+constexpr std::uint64_t kMaxVariables = 50'000'000;
+
+[[noreturn]] void fail_at(const std::string& file, std::size_t line,
+                          const std::string& message) {
+  throw ParseError(file + ":" + std::to_string(line), message);
+}
+
+[[noreturn]] void fail_byte(const std::string& file, std::size_t offset,
+                            const std::string& message) {
+  throw ParseError(file + ":<byte " + std::to_string(offset) + ">", message);
+}
+
+/// Strict decimal parse — anything but [0-9]+ is a located error, which is
+/// what turns "non-numeric fields" from UB into diagnostics.
+std::uint64_t parse_uint(std::string_view token, const std::string& file,
+                         std::size_t line, const char* what) {
+  if (token.empty()) fail_at(file, line, std::string("missing ") + what);
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      fail_at(file, line,
+              std::string("non-numeric ") + what + " '" + std::string(token) + "'");
+    }
+    if (value > (UINT64_MAX - 9) / 10) {
+      fail_at(file, line, std::string(what) + " '" + std::string(token) + "' overflows");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::vector<std::string_view> split_tokens(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t' || text[i] == '\r')) ++i;
+    std::size_t start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t' && text[i] != '\r') ++i;
+    if (i > start) tokens.push_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// A latch before the transition system is built: literals only.
+struct RawLatch {
+  std::uint32_t lit = 0;       ///< the latch's own (even) literal
+  std::uint32_t next = 0;      ///< next-state literal
+  std::uint32_t reset = 0;     ///< 0, 1, or `lit` (= uninitialized)
+  std::size_t line = 0;
+};
+
+struct RawAnd {
+  std::uint32_t rhs0 = 0;
+  std::uint32_t rhs1 = 0;
+  std::size_t line = 0;
+  bool defined = false;
+};
+
+class AigerParser {
+ public:
+  AigerParser(std::string_view text, std::string file)
+      : text_(text), file_(std::move(file)) {}
+
+  ir::TransitionSystem parse() {
+    if (text_.find_first_not_of(" \t\r\n") == std::string_view::npos) {
+      fail_at(file_, 1, "empty file");
+    }
+    parse_header();
+    if (binary_) {
+      read_binary_prelude();
+    } else {
+      read_ascii_body();
+    }
+    parse_symbols_and_comments();
+    return build();
+  }
+
+ private:
+  // --- line-oriented cursor -------------------------------------------------
+
+  bool eof() const { return pos_ >= text_.size(); }
+
+  /// Next line (without the terminator); `line_` names it for errors.
+  std::string_view next_line() {
+    line_ = ++lines_read_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+    std::string_view line = text_.substr(start, pos_ - start);
+    if (pos_ < text_.size()) ++pos_;  // consume '\n'
+    return line;
+  }
+
+  std::vector<std::string_view> next_tokens(const char* what) {
+    if (eof()) fail_at(file_, lines_read_ + 1,
+                       std::string("unexpected end of file: expected ") + what);
+    const auto tokens = split_tokens(next_line());
+    if (tokens.empty()) fail_at(file_, line_, std::string("blank line where ") + what +
+                                                  " was expected");
+    return tokens;
+  }
+
+  std::uint32_t parse_literal(std::string_view token, const char* what) {
+    const std::uint64_t lit = parse_uint(token, file_, line_, what);
+    if (lit > 2 * max_var_ + 1) {
+      fail_at(file_, line_, std::string("dangling ") + what + " " + std::to_string(lit) +
+                                " (header allows at most " +
+                                std::to_string(2 * max_var_ + 1) + ")");
+    }
+    return static_cast<std::uint32_t>(lit);
+  }
+
+  // --- header ---------------------------------------------------------------
+
+  void parse_header() {
+    const auto tokens = next_tokens("header");
+    const std::string_view magic = tokens[0];
+    if (magic == "aag") binary_ = false;
+    else if (magic == "aig") binary_ = true;
+    else fail_at(file_, line_, "not an AIGER file (header must start with 'aag' or 'aig')");
+    if (tokens.size() < 6) fail_at(file_, line_, "truncated header: need 'aag M I L O A'");
+    if (tokens.size() > 10) fail_at(file_, line_, "header has too many fields");
+    std::uint64_t fields[9] = {0};
+    static const char* kNames[9] = {"M", "I", "L", "O", "A", "B", "C", "J", "F"};
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      fields[i - 1] = parse_uint(tokens[i], file_, line_, kNames[i - 1]);
+    }
+    max_var_ = fields[0];
+    num_inputs_ = fields[1];
+    num_latches_ = fields[2];
+    num_outputs_ = fields[3];
+    num_ands_ = fields[4];
+    num_bads_ = fields[5];
+    num_constraints_ = fields[6];
+    has_bad_section_ = tokens.size() > 6;
+    if (fields[7] != 0 || fields[8] != 0) {
+      fail_at(file_, line_, "justice/fairness properties are not supported "
+                            "(liveness is out of scope)");
+    }
+    if (max_var_ > kMaxVariables) {
+      fail_at(file_, line_, "header declares " + std::to_string(max_var_) +
+                                " variables; refusing (limit " +
+                                std::to_string(kMaxVariables) + ")");
+    }
+    if (num_inputs_ + num_latches_ + num_ands_ > max_var_) {
+      fail_at(file_, line_, "inconsistent header: I + L + A exceeds M");
+    }
+    var_kind_.assign(static_cast<std::size_t>(max_var_) + 1, Kind::Undefined);
+    ands_.resize(static_cast<std::size_t>(max_var_) + 1);
+  }
+
+  // --- ASCII body -----------------------------------------------------------
+
+  void define_input(std::uint32_t lit) {
+    if (lit < 2 || (lit & 1) != 0) {
+      fail_at(file_, line_, "input literal must be even and nonzero, got " +
+                                std::to_string(lit));
+    }
+    claim_var(lit >> 1, Kind::Input, "input");
+    input_lits_.push_back(lit);
+  }
+
+  void define_latch(std::uint32_t lit, const std::vector<std::string_view>& tokens,
+                    std::size_t next_index) {
+    if (lit < 2 || (lit & 1) != 0) {
+      fail_at(file_, line_, "latch literal must be even and nonzero, got " +
+                                std::to_string(lit));
+    }
+    claim_var(lit >> 1, Kind::Latch, "latch");
+    RawLatch latch;
+    latch.lit = lit;
+    latch.line = line_;
+    if (tokens.size() <= next_index) fail_at(file_, line_, "latch line is missing its next-state literal");
+    if (tokens.size() > next_index + 2) fail_at(file_, line_, "latch line has trailing fields");
+    latch.next = parse_literal(tokens[next_index], "next-state literal");
+    latch.reset = 0;  // AIGER default: latches reset to 0
+    if (tokens.size() == next_index + 2) {
+      latch.reset = parse_literal(tokens[next_index + 1], "reset literal");
+      if (latch.reset != 0 && latch.reset != 1 && latch.reset != lit) {
+        fail_at(file_, line_, "latch reset must be 0, 1 or the latch literal itself, got " +
+                                  std::to_string(latch.reset));
+      }
+    }
+    latches_.push_back(latch);
+  }
+
+  void read_ascii_body() {
+    for (std::uint64_t i = 0; i < num_inputs_; ++i) {
+      const auto tokens = next_tokens("input definition");
+      if (tokens.size() != 1) fail_at(file_, line_, "input line must hold exactly one literal");
+      define_input(parse_literal(tokens[0], "input literal"));
+    }
+    for (std::uint64_t i = 0; i < num_latches_; ++i) {
+      const auto tokens = next_tokens("latch definition");
+      define_latch(parse_literal(tokens[0], "latch literal"), tokens, 1);
+    }
+    read_literal_section(num_outputs_, output_lits_, "output literal");
+    read_literal_section(num_bads_, bad_lits_, "bad-state literal");
+    read_literal_section(num_constraints_, constraint_lits_, "constraint literal");
+    for (std::uint64_t i = 0; i < num_ands_; ++i) {
+      const auto tokens = next_tokens("and-gate definition");
+      if (tokens.size() != 3) fail_at(file_, line_, "and-gate line needs 'lhs rhs0 rhs1'");
+      const std::uint32_t lhs = parse_literal(tokens[0], "and-gate literal");
+      if (lhs < 2 || (lhs & 1) != 0) {
+        fail_at(file_, line_, "and-gate literal must be even and nonzero, got " +
+                                  std::to_string(lhs));
+      }
+      claim_var(lhs >> 1, Kind::And, "and gate");
+      RawAnd& gate = ands_[lhs >> 1];
+      gate.rhs0 = parse_literal(tokens[1], "and-gate operand");
+      gate.rhs1 = parse_literal(tokens[2], "and-gate operand");
+      gate.line = line_;
+      gate.defined = true;
+    }
+  }
+
+  void read_literal_section(std::uint64_t count, std::vector<std::uint32_t>& out,
+                            const char* what) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto tokens = next_tokens(what);
+      if (tokens.size() != 1) {
+        fail_at(file_, line_, std::string(what) + " line must hold exactly one literal");
+      }
+      out.push_back(parse_literal(tokens[0], what));
+    }
+  }
+
+  // --- binary body ----------------------------------------------------------
+
+  void read_binary_prelude() {
+    // Inputs are implicit: variables 1..I in order.
+    for (std::uint64_t i = 0; i < num_inputs_; ++i) {
+      const std::uint32_t var = static_cast<std::uint32_t>(i + 1);
+      var_kind_[var] = Kind::Input;
+      input_lits_.push_back(2 * var);
+    }
+    // Latches are implicit variables I+1..I+L; their lines carry only the
+    // next-state (and optional reset) literal.
+    for (std::uint64_t i = 0; i < num_latches_; ++i) {
+      const std::uint32_t var = static_cast<std::uint32_t>(num_inputs_ + i + 1);
+      const auto tokens = next_tokens("latch definition");
+      var_kind_[var] = Kind::Latch;
+      RawLatch latch;
+      latch.lit = 2 * var;
+      latch.line = line_;
+      if (tokens.size() > 2) fail_at(file_, line_, "latch line has trailing fields");
+      latch.next = parse_literal(tokens[0], "next-state literal");
+      latch.reset = 0;
+      if (tokens.size() == 2) {
+        latch.reset = parse_literal(tokens[1], "reset literal");
+        if (latch.reset != 0 && latch.reset != 1 && latch.reset != latch.lit) {
+          fail_at(file_, line_, "latch reset must be 0, 1 or the latch literal itself");
+        }
+      }
+      latches_.push_back(latch);
+    }
+    read_literal_section(num_outputs_, output_lits_, "output literal");
+    read_literal_section(num_bads_, bad_lits_, "bad-state literal");
+    read_literal_section(num_constraints_, constraint_lits_, "constraint literal");
+    // Delta-encoded gate section: gate g defines variable I+L+g+1 as
+    // lhs = 2*var, rhs0 = lhs - delta0, rhs1 = rhs0 - delta1.
+    for (std::uint64_t g = 0; g < num_ands_; ++g) {
+      const std::uint32_t var =
+          static_cast<std::uint32_t>(num_inputs_ + num_latches_ + g + 1);
+      const std::uint64_t lhs = 2ULL * var;
+      const std::uint64_t delta0 = decode_varint();
+      const std::uint64_t delta1 = decode_varint();
+      if (delta0 == 0 || delta0 > lhs) {
+        fail_byte(file_, pos_, "binary and-gate " + std::to_string(g) +
+                                   " has an out-of-order operand (delta0)");
+      }
+      const std::uint64_t rhs0 = lhs - delta0;
+      if (delta1 > rhs0) {
+        fail_byte(file_, pos_, "binary and-gate " + std::to_string(g) +
+                                   " has an out-of-order operand (delta1)");
+      }
+      var_kind_[var] = Kind::And;
+      RawAnd& gate = ands_[var];
+      gate.rhs0 = static_cast<std::uint32_t>(rhs0);
+      gate.rhs1 = static_cast<std::uint32_t>(rhs0 - delta1);
+      gate.line = line_;
+      gate.defined = true;
+    }
+    // The symbol/comment sections after the gates are text lines again.
+  }
+
+  std::uint64_t decode_varint() {
+    std::uint64_t value = 0;
+    unsigned shift = 0;
+    while (true) {
+      if (eof()) fail_byte(file_, pos_, "unexpected end of binary gate section");
+      const auto byte = static_cast<unsigned char>(text_[pos_++]);
+      if (shift >= 63) fail_byte(file_, pos_, "binary gate delta overflows");
+      value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+    }
+  }
+
+  // --- symbols and comments --------------------------------------------------
+
+  void parse_symbols_and_comments() {
+    while (!eof()) {
+      const std::string_view line = next_line();
+      if (line == "c" || line == "c\r") return;  // comment section: rest is free text
+      const auto tokens = split_tokens(line);
+      if (tokens.empty()) continue;
+      const std::string_view head = tokens[0];
+      const char kind = head.empty() ? '\0' : head[0];
+      if (kind != 'i' && kind != 'l' && kind != 'o' && kind != 'b' && kind != 'c' &&
+          kind != 'j' && kind != 'f') {
+        fail_at(file_, line_, "expected a symbol table entry or the comment marker 'c', "
+                              "got '" + std::string(line.substr(0, 32)) + "'");
+      }
+      const std::uint64_t pos = parse_uint(head.substr(1), file_, line_, "symbol position");
+      if (tokens.size() < 2) fail_at(file_, line_, "symbol entry is missing its name");
+      // The name is everything after the first token (may contain blanks;
+      // the sanitizer flattens them later).
+      std::string name;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (i > 1) name += '_';
+        name += std::string(tokens[i]);
+      }
+      std::unordered_map<std::uint64_t, std::string>* table = nullptr;
+      std::uint64_t limit = 0;
+      switch (kind) {
+        case 'i': table = &input_names_; limit = num_inputs_; break;
+        case 'l': table = &latch_names_; limit = num_latches_; break;
+        case 'o': table = &output_names_; limit = num_outputs_; break;
+        case 'b': table = &bad_names_; limit = num_bads_; break;
+        case 'c': table = &constraint_names_; limit = num_constraints_; break;
+        default: continue;  // j/f symbols can only appear with J=F=0 rejected above
+      }
+      if (pos >= limit) {
+        fail_at(file_, line_, "symbol '" + std::string(head) + "' is out of range");
+      }
+      if (!table->emplace(pos, std::move(name)).second) {
+        fail_at(file_, line_, "duplicate symbol '" + std::string(head) + "'");
+      }
+    }
+  }
+
+  // --- building the transition system ----------------------------------------
+
+  enum class Kind : std::uint8_t { Undefined, Input, Latch, And };
+
+  void claim_var(std::uint64_t var, Kind kind, const char* what) {
+    if (var == 0 || var > max_var_) {
+      fail_at(file_, line_, std::string(what) + " variable out of range");
+    }
+    if (var_kind_[var] != Kind::Undefined) {
+      fail_at(file_, line_, "variable " + std::to_string(var) +
+                                " is defined twice (as " + std::string(what) + ")");
+    }
+    var_kind_[var] = kind;
+  }
+
+  /// Expression for a literal; gates are built on demand, iteratively, with
+  /// cycle detection (the ASCII format allows gates in any order).
+  ir::NodeRef lit_expr(ir::TransitionSystem& ts, std::uint32_t lit, std::size_t line) {
+    const std::uint32_t var = lit >> 1;
+    if (var == 0) {
+      return (lit & 1) != 0 ? ts.nm().mk_true() : ts.nm().mk_false();
+    }
+    if (var_expr_[var] == nullptr) build_gate(ts, var, line);
+    ir::NodeRef expr = var_expr_[var];
+    return (lit & 1) != 0 ? ts.nm().mk_not(expr) : expr;
+  }
+
+  void build_gate(ir::TransitionSystem& ts, std::uint32_t root, std::size_t line) {
+    enum : std::uint8_t { kNew = 0, kOpen = 1 };
+    std::vector<std::uint32_t> stack{root};
+    std::vector<std::uint8_t> open(var_kind_.size(), kNew);
+    while (!stack.empty()) {
+      const std::uint32_t var = stack.back();
+      if (var_expr_[var] != nullptr) {
+        stack.pop_back();
+        continue;
+      }
+      if (var_kind_[var] != Kind::And) {
+        fail_at(file_, line, "literal " + std::to_string(2 * var) +
+                                 " references undefined variable " + std::to_string(var));
+      }
+      const RawAnd& gate = ands_[var];
+      if (!gate.defined) {
+        fail_at(file_, line, "and gate for variable " + std::to_string(var) +
+                                 " is never defined");
+      }
+      const std::uint32_t c0 = gate.rhs0 >> 1;
+      const std::uint32_t c1 = gate.rhs1 >> 1;
+      bool ready = true;
+      for (const std::uint32_t child : {c0, c1}) {
+        if (child != 0 && var_expr_[child] == nullptr) {
+          if (open[child] == kOpen) {
+            fail_at(file_, gate.line, "combinational cycle through and gate " +
+                                          std::to_string(2 * var));
+          }
+          if (ready) ready = false;
+          stack.push_back(child);
+        }
+      }
+      if (!ready) {
+        open[var] = kOpen;
+        continue;
+      }
+      ir::NodeRef a = lit_expr(ts, gate.rhs0, gate.line);
+      ir::NodeRef b = lit_expr(ts, gate.rhs1, gate.line);
+      var_expr_[var] = ts.nm().mk_and(a, b);
+      stack.pop_back();
+    }
+  }
+
+  std::string name_of(const std::unordered_map<std::uint64_t, std::string>& table,
+                      std::uint64_t pos) const {
+    const auto it = table.find(pos);
+    return it == table.end() ? "" : it->second;
+  }
+
+  ir::TransitionSystem build() {
+    ir::TransitionSystem ts;
+    var_expr_.assign(var_kind_.size(), nullptr);
+
+    SymbolTable symbols;
+    for (std::size_t i = 0; i < input_lits_.size(); ++i) {
+      const std::string name = symbols.claim(name_of(input_names_, i), "in_", i);
+      var_expr_[input_lits_[i] >> 1] = ts.add_input(name, 1);
+    }
+    std::vector<ir::NodeRef> latch_vars;
+    latch_vars.reserve(latches_.size());
+    for (std::size_t i = 0; i < latches_.size(); ++i) {
+      const std::string name = symbols.claim(name_of(latch_names_, i), "latch_", i);
+      latch_vars.push_back(ts.add_state(name, 1));
+      var_expr_[latches_[i].lit >> 1] = latch_vars.back();
+    }
+    for (std::size_t i = 0; i < latches_.size(); ++i) {
+      const RawLatch& latch = latches_[i];
+      ts.set_next(latch_vars[i], lit_expr(ts, latch.next, latch.line));
+      if (latch.reset == 0) ts.set_init(latch_vars[i], ts.nm().mk_false());
+      else if (latch.reset == 1) ts.set_init(latch_vars[i], ts.nm().mk_true());
+      // reset == its own literal: uninitialized, init stays null.
+    }
+
+    // HWMCC'10 convention: an AIGER 1.0 file (no B/C header fields) uses its
+    // outputs as bad-state literals; a 1.9 file keeps them as named signals.
+    const bool outputs_are_bad = !has_bad_section_ && num_bads_ == 0;
+    std::vector<std::uint32_t>& bads = outputs_are_bad ? output_lits_ : bad_lits_;
+    const auto& bad_name_table = outputs_are_bad ? output_names_ : bad_names_;
+    if (!outputs_are_bad) {
+      for (std::size_t i = 0; i < output_lits_.size(); ++i) {
+        const std::string name = symbols.claim(name_of(output_names_, i), "output_", i);
+        ts.add_signal(name, lit_expr(ts, output_lits_[i], line_));
+      }
+    }
+    for (std::size_t i = 0; i < bads.size(); ++i) {
+      // Stable synthesized names (`bad_N`) unless the symbol table names the
+      // property — the anchor for per-property engine overrides and lemma
+      // files on parsed designs.
+      const std::string name = symbols.claim(name_of(bad_name_table, i), "bad_", i);
+      ir::Property property;
+      property.name = name;
+      property.expr = ts.nm().mk_not(lit_expr(ts, bads[i], line_));
+      property.role = ir::PropertyRole::Target;
+      property.source_text = name;
+      ts.add_property(std::move(property));
+    }
+    for (const std::uint32_t lit : constraint_lits_) {
+      ts.add_constraint(lit_expr(ts, lit, line_));
+    }
+    ts.validate();
+    return ts;
+  }
+
+  std::string_view text_;
+  std::string file_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 0;        ///< line number of the line most recently read
+  std::size_t lines_read_ = 0;
+  bool binary_ = false;
+
+  std::uint64_t max_var_ = 0;
+  std::uint64_t num_inputs_ = 0, num_latches_ = 0, num_outputs_ = 0, num_ands_ = 0;
+  std::uint64_t num_bads_ = 0, num_constraints_ = 0;
+  bool has_bad_section_ = false;
+
+  std::vector<Kind> var_kind_;
+  std::vector<RawAnd> ands_;
+  std::vector<RawLatch> latches_;
+  std::vector<std::uint32_t> input_lits_, output_lits_, bad_lits_, constraint_lits_;
+  std::unordered_map<std::uint64_t, std::string> input_names_, latch_names_,
+      output_names_, bad_names_, constraint_names_;
+  std::vector<ir::NodeRef> var_expr_;
+};
+
+}  // namespace
+
+ir::TransitionSystem parse_aiger(std::string_view text, const std::string& filename) {
+  AigerParser parser(text, filename);
+  ir::TransitionSystem ts = parser.parse();
+  // "path/to/foo.aag" -> "foo"
+  std::string stem = filename;
+  if (const std::size_t slash = stem.find_last_of("/\\"); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (const std::size_t dot = stem.rfind('.'); dot != std::string::npos && dot > 0) {
+    stem = stem.substr(0, dot);
+  }
+  ts.set_name(stem);
+  return ts;
+}
+
+ir::TransitionSystem read_aiger_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open AIGER file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_aiger(buffer.str(), path);
+}
+
+// --- writer ---------------------------------------------------------------------
+
+namespace {
+
+/// AIGER literal algebra over plain uint32 (0 = false, 1 = true, lit^1 =
+/// negation) with structural hashing and the same local simplifications the
+/// CNF bit-blaster applies — the decompositions below mirror
+/// bitblast::BitBlaster so the emitted AIG and the solver see the same
+/// circuit shapes.
+class AigBuilder {
+ public:
+  using Lit = std::uint32_t;
+  using Bits = std::vector<Lit>;  // LSB first
+
+  static constexpr Lit kFalse = 0;
+  static constexpr Lit kTrue = 1;
+
+  Lit new_leaf() { return 2 * next_var_++; }
+  std::uint32_t num_vars() const { return next_var_ - 1; }
+  const std::vector<std::pair<Lit, Lit>>& ands() const { return ands_; }
+
+  Lit gate_and(Lit a, Lit b) {
+    if (a == kFalse || b == kFalse) return kFalse;
+    if (a == kTrue) return b;
+    if (b == kTrue) return a;
+    if (a == b) return a;
+    if (a == (b ^ 1U)) return kFalse;
+    if (a < b) std::swap(a, b);
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    const auto it = cons_.find(key);
+    if (it != cons_.end()) return it->second;
+    const Lit lit = 2 * next_var_++;
+    ands_.emplace_back(a, b);
+    cons_.emplace(key, lit);
+    return lit;
+  }
+
+  Lit gate_or(Lit a, Lit b) { return gate_and(a ^ 1U, b ^ 1U) ^ 1U; }
+  Lit gate_xor(Lit a, Lit b) {
+    return gate_and(gate_and(a, b ^ 1U) ^ 1U, gate_and(a ^ 1U, b) ^ 1U) ^ 1U;
+  }
+  Lit gate_iff(Lit a, Lit b) { return gate_xor(a, b) ^ 1U; }
+  Lit gate_mux(Lit cond, Lit t, Lit e) {
+    return gate_and(gate_and(cond, t) ^ 1U, gate_and(cond ^ 1U, e) ^ 1U) ^ 1U;
+  }
+  Lit gate_and_all(const Bits& xs) {
+    Lit acc = kTrue;
+    for (const Lit x : xs) acc = gate_and(acc, x);
+    return acc;
+  }
+  Lit gate_or_all(const Bits& xs) {
+    Lit acc = kFalse;
+    for (const Lit x : xs) acc = gate_or(acc, x);
+    return acc;
+  }
+  Lit gate_xor_all(const Bits& xs) {
+    Lit acc = kFalse;
+    for (const Lit x : xs) acc = gate_xor(acc, x);
+    return acc;
+  }
+
+  // --- word-level circuits (bitblaster.cpp shapes) --------------------------
+
+  Bits circuit_add(const Bits& a, const Bits& b, Lit carry_in) {
+    Bits sum;
+    sum.reserve(a.size());
+    Lit carry = carry_in;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const Lit axb = gate_xor(a[i], b[i]);
+      sum.push_back(gate_xor(axb, carry));
+      carry = gate_or(gate_and(a[i], b[i]), gate_and(carry, axb));
+    }
+    return sum;
+  }
+
+  Bits circuit_mul(const Bits& a, const Bits& b) {
+    const std::size_t w = a.size();
+    Bits acc(w, kFalse);
+    for (std::size_t i = 0; i < w; ++i) {
+      Bits partial(w, kFalse);
+      for (std::size_t j = 0; i + j < w; ++j) partial[i + j] = gate_and(a[j], b[i]);
+      acc = circuit_add(acc, partial, kFalse);
+    }
+    return acc;
+  }
+
+  std::pair<Bits, Bits> circuit_divmod(const Bits& a, const Bits& b) {
+    const std::size_t w = a.size();
+    Bits b_ext = b;
+    b_ext.push_back(kFalse);
+    Bits r(w + 1, kFalse);
+    Bits q(w, kFalse);
+    for (std::size_t step = w; step-- > 0;) {
+      Bits shifted;
+      shifted.reserve(w + 1);
+      shifted.push_back(a[step]);
+      for (std::size_t i = 0; i < w; ++i) shifted.push_back(r[i]);
+      const Lit geq = circuit_ult(shifted, b_ext) ^ 1U;
+      Bits neg_b;
+      neg_b.reserve(w + 1);
+      for (const Lit p : b_ext) neg_b.push_back(p ^ 1U);
+      const Bits diff = circuit_add(shifted, neg_b, kTrue);
+      for (std::size_t i = 0; i <= w; ++i) r[i] = gate_mux(geq, diff[i], shifted[i]);
+      q[step] = geq;
+    }
+    const Lit b_zero = gate_or_all(b) ^ 1U;
+    Bits quotient(w, kFalse);
+    Bits remainder(w, kFalse);
+    for (std::size_t i = 0; i < w; ++i) {
+      quotient[i] = gate_mux(b_zero, kTrue, q[i]);
+      remainder[i] = gate_mux(b_zero, a[i], r[i]);
+    }
+    return {quotient, remainder};
+  }
+
+  Bits circuit_shift(const Bits& a, const Bits& amount, bool left, Lit fill) {
+    const std::size_t w = a.size();
+    Bits current = a;
+    for (std::size_t j = 0; j < amount.size() && (1ULL << j) < w; ++j) {
+      const std::uint64_t dist = 1ULL << j;
+      Bits shifted(w, fill);
+      for (std::size_t i = 0; i < w; ++i) {
+        if (left) {
+          if (i >= dist) shifted[i] = current[i - dist];
+        } else {
+          if (i + dist < w) shifted[i] = current[i + dist];
+        }
+      }
+      for (std::size_t i = 0; i < w; ++i) {
+        current[i] = gate_mux(amount[j], shifted[i], current[i]);
+      }
+    }
+    Bits high_bits;
+    for (std::size_t j = 0; j < amount.size(); ++j) {
+      if ((1ULL << j) >= w || j >= 63) high_bits.push_back(amount[j]);
+    }
+    if (!high_bits.empty()) {
+      const Lit overshoot = gate_or_all(high_bits);
+      for (std::size_t i = 0; i < w; ++i) current[i] = gate_mux(overshoot, fill, current[i]);
+    }
+    return current;
+  }
+
+  Lit circuit_ult(const Bits& a, const Bits& b) {
+    Lit lt = kFalse;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const Lit differ = gate_xor(a[i], b[i]);
+      lt = gate_mux(differ, b[i], lt);
+    }
+    return lt;
+  }
+
+  Lit circuit_ule(const Bits& a, const Bits& b) { return circuit_ult(b, a) ^ 1U; }
+
+  Lit circuit_eq(const Bits& a, const Bits& b) {
+    Bits iffs;
+    iffs.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) iffs.push_back(gate_iff(a[i], b[i]));
+    return gate_and_all(iffs);
+  }
+
+ private:
+  std::uint32_t next_var_ = 1;
+  std::vector<std::pair<Lit, Lit>> ands_;
+  std::unordered_map<std::uint64_t, Lit> cons_;
+};
+
+using Bits = AigBuilder::Bits;
+
+/// Blast a word-level node into AIG literals, memoized; leaves must already
+/// be bound in `cache`.
+const Bits& blast(AigBuilder& aig, ir::NodeRef node,
+                  std::unordered_map<ir::NodeRef, Bits>& cache) {
+  std::vector<ir::NodeRef> stack{node};
+  while (!stack.empty()) {
+    const ir::NodeRef n = stack.back();
+    if (cache.contains(n)) {
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (const ir::NodeRef c : n->children()) {
+      if (!cache.contains(c)) {
+        if (ready) ready = false;
+        stack.push_back(c);
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+
+    const unsigned w = n->width();
+    auto bits_of = [&cache](ir::NodeRef c) -> const Bits& { return cache.at(c); };
+    Bits bits;
+    switch (n->op()) {
+      case ir::Op::Const:
+        bits.reserve(w);
+        for (unsigned i = 0; i < w; ++i) {
+          bits.push_back(((n->value() >> i) & 1ULL) != 0 ? AigBuilder::kTrue
+                                                         : AigBuilder::kFalse);
+        }
+        break;
+      case ir::Op::Input:
+      case ir::Op::State:
+        throw UsageError("aiger writer: leaf '" + n->name() + "' is not bound");
+      case ir::Op::Not:
+        bits = bits_of(n->child(0));
+        for (auto& b : bits) b ^= 1U;
+        break;
+      case ir::Op::And:
+      case ir::Op::Or:
+      case ir::Op::Xor: {
+        const Bits& a = bits_of(n->child(0));
+        const Bits& b = bits_of(n->child(1));
+        bits.reserve(w);
+        for (unsigned i = 0; i < w; ++i) {
+          if (n->op() == ir::Op::And) bits.push_back(aig.gate_and(a[i], b[i]));
+          else if (n->op() == ir::Op::Or) bits.push_back(aig.gate_or(a[i], b[i]));
+          else bits.push_back(aig.gate_xor(a[i], b[i]));
+        }
+        break;
+      }
+      case ir::Op::Neg: {
+        Bits nota = bits_of(n->child(0));
+        for (auto& b : nota) b ^= 1U;
+        bits = aig.circuit_add(nota, Bits(w, AigBuilder::kFalse), AigBuilder::kTrue);
+        break;
+      }
+      case ir::Op::Add:
+        bits = aig.circuit_add(bits_of(n->child(0)), bits_of(n->child(1)),
+                               AigBuilder::kFalse);
+        break;
+      case ir::Op::Sub: {
+        Bits notb = bits_of(n->child(1));
+        for (auto& b : notb) b ^= 1U;
+        bits = aig.circuit_add(bits_of(n->child(0)), notb, AigBuilder::kTrue);
+        break;
+      }
+      case ir::Op::Mul:
+        bits = aig.circuit_mul(bits_of(n->child(0)), bits_of(n->child(1)));
+        break;
+      case ir::Op::Udiv:
+        bits = aig.circuit_divmod(bits_of(n->child(0)), bits_of(n->child(1))).first;
+        break;
+      case ir::Op::Urem:
+        bits = aig.circuit_divmod(bits_of(n->child(0)), bits_of(n->child(1))).second;
+        break;
+      case ir::Op::Shl:
+        bits = aig.circuit_shift(bits_of(n->child(0)), bits_of(n->child(1)),
+                                 /*left=*/true, AigBuilder::kFalse);
+        break;
+      case ir::Op::Lshr:
+        bits = aig.circuit_shift(bits_of(n->child(0)), bits_of(n->child(1)),
+                                 /*left=*/false, AigBuilder::kFalse);
+        break;
+      case ir::Op::Ashr: {
+        const Bits& a = bits_of(n->child(0));
+        bits = aig.circuit_shift(a, bits_of(n->child(1)), /*left=*/false, a.back());
+        break;
+      }
+      case ir::Op::Eq:
+        bits = {aig.circuit_eq(bits_of(n->child(0)), bits_of(n->child(1)))};
+        break;
+      case ir::Op::Ult:
+        bits = {aig.circuit_ult(bits_of(n->child(0)), bits_of(n->child(1)))};
+        break;
+      case ir::Op::Ule:
+        bits = {aig.circuit_ule(bits_of(n->child(0)), bits_of(n->child(1)))};
+        break;
+      case ir::Op::Slt:
+      case ir::Op::Sle: {
+        Bits a = bits_of(n->child(0));
+        Bits b = bits_of(n->child(1));
+        a.back() ^= 1U;
+        b.back() ^= 1U;
+        bits = {n->op() == ir::Op::Slt ? aig.circuit_ult(a, b) : aig.circuit_ule(a, b)};
+        break;
+      }
+      case ir::Op::Concat: {
+        const Bits& hi = bits_of(n->child(0));
+        const Bits& lo = bits_of(n->child(1));
+        bits = lo;
+        bits.insert(bits.end(), hi.begin(), hi.end());
+        break;
+      }
+      case ir::Op::Extract: {
+        const Bits& a = bits_of(n->child(0));
+        bits.assign(a.begin() + n->lo(), a.begin() + n->hi() + 1);
+        break;
+      }
+      case ir::Op::ZExt:
+        bits = bits_of(n->child(0));
+        bits.resize(w, AigBuilder::kFalse);
+        break;
+      case ir::Op::SExt: {
+        bits = bits_of(n->child(0));
+        const AigBuilder::Lit msb = bits.back();
+        bits.resize(w, msb);
+        break;
+      }
+      case ir::Op::Ite: {
+        const AigBuilder::Lit cond = bits_of(n->child(0))[0];
+        const Bits& t = bits_of(n->child(1));
+        const Bits& e = bits_of(n->child(2));
+        bits.reserve(w);
+        for (unsigned i = 0; i < w; ++i) bits.push_back(aig.gate_mux(cond, t[i], e[i]));
+        break;
+      }
+      case ir::Op::RedAnd:
+        bits = {aig.gate_and_all(bits_of(n->child(0)))};
+        break;
+      case ir::Op::RedOr:
+        bits = {aig.gate_or_all(bits_of(n->child(0)))};
+        break;
+      case ir::Op::RedXor:
+        bits = {aig.gate_xor_all(bits_of(n->child(0)))};
+        break;
+      case ir::Op::Implies:
+        bits = {aig.gate_or(bits_of(n->child(0))[0] ^ 1U, bits_of(n->child(1))[0])};
+        break;
+    }
+    cache.emplace(n, std::move(bits));
+  }
+  return cache.at(node);
+}
+
+std::string bit_name(SymbolTable& symbols, const std::string& base, unsigned width,
+                     unsigned bit) {
+  const std::string desired = width == 1 ? base : base + "_" + std::to_string(bit);
+  return symbols.claim(desired, "v_", bit);
+}
+
+}  // namespace
+
+std::string write_aiger(const ir::TransitionSystem& ts) {
+  AigBuilder aig;
+  std::unordered_map<ir::NodeRef, Bits> cache;
+  SymbolTable symbols;
+
+  // Inputs first, latches second: the writer keeps AIGER's conventional
+  // contiguous variable layout, which also keeps the file binary-convertible.
+  std::vector<std::string> input_names;
+  for (const ir::NodeRef input : ts.inputs()) {
+    Bits bits;
+    bits.reserve(input->width());
+    for (unsigned b = 0; b < input->width(); ++b) {
+      input_names.push_back(bit_name(symbols, input->name(), input->width(), b));
+      bits.push_back(aig.new_leaf());
+    }
+    cache.emplace(input, std::move(bits));
+  }
+  const std::uint32_t num_inputs = aig.num_vars();
+
+  std::vector<std::string> latch_names;
+  for (const ir::StateVar& state : ts.states()) {
+    Bits bits;
+    bits.reserve(state.var->width());
+    for (unsigned b = 0; b < state.var->width(); ++b) {
+      latch_names.push_back(bit_name(symbols, state.var->name(), state.var->width(), b));
+      bits.push_back(aig.new_leaf());
+    }
+    cache.emplace(state.var, std::move(bits));
+  }
+  const std::uint32_t num_latches = aig.num_vars() - num_inputs;
+
+  // Latch next/reset per bit. Init expressions must fold to constants — the
+  // format has no richer reset language (AIGER 1.9 resets are 0/1/self).
+  struct LatchLine {
+    AigBuilder::Lit next;
+    int reset;  // 0, 1, or -1 = uninitialized (emitted as the latch's own literal)
+  };
+  std::vector<LatchLine> latch_lines;
+  for (const ir::StateVar& state : ts.states()) {
+    const Bits& next_bits = blast(aig, state.next, cache);
+    int init_kind = -1;  // uninitialized
+    std::uint64_t init_value = 0;
+    if (state.init != nullptr) {
+      if (!state.init->is_const()) {
+        throw UsageError("aiger writer: register '" + state.var->name() +
+                         "' has a non-constant init expression, which AIGER resets "
+                         "cannot express");
+      }
+      init_kind = 0;
+      init_value = state.init->value();
+    }
+    for (unsigned b = 0; b < state.var->width(); ++b) {
+      LatchLine line;
+      line.next = next_bits[b];
+      line.reset = init_kind < 0 ? -1 : static_cast<int>((init_value >> b) & 1ULL);
+      latch_lines.push_back(line);
+    }
+  }
+
+  // Target properties -> bad-state literals (bad = NOT property).
+  std::vector<std::pair<std::string, AigBuilder::Lit>> bads;
+  for (const ir::Property& property : ts.properties()) {
+    if (property.role != ir::PropertyRole::Target) continue;
+    const Bits& bits = blast(aig, property.expr, cache);
+    bads.emplace_back(SymbolTable::sanitize(property.name), bits[0] ^ 1U);
+  }
+  std::vector<AigBuilder::Lit> constraint_lits;
+  for (const ir::NodeRef constraint : ts.constraints()) {
+    constraint_lits.push_back(blast(aig, constraint, cache)[0]);
+  }
+
+  std::ostringstream out;
+  out << "aag " << aig.num_vars() << ' ' << num_inputs << ' ' << num_latches << " 0 "
+      << aig.ands().size();
+  if (!constraint_lits.empty()) {
+    out << ' ' << bads.size() << ' ' << constraint_lits.size();
+  } else if (!bads.empty()) {
+    out << ' ' << bads.size();
+  }
+  out << '\n';
+  for (std::uint32_t v = 1; v <= num_inputs; ++v) out << 2 * v << '\n';
+  for (std::size_t i = 0; i < latch_lines.size(); ++i) {
+    const std::uint32_t lit = 2 * (num_inputs + static_cast<std::uint32_t>(i) + 1);
+    out << lit << ' ' << latch_lines[i].next;
+    if (latch_lines[i].reset == 1) out << " 1";
+    else if (latch_lines[i].reset < 0) out << ' ' << lit;
+    out << '\n';
+  }
+  for (const auto& [name, lit] : bads) out << lit << '\n';
+  for (const AigBuilder::Lit lit : constraint_lits) out << lit << '\n';
+  for (std::size_t g = 0; g < aig.ands().size(); ++g) {
+    const std::uint32_t lhs = 2 * (num_inputs + num_latches + static_cast<std::uint32_t>(g) + 1);
+    out << lhs << ' ' << aig.ands()[g].first << ' ' << aig.ands()[g].second << '\n';
+  }
+  for (std::size_t i = 0; i < input_names.size(); ++i) {
+    out << 'i' << i << ' ' << input_names[i] << '\n';
+  }
+  for (std::size_t i = 0; i < latch_names.size(); ++i) {
+    out << 'l' << i << ' ' << latch_names[i] << '\n';
+  }
+  for (std::size_t i = 0; i < bads.size(); ++i) {
+    out << 'b' << i << ' ' << bads[i].first << '\n';
+  }
+  out << "c\ngenfv aiger writer: " << ts.name() << '\n';
+  return out.str();
+}
+
+void write_aiger_file(const std::string& path, const ir::TransitionSystem& ts) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw UsageError("cannot write AIGER file '" + path + "'");
+  out << write_aiger(ts);
+}
+
+}  // namespace genfv::frontend

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file btor2.hpp
+/// BTOR2 frontend: the word-level HWMCC interchange format (Niemetz et al.,
+/// CAV'18). BTOR2 is line-oriented — `<id> <op> <args...>` — and
+/// definitional: every node id is defined before it is used, which makes a
+/// strict single-pass reader possible.
+///
+/// Supported subset (docs/frontends.md has the full table):
+///  * `sort bitvec <w>` with 1 <= w <= 64 — wider sorts are rejected with a
+///    located error, the same >64-bit discipline the HDL elaborator applies
+///    to register declarations; `sort array` is rejected (no memories yet),
+///  * `input` / `state` (named or anonymous)   -> TS inputs / states,
+///  * `init` / `next`                          -> StateVar init/next; a state
+///    without a `next` gets a fresh input as its next function (BTOR2
+///    semantics: the state evolves unconstrained),
+///  * `bad <n>`                                -> safety property `!(n)` with
+///    a stable synthesized name `bad_N`,
+///  * `constraint <n>`                         -> TS environment constraint,
+///  * `output`                                 -> named TS signal,
+///  * constants (`const[dh]?`, `zero`, `one`, `ones`) and the bit-vector
+///    operator core (bitwise, arithmetic, shifts, comparisons, concat/slice/
+///    ext, ite, reductions, implies/iff),
+///  * `justice` / `fairness`, signed div/rem, rotates and array ops are
+///    rejected with located errors naming the construct.
+///
+/// Every malformed input is a located, non-crashing ParseError
+/// ("file:line: message").
+
+#include <string>
+#include <string_view>
+
+#include "ir/transition_system.hpp"
+
+namespace genfv::frontend {
+
+/// Parse BTOR2 text into a transition system. `filename` seeds error
+/// locations and the system name.
+ir::TransitionSystem parse_btor2(std::string_view text,
+                                 const std::string& filename = "<btor2>");
+
+/// Read + parse a .btor/.btor2 file. Throws Error on I/O failure,
+/// ParseError on malformed content.
+ir::TransitionSystem read_btor2_file(const std::string& path);
+
+}  // namespace genfv::frontend

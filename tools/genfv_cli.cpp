@@ -3,6 +3,14 @@
 ///   genfv_cli prove --rtl design.sv --property "<sva>" [options]
 ///       Verify RTL from a file: elaborate, compile the target properties,
 ///       and run the selected flow.
+///   genfv_cli prove --rtl design.aag [options]
+///       Verify a standard-format design: .aag/.aig go through the AIGER
+///       frontend, .btor/.btor2 through the BTOR2 frontend. Targets are the
+///       file's embedded properties; --property then *selects* properties by
+///       name ("bad_0", with an optional engine prefix "pdr:bad_0") instead
+///       of compiling SVA.
+///   genfv_cli <file.aag|file.aig|file.btor|file.btor2|file.sv> [options]
+///       Shorthand for `prove --rtl <file>`.
 ///   genfv_cli demo <design> [options]
 ///       Run a built-in zoo design through the selected flow.
 ///   genfv_cli designs
@@ -39,6 +47,9 @@
 ///   --max-k <n>                      step bound: BMC depth / induction k /
 ///                                    PDR frames (default: 8)
 ///   --no-screen                      disable the simulation review screen
+///   --dump-aiger <file.aag>          bit-blast the design and write it as an
+///                                    ASCII AIGER 1.9 file (corpus generation;
+///                                    docs/frontends.md)
 ///   --dump-ts <file>                 serialize the elaborated system
 ///   --vcd <file>                     dump the last step-CEX (plain flow) as VCD
 ///   --trace-out <file.json>          record trace spans across the whole run
@@ -58,6 +69,7 @@
 
 #include "designs/design.hpp"
 #include "flow/cex_repair_flow.hpp"
+#include "frontend/aiger.hpp"
 #include "flow/direct_miner_flow.hpp"
 #include "flow/helper_gen_flow.hpp"
 #include "flow/lemma_io.hpp"
@@ -91,6 +103,7 @@ struct CliOptions {
   std::size_t max_k = 8;
   bool sim_screen = true;
   std::string dump_ts_path;
+  std::string dump_aiger_path;
   std::string vcd_path;
   std::string emit_lemmas_path;
   std::string use_lemmas_path;
@@ -105,6 +118,8 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage:\n"
                "  genfv_cli prove --rtl <file.sv> --property \"[engine:]<sva>\" [options]\n"
+               "  genfv_cli prove --rtl <file.aag|aig|btor|btor2> [--property \"[engine:]<name>\"]\n"
+               "  genfv_cli <file.aag|aig|btor|btor2|sv> [options]   (prove shorthand)\n"
                "  genfv_cli demo <design> [options]\n"
                "  genfv_cli designs | models\n"
                "options: --flow cex|helper|direct|plain  --engine bmc|kind|pdr|portfolio\n"
@@ -112,7 +127,7 @@ struct CliOptions {
                "         --seed-candidates on|off\n"
                "         --emit-lemmas <file>  --use-lemmas <file>\n"
                "         --model <name>  --seed <n>  --max-k <n>  --no-screen\n"
-               "         --dump-ts <file>  --vcd <file>  --verbose\n"
+               "         --dump-ts <file>  --dump-aiger <file.aag>  --vcd <file>  --verbose\n"
                "         --trace-out <file.json>  --metrics-out <file.json>\n"
                "         --progress <seconds>\n"
                "full reference: docs/cli.md\n");
@@ -124,6 +139,13 @@ CliOptions parse_args(int argc, char** argv) {
   if (argc < 2) usage();
   opts.command = argv[1];
   int i = 2;
+  // Bare-file shorthand: `genfv_cli foo.aag` == `genfv_cli prove --rtl foo.aag`.
+  if (opts.command != "prove" && opts.command != "demo" && opts.command != "designs" &&
+      opts.command != "models" && opts.command.rfind("--", 0) != 0 &&
+      opts.command.find('.') != std::string::npos) {
+    opts.rtl_path = opts.command;
+    opts.command = "prove";
+  }
   if (opts.command == "demo") {
     if (i >= argc) usage("demo requires a design name");
     opts.design = argv[i++];
@@ -201,6 +223,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--max-k") opts.max_k = std::stoull(need_value("--max-k"));
     else if (arg == "--no-screen") { no_value("--no-screen"); opts.sim_screen = false; }
     else if (arg == "--dump-ts") opts.dump_ts_path = need_value("--dump-ts");
+    else if (arg == "--dump-aiger") opts.dump_aiger_path = need_value("--dump-aiger");
     else if (arg == "--vcd") opts.vcd_path = need_value("--vcd");
     else if (arg == "--trace-out") opts.trace_out_path = need_value("--trace-out");
     else if (arg == "--metrics-out") opts.metrics_out_path = need_value("--metrics-out");
@@ -389,6 +412,9 @@ int run_task(flow::VerificationTask& task, const CliOptions& opts) {
   if (!opts.dump_ts_path.empty()) {
     write_file(opts.dump_ts_path, ir::serialize(task.ts));
   }
+  if (!opts.dump_aiger_path.empty()) {
+    write_file(opts.dump_aiger_path, frontend::write_aiger(task.ts));
+  }
   if (opts.flow == "plain") return run_plain(task, opts);
   for (const auto& e : opts.property_engines) {
     if (e.has_value()) usage("per-property engine overrides require --flow plain");
@@ -428,6 +454,44 @@ int run_task(flow::VerificationTask& task, const CliOptions& opts) {
     emit_lemmas(opts.emit_lemmas_path, task.name, report.admitted_lemmas);
   }
   return report.all_targets_proven() ? 0 : 1;
+}
+
+/// True when the path names a standard-format design (AIGER / BTOR2) rather
+/// than HDL source.
+bool is_frontend_path(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos) return false;
+  std::string ext = path.substr(dot + 1);
+  for (char& c : ext) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return ext == "aag" || ext == "aig" || ext == "btor" || ext == "btor2";
+}
+
+/// On frontend files --property selects embedded properties by name (order
+/// follows the flags, so per-property engine overrides stay aligned).
+void select_targets(flow::VerificationTask& task, const std::vector<std::string>& names) {
+  std::vector<std::size_t> selected;
+  for (const std::string& name : names) {
+    bool found = false;
+    for (const std::size_t idx : task.target_indices) {
+      if (task.ts.property(idx).name == name) {
+        selected.push_back(idx);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string known;
+      for (const std::size_t idx : task.target_indices) {
+        if (!known.empty()) known += ", ";
+        known += task.ts.property(idx).name;
+      }
+      throw UsageError("no property named '" + name + "' in this design (has: " +
+                       (known.empty() ? "none" : known) + ")");
+    }
+  }
+  task.target_indices = std::move(selected);
 }
 
 int cmd_designs() {
@@ -486,14 +550,25 @@ int main(int argc, char** argv) {
     }
     else if (opts.command == "prove") {
       if (opts.rtl_path.empty()) usage("prove requires --rtl");
-      if (opts.properties.empty()) usage("prove requires at least one --property");
-      std::vector<flow::TargetSpec> targets;
-      for (std::size_t i = 0; i < opts.properties.size(); ++i) {
-        targets.push_back({"target_" + std::to_string(i + 1), opts.properties[i]});
+      if (is_frontend_path(opts.rtl_path)) {
+        // Standard-format designs carry their own properties; --property
+        // selects among them by name instead of compiling SVA.
+        auto task = flow::VerificationTask::from_file(opts.rtl_path);
+        if (!opts.properties.empty()) select_targets(task, opts.properties);
+        if (task.target_indices.empty()) {
+          throw UsageError("'" + opts.rtl_path + "' has no properties to prove");
+        }
+        rc = run_task(task, opts);
+      } else {
+        if (opts.properties.empty()) usage("prove requires at least one --property");
+        std::vector<flow::TargetSpec> targets;
+        for (std::size_t i = 0; i < opts.properties.size(); ++i) {
+          targets.push_back({"target_" + std::to_string(i + 1), opts.properties[i]});
+        }
+        auto task = flow::VerificationTask::from_rtl(
+            opts.rtl_path, /*spec=*/"", read_file(opts.rtl_path), targets);
+        rc = run_task(task, opts);
       }
-      auto task = flow::VerificationTask::from_rtl(
-          opts.rtl_path, /*spec=*/"", read_file(opts.rtl_path), targets);
-      rc = run_task(task, opts);
     }
     else usage(("unknown command '" + opts.command + "'").c_str());
   } catch (const genfv::Error& e) {
