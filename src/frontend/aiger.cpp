@@ -158,7 +158,13 @@ class AigerParser {
                                 " variables; refusing (limit " +
                                 std::to_string(kMaxVariables) + ")");
     }
-    if (num_inputs_ + num_latches_ + num_ands_ > max_var_) {
+    // Each field parses up to 2^64-1, so the sum I + L + A can wrap; check
+    // every field against M individually first (M <= kMaxVariables here, so
+    // the sum of in-range fields cannot overflow). Without this, a crafted
+    // binary header passes the consistency check and the implicit-variable
+    // loops below index far beyond var_kind_.
+    if (num_inputs_ > max_var_ || num_latches_ > max_var_ || num_ands_ > max_var_ ||
+        num_inputs_ + num_latches_ + num_ands_ > max_var_) {
       fail_at(file_, line_, "inconsistent header: I + L + A exceeds M");
     }
     var_kind_.assign(static_cast<std::size_t>(max_var_) + 1, Kind::Undefined);
@@ -924,12 +930,27 @@ std::string write_aiger(const ir::TransitionSystem& ts) {
     }
   }
 
-  // Target properties -> bad-state literals (bad = NOT property).
+  // Named signals -> AIGER outputs, one per bit, so a parse -> write round
+  // trip of a 1.9 file with an O section is not silently lossy.
+  std::vector<std::pair<std::string, AigBuilder::Lit>> outputs;
+  for (const auto& [signal_name, expr] : ts.signals()) {
+    const Bits& bits = blast(aig, expr, cache);
+    for (unsigned b = 0; b < expr->width(); ++b) {
+      outputs.emplace_back(bit_name(symbols, signal_name, expr->width(), b), bits[b]);
+    }
+  }
+
+  // Target properties -> bad-state literals (bad = NOT property). Names go
+  // through the same claim order the reader uses (inputs, latches, outputs,
+  // bads), so collisions resolve identically on both sides and emitted files
+  // round-trip with stable names — sanitize alone could produce an empty or
+  // duplicate name the reader would reject or rename.
   std::vector<std::pair<std::string, AigBuilder::Lit>> bads;
+  std::size_t bad_index = 0;
   for (const ir::Property& property : ts.properties()) {
     if (property.role != ir::PropertyRole::Target) continue;
     const Bits& bits = blast(aig, property.expr, cache);
-    bads.emplace_back(SymbolTable::sanitize(property.name), bits[0] ^ 1U);
+    bads.emplace_back(symbols.claim(property.name, "bad_", bad_index++), bits[0] ^ 1U);
   }
   std::vector<AigBuilder::Lit> constraint_lits;
   for (const ir::NodeRef constraint : ts.constraints()) {
@@ -937,11 +958,14 @@ std::string write_aiger(const ir::TransitionSystem& ts) {
   }
 
   std::ostringstream out;
-  out << "aag " << aig.num_vars() << ' ' << num_inputs << ' ' << num_latches << " 0 "
-      << aig.ands().size();
+  out << "aag " << aig.num_vars() << ' ' << num_inputs << ' ' << num_latches << ' '
+      << outputs.size() << ' ' << aig.ands().size();
+  // The B field is mandatory whenever outputs exist: without it a reader
+  // following the HWMCC'10 convention would reinterpret the outputs as
+  // bad-state literals.
   if (!constraint_lits.empty()) {
     out << ' ' << bads.size() << ' ' << constraint_lits.size();
-  } else if (!bads.empty()) {
+  } else if (!bads.empty() || !outputs.empty()) {
     out << ' ' << bads.size();
   }
   out << '\n';
@@ -953,6 +977,7 @@ std::string write_aiger(const ir::TransitionSystem& ts) {
     else if (latch_lines[i].reset < 0) out << ' ' << lit;
     out << '\n';
   }
+  for (const auto& [name, lit] : outputs) out << lit << '\n';
   for (const auto& [name, lit] : bads) out << lit << '\n';
   for (const AigBuilder::Lit lit : constraint_lits) out << lit << '\n';
   for (std::size_t g = 0; g < aig.ands().size(); ++g) {
@@ -964,6 +989,9 @@ std::string write_aiger(const ir::TransitionSystem& ts) {
   }
   for (std::size_t i = 0; i < latch_names.size(); ++i) {
     out << 'l' << i << ' ' << latch_names[i] << '\n';
+  }
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    out << 'o' << i << ' ' << outputs[i].first << '\n';
   }
   for (std::size_t i = 0; i < bads.size(); ++i) {
     out << 'b' << i << ' ' << bads[i].first << '\n';

@@ -190,6 +190,7 @@ class Btor2Parser {
         rec.var = ts_.add_state(rec.name, width);
         define(id, rec.var);
         states_.emplace(id, std::move(rec));
+        state_order_.push_back(id);
       }
       return;
     }
@@ -459,7 +460,11 @@ class Btor2Parser {
   /// unconstrained. Model that as a fresh input feeding the register, which
   /// keeps TransitionSystem::validate()'s every-state-has-next contract.
   void finish_states() {
-    for (auto& [id, rec] : states_) {
+    // Iterate in declaration order, not unordered_map order: the synthesized
+    // inputs' positions (and thus --dump-aiger output and counterexample
+    // columns) must not depend on hash-table iteration order.
+    for (const std::uint64_t id : state_order_) {
+      StateRec& rec = states_.at(id);
       if (rec.has_next) continue;
       const std::string name = symbols_.claim(rec.name + "_next", "next_", id);
       ts_.set_next(rec.var, ts_.add_input(name, rec.var->width()));
@@ -475,6 +480,7 @@ class Btor2Parser {
   std::unordered_map<std::uint64_t, unsigned> sorts_;
   std::unordered_map<std::uint64_t, ir::NodeRef> nodes_;
   std::unordered_map<std::uint64_t, StateRec> states_;
+  std::vector<std::uint64_t> state_order_;  ///< state ids in declaration order
   std::size_t input_count_ = 0, state_count_ = 0, bad_count_ = 0, output_count_ = 0;
 };
 

@@ -138,6 +138,22 @@ TEST(FrontendCorpus, OutputsBecomeBadsOnlyWithoutBSection) {
   EXPECT_EQ(v19.signals().size(), 1u);
 }
 
+TEST(FrontendCorpus, NextlessStatesSynthesizeInputsInDeclarationOrder) {
+  // States without `next` become fresh inputs; their positions must follow
+  // declaration order, not unordered_map iteration order, or input columns
+  // (and --dump-aiger output) would vary across standard libraries.
+  const std::string text =
+      "1 sort bitvec 1\n"
+      "2 state 1 b\n"
+      "3 state 1 a\n"
+      "4 state 1 c\n"
+      "5 next 1 4 2\n";
+  ir::TransitionSystem ts = parse_btor2(text);
+  ASSERT_EQ(ts.inputs().size(), 2u);
+  EXPECT_EQ(ts.inputs()[0]->name(), "b_next");
+  EXPECT_EQ(ts.inputs()[1]->name(), "a_next");
+}
+
 // --- malformed inputs --------------------------------------------------------
 
 struct MalformedRow {
@@ -184,6 +200,12 @@ TEST(FrontendErrors, AigerMalformedTable) {
       {"justice section", "aag 0 0 0 0 0 0 0 1\n", "justice/fairness"},
       {"binary gate section truncated", "aig 1 0 0 1 1\n2\n",
        "end of binary gate section"},
+      // The I + L + A sum wraps around 2^64; a naive consistency check
+      // passes and the binary prelude writes far out of bounds.
+      {"wrapping binary header",
+       "aig 3 9223372036854775808 9223372036854775808 0 0\n", "exceeds M"},
+      {"wrapping ascii header",
+       "aag 3 9223372036854775808 0 0 9223372036854775810\n", "exceeds M"},
   };
   expect_located_error("t.aag", rows, &parse_aiger);
 }
@@ -334,6 +356,50 @@ TEST(FrontendRoundTrip, EveryZooDesignSurvivesWriterReaderLoop) {
     EXPECT_EQ(run_engine(mc::EngineKind::Portfolio, task, bound),
               run_engine(mc::EngineKind::Portfolio, rt_task, bound));
   }
+}
+
+TEST(FrontendRoundTrip, WriterPreservesNamedSignalsAsOutputs) {
+  // A 1.9 file's O section must survive a parse -> write -> parse loop: the
+  // writer emits signals as outputs with o-symbols and always includes the B
+  // field so the reader never reinterprets them as bad literals.
+  const std::string text = "aag 1 0 1 1 0 1\n2 3 0\n2\n3\nl0 reg\no0 probe\nb0 stuck\n";
+  ir::TransitionSystem ts = parse_aiger(text);
+  ASSERT_EQ(ts.signals().size(), 1u);
+
+  const std::string aag = write_aiger(ts);
+  ir::TransitionSystem rt = parse_aiger(aag, "rt.aag");
+  ASSERT_EQ(rt.signals().size(), 1u);
+  EXPECT_EQ(rt.signals()[0].first, "probe");
+  EXPECT_EQ(rt.num_properties(), 1u);
+  EXPECT_EQ(rt.property(0).name, "stuck");
+
+  // Signals alone (no properties) must still round-trip as signals, which
+  // requires an explicit zero B field in the emitted header.
+  ir::TransitionSystem no_bads = parse_aiger("aag 1 0 1 1 0 0\n2 3 0\n2\no0 probe\n");
+  ir::TransitionSystem no_bads_rt = parse_aiger(write_aiger(no_bads), "rt.aag");
+  EXPECT_EQ(no_bads_rt.num_properties(), 0u);
+  ASSERT_EQ(no_bads_rt.signals().size(), 1u);
+  EXPECT_EQ(no_bads_rt.signals()[0].first, "probe");
+}
+
+TEST(FrontendRoundTrip, UnsanitizableAndDuplicatePropertyNamesStillRoundTrip) {
+  // A property whose name sanitizes to nothing must come out as a stable
+  // synthesized bad_N symbol (not an unnamed 'b0' line the reader rejects),
+  // and duplicate property names must resolve identically on both sides.
+  ir::TransitionSystem ts = parse_aiger("aag 1 0 1 0 0 2\n2 3 0\n2\n3\n");
+  ASSERT_EQ(ts.num_properties(), 2u);
+  ts.property(0).name = "!!!";   // sanitizes to empty
+  ts.property(1).name = "bad_0"; // collides with the synthesized fallback
+
+  const std::string aag = write_aiger(ts);
+  ir::TransitionSystem rt = parse_aiger(aag, "rt.aag");
+  ASSERT_EQ(rt.num_properties(), 2u);
+  EXPECT_EQ(rt.property(0).name, "bad_0");
+  EXPECT_EQ(rt.property(1).name, "bad_0_2");
+  // And the emitted names already match: a second trip is byte-stable.
+  ir::TransitionSystem rt2 = parse_aiger(write_aiger(rt), "rt2.aag");
+  EXPECT_EQ(rt2.property(0).name, "bad_0");
+  EXPECT_EQ(rt2.property(1).name, "bad_0_2");
 }
 
 // --- lemma-file name round-trip ---------------------------------------------
