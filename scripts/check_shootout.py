@@ -48,6 +48,12 @@ EXPECTED_VERDICTS = {
                      "portfolio": "proven"},
     "rotate_onehot": {"bmc": "unknown", "k-induction": "proven", "pdr": "proven",
                       "portfolio": "proven"},
+    # rol/ror and sdiv/srem/smod corpus designs (PR8): both carry 1-inductive
+    # properties, so every proving engine concludes and BMC cannot.
+    "rot_barrel": {"bmc": "unknown", "k-induction": "proven", "pdr": "proven",
+                   "portfolio": "proven"},
+    "sdiv_props": {"bmc": "unknown", "k-induction": "proven", "pdr": "proven",
+                   "portfolio": "proven"},
     "toggle_bad": {"bmc": "falsified", "k-induction": "falsified",
                    "pdr": "falsified", "portfolio": "falsified"},
     "toggle_cex": {"bmc": "falsified", "k-induction": "falsified",

@@ -28,7 +28,8 @@ struct FlowOptions {
   /// `target_engine` is Portfolio); mirrors EngineOptions::exchange.
   bool exchange = true;
   /// PDR worker shards for target proofs (and PDR portfolio members);
-  /// mirrors EngineOptions::pdr_workers. 1 = single-threaded PDR.
+  /// mirrors EngineOptions::pdr_workers. 1 = single-threaded PDR,
+  /// 0 = auto (mc::auto_pdr_workers resolves per design).
   std::size_t pdr_workers = 1;
   /// PDR ternary-simulation cube lifting for target proofs; mirrors
   /// EngineOptions::pdr_ternary_lifting.

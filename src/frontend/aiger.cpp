@@ -532,7 +532,7 @@ ir::TransitionSystem parse_aiger(std::string_view text, const std::string& filen
 
 ir::TransitionSystem read_aiger_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open AIGER file '" + path + "'");
+  if (!in) throw ParseError(path, "cannot open AIGER file");
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse_aiger(buffer.str(), path);

@@ -252,11 +252,8 @@ class Btor2Parser {
       fail("'" + std::string(tag) + "' properties are not supported "
            "(liveness is out of scope)");
     }
-    if (tag == "sdiv" || tag == "srem" || tag == "smod" || tag == "sdivo") {
-      fail("signed division ('" + std::string(tag) + "') is not supported");
-    }
-    if (tag == "rol" || tag == "ror") {
-      fail("rotates ('" + std::string(tag) + "') are not supported");
+    if (tag == "sdivo") {
+      fail("signed-division overflow ('sdivo') is not supported");
     }
     if (tag == "read" || tag == "write") {
       fail("array operations ('" + std::string(tag) + "') are not supported");
@@ -408,6 +405,66 @@ class Btor2Parser {
       return true;
     }
 
+    // Derived binary operators, lowered to the base IR instead of growing the
+    // Op enum: rotates via a complementary shift pair, signed div/rem/mod via
+    // their SMT-LIB definitional expansions over udiv/urem.
+    if (tag == "rol" || tag == "ror" || tag == "sdiv" || tag == "srem" ||
+        tag == "smod") {
+      need_args(tokens, 5, "<id> <op> <sort> <a> <b>");
+      const unsigned width = sort_width(tokens[2]);
+      ir::NodeRef a = operand(tokens[3]);
+      ir::NodeRef b = operand(tokens[4]);
+      if (a->width() != b->width()) {
+        fail("operand widths differ (" + std::to_string(a->width()) + " vs " +
+             std::to_string(b->width()) + ")");
+      }
+      const unsigned w = a->width();
+      ir::NodeRef result = nullptr;
+      if (tag == "rol" || tag == "ror") {
+        // Rotate by s = b mod w. The complementary shift amount w - s lies in
+        // [1, w]; shifts >= width fold to zero (fold.cpp / the bitblaster
+        // agree), so the s == 0 case degenerates correctly to the identity.
+        ir::NodeRef s = nm.mk_urem(b, nm.mk_const(w, w));
+        ir::NodeRef back = nm.mk_sub(nm.mk_const(w, w), s);
+        result = tag == "rol"
+                     ? nm.mk_or(nm.mk_shl(a, s), nm.mk_lshr(a, back))
+                     : nm.mk_or(nm.mk_lshr(a, s), nm.mk_shl(a, back));
+      } else {
+        // SMT-LIB bvsdiv / bvsrem / bvsmod. udiv/urem by zero follow the
+        // SMT-LIB totalization (all-ones / the dividend), which makes these
+        // expansions match the standard's division-by-zero cases too.
+        ir::NodeRef msb_a = nm.mk_bit(a, w - 1);
+        ir::NodeRef msb_b = nm.mk_bit(b, w - 1);
+        ir::NodeRef abs_a = nm.mk_ite(msb_a, nm.mk_neg(a), a);
+        ir::NodeRef abs_b = nm.mk_ite(msb_b, nm.mk_neg(b), b);
+        if (tag == "sdiv") {
+          // Quotient magnitude, negated exactly when the signs differ.
+          ir::NodeRef q = nm.mk_udiv(abs_a, abs_b);
+          result = nm.mk_ite(nm.mk_xor(msb_a, msb_b), nm.mk_neg(q), q);
+        } else if (tag == "srem") {
+          // Remainder takes the sign of the dividend.
+          ir::NodeRef r = nm.mk_urem(abs_a, abs_b);
+          result = nm.mk_ite(msb_a, nm.mk_neg(r), r);
+        } else {
+          // bvsmod: result takes the sign of the divisor.
+          ir::NodeRef u = nm.mk_urem(abs_a, abs_b);
+          ir::NodeRef zero = nm.mk_const(0, w);
+          ir::NodeRef pos_pos = nm.mk_and(nm.mk_not(msb_a), nm.mk_not(msb_b));
+          ir::NodeRef neg_pos = nm.mk_and(msb_a, nm.mk_not(msb_b));
+          ir::NodeRef pos_neg = nm.mk_and(nm.mk_not(msb_a), msb_b);
+          result = nm.mk_ite(
+              nm.mk_eq(u, zero), u,
+              nm.mk_ite(pos_pos, u,
+                        nm.mk_ite(neg_pos, nm.mk_add(nm.mk_neg(u), b),
+                                  nm.mk_ite(pos_neg, nm.mk_add(u, b),
+                                            nm.mk_neg(u)))));
+        }
+      }
+      check_width(result, width, "result");
+      define(id, result);
+      return true;
+    }
+
     if (tag == "ite") {
       need_args(tokens, 6, "<id> ite <sort> <cond> <then> <else>");
       const unsigned width = sort_width(tokens[2]);
@@ -502,7 +559,7 @@ ir::TransitionSystem parse_btor2(std::string_view text, const std::string& filen
 
 ir::TransitionSystem read_btor2_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open BTOR2 file '" + path + "'");
+  if (!in) throw ParseError(path, "cannot open BTOR2 file");
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse_btor2(buffer.str(), path);

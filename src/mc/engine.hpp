@@ -60,7 +60,9 @@ struct EngineOptions {
   /// 1 (the default) is the single-threaded engine, bit for bit; n > 1 runs
   /// n query contexts over private system clones sharing one frame database
   /// — verdicts are unchanged, wall-clock and frame trajectory are not.
-  /// Other engines ignore the knob.
+  /// 0 = auto: resolved per design via auto_pdr_workers(), which keeps small
+  /// designs sequential (thread + clone + solver setup dominates their whole
+  /// solve) and shards the rest. Other engines ignore the knob.
   std::size_t pdr_workers = 1;
   /// PDR only: rebuild a query context's transition solver in place after it
   /// has retired this many one-shot activation gates (query litter). 0 (the
@@ -189,6 +191,14 @@ class Engine {
 /// among its own members.
 std::unique_ptr<Engine> make_engine(EngineKind kind, const ir::TransitionSystem& ts,
                                     const EngineOptions& options = {});
+
+/// Resolve `pdr_workers == 0` (auto) for `ts`: 1 for small designs — their
+/// whole solve is cheaper than spawning shard threads and cloning solver
+/// contexts (BENCH_PR5: w=4 on sync_counters regresses 2.4 ms -> 5.2 ms) —
+/// otherwise a small shard count capped by hardware concurrency. The size
+/// estimate is deliberately crude (word-level node count); the verdict never
+/// depends on the answer, only wall-clock does.
+std::size_t auto_pdr_workers(const ir::TransitionSystem& ts) noexcept;
 
 struct KInductionOptions;
 

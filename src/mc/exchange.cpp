@@ -40,7 +40,7 @@ void LemmaMailbox::publish(std::size_t member, ExchangedClause clause) {
   GENFV_ASSERT(member < members_, "mailbox slot out of range");
   if (util::telemetry_on()) published_counter().increment();
   GENFV_TRACE_INSTANT("exchange", "publish");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   entries_.push_back({std::move(clause), member});
   ++counters_[member].published;
 }
@@ -51,7 +51,7 @@ void LemmaMailbox::publish_batch(std::size_t member,
   if (clauses.empty()) return;
   if (util::telemetry_on()) published_counter().add(clauses.size());
   GENFV_TRACE_INSTANT("exchange", "publish_batch");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (ExchangedClause& clause : clauses) {
     entries_.push_back({std::move(clause), member});
     ++counters_[member].published;
@@ -62,7 +62,7 @@ std::vector<ExchangedClause> LemmaMailbox::fetch(std::size_t member,
                                                  std::size_t* cursor) const {
   GENFV_ASSERT(member < members_, "mailbox slot out of range");
   GENFV_ASSERT(cursor != nullptr, "fetch needs a caller-owned cursor");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<ExchangedClause> out;
   for (std::size_t i = *cursor; i < entries_.size(); ++i) {
     if (entries_[i].publisher != member) out.push_back(entries_[i].clause);
@@ -75,24 +75,24 @@ void LemmaMailbox::note_absorbed(std::size_t member, std::size_t count) {
   GENFV_ASSERT(member < members_, "mailbox slot out of range");
   if (count == 0) return;
   if (util::telemetry_on()) absorbed_counter().add(count);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   counters_[member].absorbed += count;
 }
 
 std::size_t LemmaMailbox::published_by(std::size_t member) const {
   GENFV_ASSERT(member < members_, "mailbox slot out of range");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return counters_[member].published;
 }
 
 std::size_t LemmaMailbox::absorbed_by(std::size_t member) const {
   GENFV_ASSERT(member < members_, "mailbox slot out of range");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return counters_[member].absorbed;
 }
 
 std::size_t LemmaMailbox::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -40,12 +40,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "ir/transition_system.hpp"
+#include "util/thread_safety.hpp"
 
 namespace genfv::mc {
 
@@ -170,9 +170,9 @@ class LemmaMailbox {
   };
 
   const std::size_t members_;
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
-  std::vector<Counters> counters_;
+  mutable util::Mutex mu_{"mc.mailbox"};
+  std::vector<Entry> entries_ GENFV_GUARDED_BY(mu_);
+  std::vector<Counters> counters_ GENFV_GUARDED_BY(mu_);
 };
 
 }  // namespace genfv::mc

@@ -1,13 +1,12 @@
 #include "mc/pdr/blocking.hpp"
 
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <thread>
 
 #include "mc/pdr/generalize.hpp"
 #include "util/status.hpp"
 #include "util/telemetry.hpp"
+#include "util/thread_safety.hpp"
 
 namespace genfv::mc::pdr {
 
@@ -177,12 +176,14 @@ BlockOutcome strengthen_sequential(QueryContext& ctx, FrameDb& db,
 /// what they need out of the arena before unlocking).
 struct ShardState {
   enum class Phase { Running, Cex, Budget };
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t in_flight = 0;     ///< obligations popped but not yet resolved
-  bool frontier_clean = false;   ///< worker 0 certified SAT(F_N ∧ ¬P) empty
-  Phase phase = Phase::Running;
-  std::size_t cex_index = 0;
+  util::Mutex mu{"pdr.shard"};
+  util::CondVar cv;
+  /// Obligations popped but not yet resolved.
+  std::size_t in_flight GENFV_GUARDED_BY(mu) = 0;
+  /// Worker 0 certified SAT(F_N ∧ ¬P) empty.
+  bool frontier_clean GENFV_GUARDED_BY(mu) = false;
+  Phase phase GENFV_GUARDED_BY(mu) = Phase::Running;
+  std::size_t cex_index GENFV_GUARDED_BY(mu) = 0;
 };
 
 /// One worker of the sharded phase. Worker 0 (the caller's thread) doubles
@@ -197,13 +198,16 @@ void shard_worker(std::size_t worker, QueryContext& ctx, FrameDb& db,
     util::set_trace_thread_name("pdr-worker-" + std::to_string(worker));
   }
   GENFV_TRACE_SPAN("pdr", "shard_worker");
-  std::unique_lock<std::mutex> lock(st.mu);
+  util::MutexLock lock(st.mu);
   for (;;) {
-    st.cv.wait(lock, [&] {
-      return st.phase != ShardState::Phase::Running || !queue.empty() ||
+    // Explicit wait loop rather than the predicate-lambda overload: clang's
+    // thread-safety analysis cannot look into a predicate lambda, but it
+    // checks these guarded reads directly.
+    while (!(st.phase != ShardState::Phase::Running || !queue.empty() ||
              (st.frontier_clean && st.in_flight == 0) ||
-             (worker == 0 && !st.frontier_clean && st.in_flight == 0);
-    });
+             (worker == 0 && !st.frontier_clean && st.in_flight == 0))) {
+      st.cv.wait(st.mu);
+    }
     if (st.phase != ShardState::Phase::Running) return;
     if (st.frontier_clean && queue.empty() && st.in_flight == 0) {
       st.cv.notify_all();
@@ -221,7 +225,7 @@ void shard_worker(std::size_t worker, QueryContext& ctx, FrameDb& db,
       const std::size_t level = queue.at(index).level;
       GENFV_ASSERT(level >= 1, "level-0 obligations are counterexamples at creation");
       ++st.in_flight;
-      lock.unlock();
+      lock.Unlock();
 
       // Solver work with no lock held; queue mutations re-applied under the
       // lock afterwards. `frontier` is phase-constant (push_level only runs
@@ -229,7 +233,7 @@ void shard_worker(std::size_t worker, QueryContext& ctx, FrameDb& db,
       // drain's live db.frontier() reads.
       BlockStep step = block_one(ctx, db, options, cube, level, frontier, index);
 
-      lock.lock();
+      lock.Lock();
       --st.in_flight;
       if (st.phase == ShardState::Phase::Running) {
         if (step.budget) {
@@ -255,7 +259,7 @@ void shard_worker(std::size_t worker, QueryContext& ctx, FrameDb& db,
 
     // Worker 0, queue drained, nothing in flight: enumerate the next
     // frontier bad state or certify the frontier clean.
-    lock.unlock();
+    lock.Unlock();
     bool budget = ctx.stopped();
     bool clean = false;
     std::optional<Obligation> bad;
@@ -281,7 +285,7 @@ void shard_worker(std::size_t worker, QueryContext& ctx, FrameDb& db,
         }
       }
     }
-    lock.lock();
+    lock.Lock();
     if (st.phase == ShardState::Phase::Running) {
       if (budget) {
         st.phase = ShardState::Phase::Budget;

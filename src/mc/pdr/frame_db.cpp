@@ -4,41 +4,32 @@
 
 #include "mc/exchange.hpp"
 #include "util/status.hpp"
-#include "util/telemetry.hpp"
 
 namespace genfv::mc::pdr {
 
-FrameDb::FrameDb() { levels_.emplace_back(); }
-
-std::unique_lock<std::mutex> FrameDb::lock_timed() const {
-  if (!util::telemetry_on()) return std::unique_lock<std::mutex>(mu_);
-  static util::Counter& wait_ns = util::metrics().counter("pdr.framedb_mutex_wait_ns");
-  static util::Counter& locks = util::metrics().counter("pdr.framedb_mutex_locks");
-  const std::uint64_t t0 = util::telemetry_now_ns();
-  std::unique_lock<std::mutex> lock(mu_);
-  wait_ns.add(util::telemetry_now_ns() - t0);
-  locks.increment();
-  return lock;
+FrameDb::FrameDb() {
+  util::MutexLock lock(mu_);
+  levels_.emplace_back();
 }
 
 std::size_t FrameDb::levels() const {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   return levels_.size();
 }
 
 std::size_t FrameDb::frontier() const {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   return levels_.size() - 1;
 }
 
 void FrameDb::push_level() {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   levels_.emplace_back();
   journal_.push_back({Event::Kind::PushLevel, {}, levels_.size() - 1});
 }
 
 void FrameDb::add_blocked(Cube cube, std::size_t level) {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   GENFV_ASSERT(level >= 1 && level < levels_.size(), "cubes live at levels 1..N");
   // The new clause subsumes any weaker clause it implies at this level or
   // below; drop those from the bookkeeping (their mirrored solver clauses
@@ -51,7 +42,7 @@ void FrameDb::add_blocked(Cube cube, std::size_t level) {
 }
 
 bool FrameDb::is_blocked(const Cube& cube, std::size_t level) const {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   for (std::size_t i = level; i < levels_.size(); ++i) {
     for (const Cube& blocked : levels_[i]) {
       if (subsumes(blocked, cube)) return true;
@@ -61,7 +52,7 @@ bool FrameDb::is_blocked(const Cube& cube, std::size_t level) const {
 }
 
 void FrameDb::graduate(const Cube& cube, std::size_t level) {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   GENFV_ASSERT(level >= 1 && level < levels_.size(), "graduation from levels 1..N");
   std::erase_if(levels_[level], [&](const Cube& old) { return old == cube; });
   infinity_.push_back(cube);
@@ -69,13 +60,13 @@ void FrameDb::graduate(const Cube& cube, std::size_t level) {
 }
 
 void FrameDb::add_infinity(Cube cube) {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   infinity_.push_back(cube);
   journal_.push_back({Event::Kind::Graduate, std::move(cube), kInfinityLevel});
 }
 
 std::optional<std::size_t> FrameDb::seed_may(Cube cube) {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   // Keyed on the same encoder as the mailbox AbsorbFilter (exchange_key), so
   // the two dedupe layers can never disagree on what "the same clause" is.
   // kInfinityLevel stands in for "level-less": may clauses carry no bound.
@@ -89,7 +80,7 @@ std::optional<std::size_t> FrameDb::seed_may(Cube cube) {
 }
 
 bool FrameDb::remove_may(std::size_t id, std::size_t* counter) {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   const auto before = may_.size();
   std::erase_if(may_, [&](const MayClause& m) { return m.id == id; });
   if (may_.size() == before) return false;
@@ -105,57 +96,57 @@ bool FrameDb::retract_may(std::size_t id) { return remove_may(id, &may_retracted
 bool FrameDb::graduate_may(std::size_t id) { return remove_may(id, &may_graduated_); }
 
 void FrameDb::mark_may_init_ok(std::size_t id) {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   for (MayClause& m : may_) {
     if (m.id == id) m.init_ok = true;
   }
 }
 
 std::vector<FrameDb::MayClause> FrameDb::may_clauses() const {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   return may_;
 }
 
 std::size_t FrameDb::may_seeded() const {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   return next_may_id_;
 }
 
 std::size_t FrameDb::may_graduated() const {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   return may_graduated_;
 }
 
 std::size_t FrameDb::may_retracted() const {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   return may_retracted_;
 }
 
 std::vector<Cube> FrameDb::cubes_at(std::size_t level) const {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   GENFV_ASSERT(level < levels_.size(), "frame level out of range");
   return levels_[level];
 }
 
 std::vector<Cube> FrameDb::infinity() const {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   return infinity_;
 }
 
 std::size_t FrameDb::total_cubes() const {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& level : levels_) n += level.size();
   return n;
 }
 
 std::size_t FrameDb::epoch() const {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   return journal_.size();
 }
 
 std::size_t FrameDb::events_since(std::size_t from, std::vector<Event>* out) const {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   GENFV_ASSERT(out != nullptr, "events_since needs an output vector");
   GENFV_ASSERT(from <= journal_.size(), "epoch from the future");
   out->insert(out->end(), journal_.begin() + static_cast<std::ptrdiff_t>(from),
@@ -164,7 +155,7 @@ std::size_t FrameDb::events_since(std::size_t from, std::vector<Event>* out) con
 }
 
 FrameDb::Snapshot FrameDb::snapshot() const {
-  auto lock = lock_timed();
+  util::MutexLock lock(mu_);
   return {levels_, infinity_, may_, journal_.size()};
 }
 

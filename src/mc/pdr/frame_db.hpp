@@ -28,13 +28,13 @@
 
 #include <cstddef>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "mc/pdr/cube.hpp"
+#include "util/thread_safety.hpp"
 
 namespace genfv::mc::pdr {
 
@@ -158,25 +158,34 @@ class FrameDb {
 
   Snapshot snapshot() const;
 
+#if defined(GENFV_TSA_NEGATIVE_TEST)
+  /// Negative-compile probe (scripts/check_thread_safety.sh): reads a
+  /// guarded field without taking mu_. MUST fail to compile under
+  /// -Werror=thread-safety — if it ever compiles, the annotation coverage
+  /// has rotted and the whole clang leg is vacuous. Never defined in real
+  /// builds.
+  std::size_t tsa_probe_unguarded() const { return levels_.size(); }
+#endif
+
  private:
   /// Shared body of retract_may/graduate_may: erase, bump `counter`,
   /// journal a RetractMay (mirrors handle both cases identically).
-  bool remove_may(std::size_t id, std::size_t* counter);
+  bool remove_may(std::size_t id, std::size_t* counter) GENFV_EXCLUDES(mu_);
 
-  /// Acquire `mu_`, attributing any wait to `pdr.framedb_mutex_wait_ns` when
-  /// telemetry is on. The one-mutex design was flagged as a contention risk
-  /// when sharded PDR landed; this makes the actual cost measurable.
-  std::unique_lock<std::mutex> lock_timed() const;
-
-  mutable std::mutex mu_;
-  std::vector<std::vector<Cube>> levels_;  ///< blocked cubes, delta-encoded
-  std::vector<Cube> infinity_;
-  std::vector<MayClause> may_;                    ///< live candidates
-  std::unordered_set<std::string> may_keys_;      ///< ever-seeded dedupe keys
-  std::size_t next_may_id_ = 0;
-  std::size_t may_graduated_ = 0;
-  std::size_t may_retracted_ = 0;
-  std::vector<Event> journal_;
+  /// The named mutex subsumes the old lock_timed(): util::Mutex attributes
+  /// lock waits to `pdr.framedb_mutex_wait_ns` / `pdr.framedb_mutex_locks`
+  /// whenever telemetry is on. The one-mutex design was flagged as a
+  /// contention risk when sharded PDR landed; the counters keep the actual
+  /// cost measurable.
+  mutable util::Mutex mu_{"pdr.framedb"};
+  std::vector<std::vector<Cube>> levels_ GENFV_GUARDED_BY(mu_);  ///< delta-encoded
+  std::vector<Cube> infinity_ GENFV_GUARDED_BY(mu_);
+  std::vector<MayClause> may_ GENFV_GUARDED_BY(mu_);              ///< live candidates
+  std::unordered_set<std::string> may_keys_ GENFV_GUARDED_BY(mu_);  ///< ever-seeded keys
+  std::size_t next_may_id_ GENFV_GUARDED_BY(mu_) = 0;
+  std::size_t may_graduated_ GENFV_GUARDED_BY(mu_) = 0;
+  std::size_t may_retracted_ GENFV_GUARDED_BY(mu_) = 0;
+  std::vector<Event> journal_ GENFV_GUARDED_BY(mu_);
 };
 
 }  // namespace genfv::mc::pdr

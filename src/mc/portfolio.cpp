@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -11,6 +9,7 @@
 #include "util/status.hpp"
 #include "util/stopwatch.hpp"
 #include "util/telemetry.hpp"
+#include "util/thread_safety.hpp"
 
 namespace genfv::mc {
 
@@ -128,12 +127,20 @@ EngineResult PortfolioEngine::run_threaded(const std::vector<ir::NodeRef>& prope
   const std::shared_ptr<LemmaMailbox> mailbox =
       options_.exchange && n > 1 ? std::make_shared<LemmaMailbox>(n) : nullptr;
   auto cancel = std::make_shared<std::atomic<bool>>(false);
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t done = 0;
-  std::ptrdiff_t winner = -1;
-  std::vector<EngineResult> results(n);
-  std::vector<std::string> notes(n);
+  struct RaceState {
+    explicit RaceState(std::size_t members) {
+      util::MutexLock lock(mu);
+      results.resize(members);
+      notes.resize(members);
+    }
+    util::Mutex mu{"mc.portfolio"};
+    util::CondVar cv;
+    std::size_t done GENFV_GUARDED_BY(mu) = 0;
+    std::ptrdiff_t winner GENFV_GUARDED_BY(mu) = -1;
+    std::vector<EngineResult> results GENFV_GUARDED_BY(mu);
+    std::vector<std::string> notes GENFV_GUARDED_BY(mu);
+  };
+  RaceState race(n);
 
   std::vector<std::thread> workers;
   workers.reserve(n);
@@ -159,32 +166,44 @@ EngineResult PortfolioEngine::run_threaded(const std::vector<ir::NodeRef>& prope
         // resource failures like std::bad_alloc from a deep unrolling.
         note = e.what();
       }
-      std::lock_guard<std::mutex> lock(mu);
-      results[i] = std::move(r);
-      notes[i] = std::move(note);
-      if (conclusive(results[i].verdict) && winner < 0) {
-        winner = static_cast<std::ptrdiff_t>(i);
+      util::MutexLock lock(race.mu);
+      race.results[i] = std::move(r);
+      race.notes[i] = std::move(note);
+      if (conclusive(race.results[i].verdict) && race.winner < 0) {
+        race.winner = static_cast<std::ptrdiff_t>(i);
         cancel->store(true, std::memory_order_relaxed);
         GENFV_TRACE_INSTANT("portfolio", "winner");
       }
-      ++done;
-      cv.notify_all();
+      ++race.done;
+      race.cv.notify_all();
     });
   }
 
   // Wait for everyone (losers exit quickly once `cancel` is up), forwarding
   // an external cancellation request into the members' flag.
   {
-    std::unique_lock<std::mutex> lock(mu);
-    while (done < n) {
+    util::MutexLock lock(race.mu);
+    while (race.done < n) {
       if (options_.stop != nullptr &&
           options_.stop->load(std::memory_order_relaxed)) {
         cancel->store(true, std::memory_order_relaxed);
       }
-      cv.wait_for(lock, std::chrono::milliseconds(10));
+      race.cv.wait_for(race.mu, std::chrono::milliseconds(10));
     }
   }
   for (std::thread& t : workers) t.join();
+
+  // Every worker has joined; move the race outputs into locals so the merge
+  // below reads plain single-threaded data (and needs no lock).
+  std::vector<EngineResult> results;
+  std::vector<std::string> notes;
+  std::ptrdiff_t winner = -1;
+  {
+    util::MutexLock lock(race.mu);
+    results = std::move(race.results);
+    notes = std::move(race.notes);
+    winner = race.winner;
+  }
 
   // Merge — single-threaded again, so translating back into the original
   // system's NodeManager is safe.

@@ -1,5 +1,6 @@
 #include "sat/solver_pool.hpp"
 
+#include "util/lock_order.hpp"
 #include "util/status.hpp"
 #include "util/telemetry.hpp"
 
@@ -32,12 +33,16 @@ const Solver& SolverPool::at(std::size_t handle) const {
 Solver& SolverPool::rebuild(std::size_t handle) {
   GENFV_ASSERT(handle < solvers_.size(), "solver handle out of range");
   GENFV_TRACE_SPAN("sat", "pool_rebuild");
+  // Rebuild invalidates the handle's solver and takes the accumulator lock;
+  // entering it with any engine mutex held risks deadlock and mid-swap
+  // observation. Debug lockdep records a hazard if that ever happens.
+  util::lockdep::check_no_locks_held("sat::SolverPool::rebuild");
   if (util::telemetry_on()) {
     static util::Counter& rebuilds = util::metrics().counter("sat.pool_rebuilds");
     rebuilds.increment();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     retired_ += solvers_[handle]->stats();
     ++rebuilds_;
   }
@@ -46,12 +51,12 @@ Solver& SolverPool::rebuild(std::size_t handle) {
 }
 
 std::uint64_t SolverPool::rebuilds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return rebuilds_;
 }
 
 SolverStats SolverPool::total_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   SolverStats total = retired_;
   for (const auto& solver : solvers_) total += solver->stats();
   return total;

@@ -28,10 +28,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "sat/solver.hpp"
+#include "util/thread_safety.hpp"
 
 namespace genfv::sat {
 
@@ -84,9 +84,9 @@ class SolverPool {
   std::vector<std::unique_ptr<Solver>> solvers_;
   /// Guards the cross-handle accumulators below (several workers may retire
   /// their solvers concurrently); per-handle solver access is unguarded.
-  mutable std::mutex mu_;
-  SolverStats retired_;
-  std::uint64_t rebuilds_ = 0;
+  mutable util::Mutex mu_{"sat.solver_pool"};
+  SolverStats retired_ GENFV_GUARDED_BY(mu_);
+  std::uint64_t rebuilds_ GENFV_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace genfv::sat

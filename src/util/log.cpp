@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
 #include "util/telemetry.hpp"
+#include "util/thread_safety.hpp"
 
 namespace genfv::util {
 
@@ -13,8 +13,8 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 
 // Serializes emission so concurrent portfolio/PDR workers never interleave
 // partial lines on stderr.
-std::mutex& emit_mutex() {
-  static std::mutex* mu = new std::mutex();  // immortal
+Mutex& emit_mutex() {
+  static Mutex* mu = new Mutex("log.emit");  // immortal
   return *mu;
 }
 
@@ -45,7 +45,7 @@ void log_line(LogLevel level, const std::string& component, const std::string& m
   // tid, so a log line correlates directly with spans in a trace file.
   const double seconds = static_cast<double>(telemetry_now_ns()) / 1e9;
   const int tid = telemetry_thread_id();
-  std::lock_guard<std::mutex> lock(emit_mutex());
+  MutexLock lock(emit_mutex());
   std::fprintf(stderr, "[%10.3f][T%02d][%s][%s] %s\n", seconds, tid, level_tag(level),
                component.c_str(), message.c_str());
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <new>
 #include <sstream>
 
@@ -36,6 +37,58 @@ int telemetry_thread_id() noexcept {
   static std::atomic<int> next{0};
   thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
+}
+
+// ---------------------------------------------------------------------------
+// Mutex bridge (declared in thread_safety.hpp, which cannot include us)
+// ---------------------------------------------------------------------------
+
+bool telemetry_on_for_mutex() noexcept { return telemetry_on(); }
+
+std::uint64_t mutex_now_ns() noexcept { return telemetry_now_ns(); }
+
+void mutex_contention_record(const char* name, std::uint64_t wait_ns) noexcept {
+  // Lock-free name -> counters cache so a named Mutex's hot path never takes
+  // the registry lock after first use. Slots are claimed by CAS; racers for
+  // the same name converge on the same Counter objects because the registry
+  // dedupes by name string. Deliberately mutex-free: this runs *inside*
+  // Mutex::lock(), so taking any instrumented lock here would nest under
+  // every named mutex in the process.
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<Counter*> wait{nullptr};
+    std::atomic<Counter*> locks{nullptr};
+  };
+  static constexpr std::size_t kSlots = 32;
+  static Slot slots[kSlots];
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    Slot& s = slots[i];
+    const char* cur = s.name.load(std::memory_order_acquire);
+    if (cur == nullptr) {
+      const char* expected = nullptr;
+      if (s.name.compare_exchange_strong(expected, name, std::memory_order_acq_rel)) {
+        cur = name;
+      } else {
+        cur = expected;  // another thread claimed this slot first
+      }
+    }
+    if (cur == name || std::strcmp(cur, name) == 0) {
+      Counter* w = s.wait.load(std::memory_order_acquire);
+      Counter* l = s.locks.load(std::memory_order_acquire);
+      if (w == nullptr || l == nullptr) {
+        w = &metrics().counter(std::string(name) + "_mutex_wait_ns");
+        l = &metrics().counter(std::string(name) + "_mutex_locks");
+        s.wait.store(w, std::memory_order_release);
+        s.locks.store(l, std::memory_order_release);
+      }
+      w->add(wait_ns);
+      l->increment();
+      return;
+    }
+  }
+  // More than kSlots distinct named mutex classes: fall back to the registry.
+  metrics().counter(std::string(name) + "_mutex_wait_ns").add(wait_ns);
+  metrics().counter(std::string(name) + "_mutex_locks").increment();
 }
 
 // ---------------------------------------------------------------------------
@@ -125,9 +178,9 @@ class ThreadTraceBuffer {
 /// registered lazily on a thread's first recorded event and are kept alive
 /// past thread exit so late export still sees their events.
 struct TraceRegistry {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
-  std::map<int, std::string> thread_names;
+  Mutex mu{"telemetry.trace"};
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers GENFV_GUARDED_BY(mu);
+  std::map<int, std::string> thread_names GENFV_GUARDED_BY(mu);
 
   static TraceRegistry& get() {
     static TraceRegistry* r = new TraceRegistry();  // immortal
@@ -139,7 +192,7 @@ ThreadTraceBuffer& local_buffer() {
   thread_local std::shared_ptr<ThreadTraceBuffer> buf = [] {
     auto b = std::make_shared<ThreadTraceBuffer>(telemetry_thread_id());
     TraceRegistry& reg = TraceRegistry::get();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     reg.buffers.push_back(b);
     return b;
   }();
@@ -172,7 +225,7 @@ std::string json_escape(const std::string& s) {
 
 void set_trace_thread_name(const std::string& name) {
   TraceRegistry& reg = TraceRegistry::get();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   reg.thread_names[telemetry_thread_id()] = name;
 }
 
@@ -189,7 +242,7 @@ std::vector<TraceEventView> trace_snapshot() {
   TraceRegistry& reg = TraceRegistry::get();
   std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     buffers = reg.buffers;
   }
   std::stable_sort(buffers.begin(), buffers.end(),
@@ -201,13 +254,13 @@ std::vector<TraceEventView> trace_snapshot() {
 
 std::size_t trace_registered_threads() {
   TraceRegistry& reg = TraceRegistry::get();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   return reg.buffers.size();
 }
 
 std::uint64_t trace_dropped_events() {
   TraceRegistry& reg = TraceRegistry::get();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   std::uint64_t total = 0;
   for (const auto& b : reg.buffers) total += b->dropped();
   return total;
@@ -218,7 +271,7 @@ std::string trace_to_json() {
   std::map<int, std::string> names;
   {
     TraceRegistry& reg = TraceRegistry::get();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     names = reg.thread_names;
   }
   std::ostringstream os;
@@ -271,7 +324,7 @@ bool write_trace_json(const std::string& path) {
 
 void trace_reset() {
   TraceRegistry& reg = TraceRegistry::get();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (auto& b : reg.buffers) b->clear();
   reg.thread_names.clear();
 }
@@ -320,14 +373,14 @@ MetricsRegistry& MetricsRegistry::global() {
 MetricsRegistry& metrics() { return MetricsRegistry::global(); }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -335,14 +388,14 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name, std::uint64_t first_bound,
                                       std::size_t buckets) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(first_bound, buckets);
   return *slot;
 }
 
 std::map<std::string, std::int64_t> MetricsRegistry::snapshot_values() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, std::int64_t> out;
   for (const auto& [name, c] : counters_) out[name] = static_cast<std::int64_t>(c->value());
   for (const auto& [name, g] : gauges_) out[name] = g->value();
@@ -355,7 +408,7 @@ std::map<std::string, std::int64_t> MetricsRegistry::snapshot_values() const {
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   os << "{\"counters\":{";
   bool first = true;
@@ -397,7 +450,7 @@ std::string MetricsRegistry::to_json() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
@@ -428,7 +481,7 @@ Heartbeat::~Heartbeat() { stop(); }
 
 void Heartbeat::stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_ && !thread_.joinable()) return;
     stop_ = true;
   }
@@ -441,14 +494,23 @@ void Heartbeat::run(double interval_seconds) {
   const auto interval =
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(interval_seconds < 0.001 ? 0.001 : interval_seconds));
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_) {
-    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
-    lock.unlock();
+  // Explicit wait loop (not the predicate-lambda overload): clang's
+  // thread-safety analysis cannot see into a predicate lambda, but it checks
+  // the guarded stop_ reads here directly.
+  MutexLock lock(mu_);
+  for (;;) {
+    if (stop_) break;
+    if (cv_.wait_for(mu_, interval)) {
+      // Notified (stop()) or spurious wakeup — re-check stop_ before another
+      // full interval; a rare spurious wakeup merely delays one beat.
+      continue;
+    }
+    if (stop_) break;
+    lock.Unlock();
     std::string line;
     if (status_) line = status_();
     if (!line.empty()) log_line(LogLevel::Info, "progress", line);
-    lock.lock();
+    lock.Lock();
   }
 }
 

@@ -29,15 +29,15 @@
 /// `util/log.cpp`, so log lines correlate with trace spans.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace genfv::util {
 
@@ -249,10 +249,13 @@ class MetricsRegistry {
 
  private:
   MetricsRegistry() = default;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Deliberately unnamed: a named Mutex records contention through
+  // mutex_contention_record(), which resolves counters through *this*
+  // registry — naming mu_ would recurse into its own lock.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GENFV_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GENFV_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GENFV_GUARDED_BY(mu_);
 };
 
 /// Shorthand for MetricsRegistry::global().
@@ -305,10 +308,10 @@ class Heartbeat {
   void run(double interval_seconds);
 
   StatusFn status_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::thread thread_;
+  Mutex mu_{"telemetry.heartbeat"};
+  CondVar cv_;
+  bool stop_ GENFV_GUARDED_BY(mu_) = false;
+  std::thread thread_;  // joined only by stop(); not guarded
 };
 
 /// Stateful status-line builder for the heartbeat: reads the global metrics

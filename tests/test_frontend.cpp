@@ -81,6 +81,8 @@ TEST(FrontendCorpus, GoldenCountsAndVerdicts) {
       {"counter_wrap.btor2", 0, 1, 1, mc::Verdict::Unknown, mc::Verdict::Proven},
       {"toggle_bad.btor2", 0, 1, 1, mc::Verdict::Falsified, mc::Verdict::Falsified},
       {"rotate_onehot.btor2", 0, 1, 2, mc::Verdict::Unknown, mc::Verdict::Proven},
+      {"rot_barrel.btor2", 0, 2, 2, mc::Verdict::Unknown, mc::Verdict::Proven},
+      {"sdiv_props.btor2", 1, 1, 2, mc::Verdict::Unknown, mc::Verdict::Proven},
   };
   for (const GoldenRow& row : rows) {
     SCOPED_TRACE(row.file);
@@ -235,8 +237,16 @@ TEST(FrontendErrors, Btor2MalformedTable) {
        "widths differ"},
       {"justice", "1 sort bitvec 1\n2 input 1\n3 justice 1 2\n",
        "not supported"},
-      {"signed division", "1 sort bitvec 4\n2 one 1\n3 sdiv 1 2 2\n",
+      {"signed division overflow", "1 sort bitvec 4\n2 one 1\n3 sdivo 1 2 2\n",
        "not supported"},
+      {"rotate width mismatch",
+       "1 sort bitvec 4\n2 sort bitvec 2\n3 zero 1\n4 zero 2\n5 rol 1 3 4\n",
+       "widths differ"},
+      {"smod width mismatch",
+       "1 sort bitvec 4\n2 sort bitvec 2\n3 zero 1\n4 zero 2\n5 smod 1 3 4\n",
+       "widths differ"},
+      {"sdiv missing operand", "1 sort bitvec 4\n2 one 1\n3 sdiv 1 2\n",
+       "<id> <op> <sort> <a> <b>"},
       {"binary constant wrong length", "1 sort bitvec 4\n2 const 1 101\n",
        "sort is 4 bits"},
       {"constant overflow", "1 sort bitvec 3\n2 constd 1 9\n",

@@ -453,6 +453,28 @@ TEST(PdrSharding, SingleWorkerIsDeterministicRunToRun) {
   }
 }
 
+TEST(PdrSharding, AutoWorkersKeepsSmallDesignsSequential) {
+  // pdr_workers == 0 resolves per design: sync_counters (the BENCH_PR5
+  // sharding-regression case) sits under the node threshold and must stay
+  // sequential on any machine; larger designs resolve to a hardware-capped
+  // shard count that is always a legal worker count.
+  auto small = designs::make_task("sync_counters");
+  EXPECT_EQ(mc::auto_pdr_workers(small.ts), 1u);
+
+  auto larger = designs::make_task("updown_pair");
+  const std::size_t resolved = mc::auto_pdr_workers(larger.ts);
+  EXPECT_GE(resolved, 1u);
+  EXPECT_LE(resolved, 4u);
+
+  // The adapter seam accepts the sentinel end to end: verdicts are worker-
+  // invariant, so an auto run must agree with the pinned expectation.
+  mc::EngineOptions options;
+  options.max_steps = 12;
+  options.pdr_workers = 0;
+  auto engine = mc::make_engine(mc::EngineKind::Pdr, small.ts, options);
+  EXPECT_EQ(engine->prove_all(small.target_exprs()).verdict, Verdict::Unknown);
+}
+
 TEST(PdrSharding, MultiWorkerAgreesOnRegistryVerdicts) {
   // workers > 1 perturbs the frame trajectory (SAT models differ across
   // interleavings) but can never flip a verdict; depths may shift.

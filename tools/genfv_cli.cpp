@@ -24,9 +24,11 @@
 ///   --exchange on|off                live lemma exchange between portfolio
 ///                                    members (default: on; no effect on
 ///                                    single engines)
-///   --pdr-workers <n>                PDR worker shards for obligation
+///   --pdr-workers <n>|auto           PDR worker shards for obligation
 ///                                    blocking / clause propagation
-///                                    (default: 1 = single-threaded PDR)
+///                                    (default: auto — small designs stay on
+///                                    the single-threaded engine, larger ones
+///                                    shard; 1 forces single-threaded PDR)
 ///   --pdr-ternary on|off             PDR ternary-simulation cube lifting:
 ///                                    shrink extracted cubes before
 ///                                    generalization (default: off)
@@ -95,7 +97,7 @@ struct CliOptions {
   std::string flow = "cex";
   mc::EngineKind engine = mc::EngineKind::KInduction;
   bool exchange = true;
-  std::size_t pdr_workers = 1;
+  std::size_t pdr_workers = 0;  ///< 0 = auto (mc::auto_pdr_workers per design)
   bool pdr_ternary = false;
   bool seed_candidates = false;
   std::string model = "gpt-4o";
@@ -123,7 +125,7 @@ struct CliOptions {
                "  genfv_cli demo <design> [options]\n"
                "  genfv_cli designs | models\n"
                "options: --flow cex|helper|direct|plain  --engine bmc|kind|pdr|portfolio\n"
-               "         --exchange on|off  --pdr-workers <n>  --pdr-ternary on|off\n"
+               "         --exchange on|off  --pdr-workers <n>|auto  --pdr-ternary on|off\n"
                "         --seed-candidates on|off\n"
                "         --emit-lemmas <file>  --use-lemmas <file>\n"
                "         --model <name>  --seed <n>  --max-k <n>  --no-screen\n"
@@ -203,8 +205,14 @@ CliOptions parse_args(int argc, char** argv) {
       else usage("--exchange takes 'on' or 'off'");
     }
     else if (arg == "--pdr-workers") {
-      opts.pdr_workers = std::stoull(need_value("--pdr-workers"));
-      if (opts.pdr_workers == 0) usage("--pdr-workers requires at least one worker");
+      const std::string value = need_value("--pdr-workers");
+      if (value == "auto") opts.pdr_workers = 0;
+      else {
+        opts.pdr_workers = std::stoull(value);
+        if (opts.pdr_workers == 0) {
+          usage("--pdr-workers takes a worker count >= 1 or 'auto'");
+        }
+      }
     }
     else if (arg == "--pdr-ternary") {
       const std::string value = need_value("--pdr-ternary");
