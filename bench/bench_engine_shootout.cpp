@@ -37,10 +37,14 @@ namespace {
 constexpr std::size_t kMaxSteps = 12;
 
 /// A shootout row source: a zoo design (empty path) or a standard-format
-/// file loaded through the frontends.
+/// file loaded through the frontends. `max_steps` is the per-design step
+/// budget — kMaxSteps unless the design needs a smaller bound to keep the
+/// matrix affordable (deep unrollings of wide datapaths explode long before
+/// the budget adds information).
 struct DesignSource {
   std::string name;
   std::string path;
+  std::size_t max_steps = kMaxSteps;
 };
 
 /// Every .aag/.aig/.btor/.btor2 file in `dir`, sorted by name so row order
@@ -80,11 +84,17 @@ void run_experiment(bench::JsonRecords* json, const std::string& corpus_dir) {
     bool exchange;
     std::size_t pdr_workers;
     bool pdr_ternary = false;
+    bool sat_inprocess = true;
   };
   const std::vector<Contender> contenders = {
       {"bmc", mc::EngineKind::Bmc, false, 1},
       {"k-induction", mc::EngineKind::KInduction, false, 1},
       {"pdr", mc::EngineKind::Pdr, false, 1},
+      // The SAT-tier ablation: the same single-worker PDR with inprocessing
+      // and the LBD-tiered clause DB switched off (--sat-inprocess off) —
+      // bit-for-bit the pre-tier solver. The conflict delta against the
+      // plain "pdr" row is what check_shootout.py gates.
+      {"pdr -inproc", mc::EngineKind::Pdr, false, 1, false, false},
       {"pdr +lift", mc::EngineKind::Pdr, false, 1, true},
       {"pdr w=2", mc::EngineKind::Pdr, false, 2},
       {"pdr w=4", mc::EngineKind::Pdr, false, 4},
@@ -95,10 +105,15 @@ void run_experiment(bench::JsonRecords* json, const std::string& corpus_dir) {
 
   // fifo_ctrl is the blocking-heavy row: thousands of obligations at this
   // bound, which is exactly the workload the sharded engine spreads out.
+  // dual_accumulator is the SAT-heavy row — 16-bit adder chains make every
+  // query a real CDCL fight, which is where the SAT-tier ablation (pdr vs
+  // pdr -inproc) shows up. Its budget is 6: PDR closes the proof at depth 4
+  // either way, while BMC/k-induction unrollings past 6 frames of the wide
+  // datapath burn minutes without changing any verdict.
   std::vector<DesignSource> sources = {
       {"sync_counters", ""}, {"sequencer", ""},    {"token_ring", ""},
       {"updown_pair", ""},   {"lfsr16", ""},       {"gray_counter", ""},
-      {"fifo_ctrl", ""}};
+      {"fifo_ctrl", ""},     {"dual_accumulator", "", 6}};
   if (!corpus_dir.empty()) {
     // Corpus rows ride after the zoo rows, so one JSON holds both.
     for (auto& src : scan_corpus_dir(corpus_dir)) sources.push_back(std::move(src));
@@ -109,10 +124,11 @@ void run_experiment(bench::JsonRecords* json, const std::string& corpus_dir) {
       auto task = source.path.empty() ? designs::make_task(name)
                                       : flow::VerificationTask::from_file(source.path);
       mc::EngineOptions options;
-      options.max_steps = kMaxSteps;
+      options.max_steps = source.max_steps;
       options.exchange = contender.exchange;
       options.pdr_workers = contender.pdr_workers;
       options.pdr_ternary_lifting = contender.pdr_ternary;
+      options.sat_inprocess = contender.sat_inprocess;
       auto engine = mc::make_engine(contender.kind, task.ts, options);
       const auto before = phases ? util::metrics().snapshot_values()
                                  : std::map<std::string, std::int64_t>{};
@@ -152,6 +168,7 @@ void run_experiment(bench::JsonRecords* json, const std::string& corpus_dir) {
             .field("workers", static_cast<std::uint64_t>(contender.pdr_workers))
             .field("exchange", contender.exchange)
             .field("ternary", contender.pdr_ternary)
+            .field("inprocess", contender.sat_inprocess)
             .field("verdict", mc::to_string(r.verdict))
             .field("depth", static_cast<std::uint64_t>(r.depth))
             .field("wall_ms", r.stats.seconds * 1e3)
@@ -160,7 +177,12 @@ void run_experiment(bench::JsonRecords* json, const std::string& corpus_dir) {
             .field("learnt_clauses", r.stats.learnt_clauses)
             .field("retired_gates", r.stats.retired_gates)
             .field("solver_rebuilds", r.stats.solver_rebuilds)
-            .field("lifted_bits", r.stats.lifted_bits);
+            .field("lifted_bits", r.stats.lifted_bits)
+            .field("inprocessings", r.stats.inprocessings)
+            .field("subsumed_clauses", r.stats.subsumed_clauses)
+            .field("strengthened_clauses", r.stats.strengthened_clauses)
+            .field("eliminated_vars", r.stats.eliminated_vars)
+            .field("vivified_clauses", r.stats.vivified_clauses);
         if (phases) {
           json->field("blocking_ms", delta_ms("pdr.blocking_ns"))
               .field("propagate_ms", delta_ms("pdr.propagate_ns"))

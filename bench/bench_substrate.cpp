@@ -10,6 +10,7 @@
 #include "mc/bmc.hpp"
 #include "mc/kinduction.hpp"
 #include "mc/unroller.hpp"
+#include "sat/solver.hpp"
 #include "sim/random_sim.hpp"
 #include "util/rng.hpp"
 

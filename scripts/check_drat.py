@@ -1,0 +1,294 @@
+#!/usr/bin/env python3
+"""Forward RUP checker for the DRAT proofs the SAT core emits.
+
+Usage: check_drat.py <base>            (reads <base>.cnf and <base>.drat)
+       check_drat.py <file.cnf> <file.drat>
+
+A proof run (`--drat-out <base>`, or `genfv_cli sat foo.cnf --drat-out
+<base>`) produces two files: `<base>.cnf` holds every clause the caller
+added, `<base>.drat` the derivation — one add line per derived clause and
+`d` lines for retired learnt clauses (docs/sat.md). The solver only ever
+emits reverse-unit-propagation (RUP) additions, so this checker verifies
+each add the straightforward way: assume the negation of every literal in
+the clause, unit-propagate over the active set, and demand a conflict.
+The proof *verifies* when every addition is RUP; it *certifies UNSAT*
+when, additionally, the empty clause is derived. Exit status:
+
+  0  proof verified (prints whether UNSAT was certified)
+  1  a proof line failed its RUP check, or --expect-unsat was given and
+     the proof never derived the empty clause
+  2  usage / malformed input
+
+This is deliberately a from-scratch checker sharing no code with the
+solver: a bug in the solver's propagation cannot vouch for itself here.
+"""
+
+import sys
+
+
+def parse_dimacs(path):
+    """Return (num_vars, clauses); clauses are tuples of non-zero ints."""
+    num_vars = 0
+    clauses = []
+    current = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                fields = line.split()
+                if len(fields) != 4 or fields[1] != "cnf":
+                    raise ValueError(f"{path}: malformed problem line: {line}")
+                num_vars = int(fields[2])
+                continue
+            for token in line.split():
+                lit = int(token)
+                if lit == 0:
+                    clauses.append(tuple(current))
+                    current = []
+                else:
+                    current.append(lit)
+    if current:
+        raise ValueError(f"{path}: unterminated clause")
+    return num_vars, clauses
+
+
+def parse_drat(path):
+    """Yield ('a'|'d', clause-tuple) per proof line, in order."""
+    steps = []
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, 1):
+            tokens = line.split()
+            if not tokens or tokens[0] == "c":
+                continue
+            kind = "a"
+            if tokens[0] == "d":
+                kind = "d"
+                tokens = tokens[1:]
+            lits = [int(t) for t in tokens]
+            if not lits or lits[-1] != 0:
+                raise ValueError(f"{path}:{lineno}: proof line must end in 0")
+            steps.append((kind, tuple(lits[:-1])))
+    return steps
+
+
+class Checker:
+    """Active clause set with two-watched-literal unit propagation.
+
+    Assignments split into a permanent root trail (units implied by the
+    active set, kept across proof steps) and per-check temporary
+    assumptions that are rolled back after each RUP test.
+    """
+
+    def __init__(self):
+        self.assign = {}          # lit -> True for both polarities' status
+        self.trail = []           # assigned lits, permanent prefix + temp
+        self.root_size = 0        # trail prefix that is never rolled back
+        self.watches = {}         # lit -> list of clause ids watching it
+        self.clauses = {}         # id -> tuple of lits
+        self.by_key = {}          # sorted-tuple -> list of ids (deletion)
+        self.units = []           # pending permanent units
+        self.next_id = 0
+        self.contradiction = False  # empty clause present / root conflict
+
+    def value(self, lit):
+        if lit in self.assign:
+            return True
+        if -lit in self.assign:
+            return False
+        return None
+
+    def add_clause(self, lits):
+        lits = tuple(lits)
+        if not lits:
+            self.contradiction = True
+            return
+        cid = self.next_id
+        self.next_id += 1
+        self.by_key.setdefault(tuple(sorted(lits)), []).append(cid)
+        if len(lits) == 1:
+            self.clauses[cid] = lits
+            self.units.append(lits[0])
+            return
+        # Clauses arrive at root level under an existing assignment, so the
+        # watched pair must be chosen among currently-non-false literals;
+        # a clause that is already unit (or falsified) propagates now, not
+        # when a watch happens to trigger later.
+        ordered = sorted(lits, key=lambda lit: self.value(lit) is False)
+        self.clauses[cid] = tuple(ordered)
+        for lit in ordered[:2]:
+            self.watches.setdefault(lit, []).append(cid)
+        if self.value(ordered[0]) is False:
+            self.contradiction = True
+        elif self.value(ordered[1]) is False and self.value(ordered[0]) is None:
+            self.units.append(ordered[0])
+
+    def delete_clause(self, lits):
+        key = tuple(sorted(lits))
+        ids = self.by_key.get(key)
+        if not ids:
+            # Deleting a clause that is not in the active set cannot make
+            # the proof unsound (the set only grows stronger), but it means
+            # the log and the checker disagree about state — reject loudly.
+            raise ValueError(f"deletion of clause not in active set: {key}")
+        cid = ids.pop()
+        if not ids:
+            del self.by_key[key]
+        lits = self.clauses.pop(cid)
+        if len(lits) == 1:
+            # Deleted before its unit ever propagated; drop it if pending.
+            if lits[0] in self.units:
+                self.units.remove(lits[0])
+            return
+        for lit in lits[:2]:
+            watchers = self.watches.get(lit, [])
+            if cid in watchers:
+                watchers.remove(cid)
+
+    def enqueue(self, lit):
+        """Assign lit true. Returns False on conflict with the trail."""
+        val = self.value(lit)
+        if val is not None:
+            return val
+        self.assign[lit] = True
+        self.trail.append(lit)
+        return True
+
+    def propagate(self):
+        """Exhaust unit propagation; True iff no conflict."""
+        # Resume from the first unprocessed trail literal (callers enqueue
+        # then call propagate; the trail holds each literal at most once).
+        head = self._prop_head
+        while head < len(self.trail):
+            false_lit = -self.trail[head]
+            head += 1
+            watchers = self.watches.get(false_lit, [])
+            i = 0
+            while i < len(watchers):
+                cid = watchers[i]
+                lits = list(self.clauses[cid])
+                # Keep the false literal in slot 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                if self.value(lits[0]) is True:
+                    self.clauses[cid] = tuple(lits)
+                    i += 1
+                    continue
+                # Find a replacement watch.
+                moved = False
+                for k in range(2, len(lits)):
+                    if self.value(lits[k]) is not False:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self.clauses[cid] = tuple(lits)
+                        watchers.pop(i)
+                        self.watches.setdefault(lits[1], []).append(cid)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                self.clauses[cid] = tuple(lits)
+                if self.value(lits[0]) is False:
+                    self._prop_head = head
+                    return False  # conflict
+                if not self.enqueue(lits[0]):
+                    self._prop_head = head
+                    return False
+                i += 1
+        self._prop_head = head
+        return True
+
+    _prop_head = 0
+
+    def settle_root(self):
+        """Propagate pending permanent units at root level."""
+        while self.units:
+            lit = self.units.pop()
+            if not self.enqueue(lit):
+                self.contradiction = True
+                return False
+        self._prop_head = min(self._prop_head, self.root_size)
+        if not self.propagate():
+            self.contradiction = True
+            return False
+        self.root_size = len(self.trail)
+        return True
+
+    def is_rup(self, lits):
+        """True iff asserting the negation of `lits` propagates a conflict."""
+        if self.contradiction:
+            return True  # anything follows from an inconsistent set
+        saved = len(self.trail)
+        saved_head = self._prop_head
+        conflict = False
+        for lit in lits:
+            if not self.enqueue(-lit):
+                conflict = True  # some literal already implied true at root
+                break
+        if not conflict:
+            conflict = not self.propagate()
+        # Roll back the temporary suffix.
+        while len(self.trail) > saved:
+            del self.assign[self.trail.pop()]
+        self._prop_head = min(saved_head, saved)
+        return conflict
+
+
+def check(cnf_path, drat_path, expect_unsat):
+    num_vars, clauses = parse_dimacs(cnf_path)
+    steps = parse_drat(drat_path)
+
+    checker = Checker()
+    for clause in clauses:
+        for lit in clause:
+            if abs(lit) > num_vars:
+                raise ValueError(f"{cnf_path}: literal {lit} out of range")
+        checker.add_clause(clause)
+    checker.settle_root()
+
+    derived_empty = checker.contradiction
+    for index, (kind, lits) in enumerate(steps, 1):
+        if kind == "d":
+            checker.delete_clause(lits)
+            continue
+        if not checker.is_rup(lits):
+            print(f"FAIL {drat_path}: step {index} is not RUP: "
+                  f"{' '.join(map(str, lits))} 0")
+            return 1
+        checker.add_clause(lits)
+        if not checker.settle_root():
+            derived_empty = True
+            break
+        if not lits:
+            derived_empty = True
+            break
+
+    status = "UNSAT certified" if derived_empty else "no empty clause (not an UNSAT certificate)"
+    print(f"OK {drat_path}: {len(steps)} step(s) verified against "
+          f"{len(clauses)} input clause(s); {status}")
+    if expect_unsat and not derived_empty:
+        print(f"FAIL {drat_path}: --expect-unsat but the proof never derives "
+              "the empty clause")
+        return 1
+    return 0
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--expect-unsat"]
+    expect_unsat = "--expect-unsat" in argv[1:]
+    if len(args) == 1:
+        cnf_path, drat_path = args[0] + ".cnf", args[0] + ".drat"
+    elif len(args) == 2:
+        cnf_path, drat_path = args
+    else:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        return check(cnf_path, drat_path, expect_unsat)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

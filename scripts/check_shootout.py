@@ -40,6 +40,13 @@ EXPECTED_VERDICTS = {
     "gray_counter": {"bmc": "unknown", "k-induction": "unknown", "pdr": "unknown",
                      "portfolio": "unknown"},
     "fifo_ctrl": {"bmc": "unknown", "k-induction": "unknown", "pdr": "unknown"},
+    # dual_accumulator (runs at a step budget of 6, see the bench): the
+    # output-equality target is not k-inductive without the stage-1 lemma,
+    # but PDR mines the equality clauses itself — with or without SAT
+    # inprocessing (the "pdr -inproc" ablation row matches the "pdr" prefix
+    # and must prove too, just at a multiple of the conflicts).
+    "dual_accumulator": {"bmc": "unknown", "k-induction": "unknown",
+                         "pdr": "proven", "portfolio": "proven"},
     # --- tests/corpus rows (bench_engine_shootout --dir tests/corpus) ------
     # Files parsed through the AIGER/BTOR2 frontends; the *_rt rows are zoo
     # designs round-tripped through the AIGER writer, and must keep the same
@@ -114,11 +121,13 @@ def main() -> int:
                 f"baseline {sys.argv[2]} shares no cells with this run")
         print(f"baseline diff vs {sys.argv[2]}: {compared} cells compared")
 
-    # Report (never gate) the sharded-PDR speedup per design (lifting-off
-    # rows only, so the two ablations don't contaminate each other).
+    # Report (never gate) the sharded-PDR speedup per design (lifting-off,
+    # inprocessing-on rows only, so the ablations don't contaminate each
+    # other).
     by_design = {}
     for record in records:
-        if record["kind"] == "pdr" and not record.get("ternary", False):
+        if (record["kind"] == "pdr" and not record.get("ternary", False)
+                and record.get("inprocess", True)):
             by_design.setdefault(record["design"], {})[record["workers"]] = \
                 record["wall_ms"]
     wins = 0
@@ -139,7 +148,8 @@ def main() -> int:
     # Report (never gate) the ternary-lifting ablation at w=1.
     lift_cells = {}
     for record in records:
-        if record["kind"] == "pdr" and record["workers"] == 1:
+        if (record["kind"] == "pdr" and record["workers"] == 1
+                and record.get("inprocess", True)):
             lift_cells.setdefault(record["design"], {})[record.get("ternary", False)] = \
                 record
     lift_wins = 0
@@ -157,6 +167,35 @@ def main() -> int:
     if lift_cells:
         print(f"pdr ternary lifting improves conflicts or wall-clock on "
               f"{lift_wins}/{len(lift_cells)} designs")
+
+    # The SAT-tier ablation: single-worker lifting-off PDR with inprocessing
+    # on ("pdr") vs off ("pdr -inproc"). Conflict counts in this
+    # configuration are deterministic, so unlike the wall-clock reports this
+    # one *gates*: on the designs listed below the inprocessing tier must cut
+    # conflicts by at least 25% or the build fails. (Wall time is still
+    # reported, never gated.)
+    INPROCESS_GATE = {"fifo_ctrl", "dual_accumulator"}
+    inproc_cells = {}
+    for record in records:
+        if (record["kind"] == "pdr" and record["workers"] == 1
+                and not record.get("ternary", False)):
+            inproc_cells.setdefault(record["design"], {})[
+                record.get("inprocess", True)] = record
+    for design, cells in sorted(inproc_cells.items()):
+        if True not in cells or False not in cells:
+            continue
+        on, off = cells[True], cells[False]
+        cut = (1.0 - on["conflicts"] / off["conflicts"]) if off["conflicts"] else 0.0
+        print(f"sat inprocessing on {design}: conflicts {off['conflicts']} -> "
+              f"{on['conflicts']} ({cut:+.0%}), wall {off['wall_ms']:.1f} -> "
+              f"{on['wall_ms']:.1f} ms, "
+              f"subsumed={on.get('subsumed_clauses', 0)} "
+              f"eliminated={on.get('eliminated_vars', 0)} "
+              f"vivified={on.get('vivified_clauses', 0)}")
+        if design in INPROCESS_GATE and cut < 0.25:
+            failures.append(
+                f"{design} / pdr -inproc ablation: inprocessing cut conflicts "
+                f"by only {cut:.0%} (gate: >= 25%)")
 
     if failures:
         print("\nverdict regressions:", file=sys.stderr)

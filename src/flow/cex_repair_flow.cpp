@@ -32,6 +32,7 @@ FlowReport CexRepairFlow::run(VerificationTask& task) {
     opts.pdr_workers = options_.pdr_workers;
     opts.pdr_ternary_lifting = options_.pdr_ternary;
     opts.pdr_seed_candidates = options_.pdr_seed_candidates;
+    opts.pdr_candidate_strikes = options_.pdr_candidate_strikes;
     if (options_.pdr_seed_candidates) {
       // Candidates the proof gate rejected (but simulation did not refute)
       // still seed PDR frames as may clauses — per iteration, so each repair

@@ -39,6 +39,9 @@ struct FlowOptions {
   /// EngineOptions::pdr_seed_candidates. A hallucinated candidate costs SAT
   /// work, never soundness — see docs/lemmas.md.
   bool pdr_seed_candidates = false;
+  /// Strikes before a seeded candidate is retracted from the may tier;
+  /// mirrors EngineOptions::pdr_candidate_strikes.
+  std::size_t pdr_candidate_strikes = 2;
 };
 
 class HelperGenFlow {

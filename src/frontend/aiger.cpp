@@ -869,9 +869,22 @@ std::string bit_name(SymbolTable& symbols, const std::string& base, unsigned wid
   return symbols.claim(desired, "v_", bit);
 }
 
-}  // namespace
+/// LEB128-style varint the binary gate section uses (7 payload bits per
+/// byte, high bit = continuation).
+void put_varint(std::ostream& out, std::uint32_t value) {
+  while (value >= 0x80U) {
+    out.put(static_cast<char>((value & 0x7FU) | 0x80U));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
 
-std::string write_aiger(const ir::TransitionSystem& ts) {
+/// Shared writer core: builds the AIG once, serializes as ASCII "aag" or
+/// binary "aig". The builder already keeps the standard variable ordering
+/// (inputs, latches, gates — consecutively numbered) and stores each AND's
+/// larger operand first, which is exactly the normal form the binary
+/// delta encoding requires, so the two renderings differ only in syntax.
+std::string render_aiger(const ir::TransitionSystem& ts, bool binary) {
   AigBuilder aig;
   std::unordered_map<ir::NodeRef, Bits> cache;
   SymbolTable symbols;
@@ -958,8 +971,8 @@ std::string write_aiger(const ir::TransitionSystem& ts) {
   }
 
   std::ostringstream out;
-  out << "aag " << aig.num_vars() << ' ' << num_inputs << ' ' << num_latches << ' '
-      << outputs.size() << ' ' << aig.ands().size();
+  out << (binary ? "aig " : "aag ") << aig.num_vars() << ' ' << num_inputs << ' '
+      << num_latches << ' ' << outputs.size() << ' ' << aig.ands().size();
   // The B field is mandatory whenever outputs exist: without it a reader
   // following the HWMCC'10 convention would reinterpret the outputs as
   // bad-state literals.
@@ -969,10 +982,14 @@ std::string write_aiger(const ir::TransitionSystem& ts) {
     out << ' ' << bads.size();
   }
   out << '\n';
-  for (std::uint32_t v = 1; v <= num_inputs; ++v) out << 2 * v << '\n';
+  // Binary files imply the input literals (2, 4, ...) and the latch lhs.
+  if (!binary) {
+    for (std::uint32_t v = 1; v <= num_inputs; ++v) out << 2 * v << '\n';
+  }
   for (std::size_t i = 0; i < latch_lines.size(); ++i) {
     const std::uint32_t lit = 2 * (num_inputs + static_cast<std::uint32_t>(i) + 1);
-    out << lit << ' ' << latch_lines[i].next;
+    if (!binary) out << lit << ' ';
+    out << latch_lines[i].next;
     if (latch_lines[i].reset == 1) out << " 1";
     else if (latch_lines[i].reset < 0) out << ' ' << lit;
     out << '\n';
@@ -982,7 +999,17 @@ std::string write_aiger(const ir::TransitionSystem& ts) {
   for (const AigBuilder::Lit lit : constraint_lits) out << lit << '\n';
   for (std::size_t g = 0; g < aig.ands().size(); ++g) {
     const std::uint32_t lhs = 2 * (num_inputs + num_latches + static_cast<std::uint32_t>(g) + 1);
-    out << lhs << ' ' << aig.ands()[g].first << ' ' << aig.ands()[g].second << '\n';
+    // gate_and stores the larger operand first, so first/second are already
+    // the (hi, lo) pair the delta encoding wants; structural ordering
+    // guarantees hi < lhs.
+    const std::uint32_t hi = aig.ands()[g].first;
+    const std::uint32_t lo = aig.ands()[g].second;
+    if (binary) {
+      put_varint(out, lhs - hi);
+      put_varint(out, hi - lo);
+    } else {
+      out << lhs << ' ' << hi << ' ' << lo << '\n';
+    }
   }
   for (std::size_t i = 0; i < input_names.size(); ++i) {
     out << 'i' << i << ' ' << input_names[i] << '\n';
@@ -1000,10 +1027,24 @@ std::string write_aiger(const ir::TransitionSystem& ts) {
   return out.str();
 }
 
+}  // namespace
+
+std::string write_aiger(const ir::TransitionSystem& ts) {
+  return render_aiger(ts, /*binary=*/false);
+}
+
+std::string write_aiger_binary(const ir::TransitionSystem& ts) {
+  return render_aiger(ts, /*binary=*/true);
+}
+
 void write_aiger_file(const std::string& path, const ir::TransitionSystem& ts) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw UsageError("cannot write AIGER file '" + path + "'");
-  out << write_aiger(ts);
+  // Extension picks the variant, matching read-side dispatch: .aig is the
+  // binary format, everything else the ASCII one.
+  const std::size_t dot = path.rfind('.');
+  const bool binary = dot != std::string::npos && path.substr(dot) == ".aig";
+  out << render_aiger(ts, binary);
 }
 
 }  // namespace genfv::frontend

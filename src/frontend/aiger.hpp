@@ -51,7 +51,14 @@ ir::TransitionSystem read_aiger_file(const std::string& path);
 /// whose init expression does not fold to a constant).
 std::string write_aiger(const ir::TransitionSystem& ts);
 
-/// write_aiger + file output. Throws UsageError on I/O failure.
+/// Same model mapping as write_aiger, rendered as the binary "aig" variant
+/// (implied input/latch literals, delta-varint gate section). The writer's
+/// contiguous variable layout is already the normal form the binary format
+/// demands, so this needs no external conversion step.
+std::string write_aiger_binary(const ir::TransitionSystem& ts);
+
+/// File output; a ".aig" extension selects the binary variant, anything
+/// else the ASCII one. Throws UsageError on I/O failure.
 void write_aiger_file(const std::string& path, const ir::TransitionSystem& ts);
 
 }  // namespace genfv::frontend

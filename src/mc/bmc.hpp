@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mc/exchange.hpp"
@@ -34,6 +35,11 @@ struct BmcOptions {
   /// (every BMC frame is init-rooted, so both are sound). nullptr = off.
   std::shared_ptr<LemmaMailbox> exchange;
   std::size_t exchange_slot = 0;
+  /// SAT backend name (see sat::make_backend) and inprocessing toggle.
+  std::string sat_backend = "internal";
+  bool sat_inprocess = true;
+  /// When non-empty, log a DRAT proof to `<drat_path>.cnf`/`.drat`.
+  std::string drat_path;
 };
 
 class BmcEngine {

@@ -66,6 +66,9 @@ EngineOptions to_engine_options(const KInductionOptions& options) {
   out.lemmas = options.lemmas;
   out.conflict_budget = options.conflict_budget;
   out.stop = options.stop;
+  out.sat_backend = options.sat_backend;
+  out.sat_inprocess = options.sat_inprocess;
+  out.drat_path = options.drat_path;
   return out;
 }
 
@@ -98,6 +101,9 @@ class BmcEngineAdapter final : public Engine {
     opts.stop = options_.stop;
     opts.exchange = options_.exchange_mailbox;
     opts.exchange_slot = options_.exchange_slot;
+    opts.sat_backend = options_.sat_backend;
+    opts.sat_inprocess = options_.sat_inprocess;
+    opts.drat_path = options_.drat_path;
     BmcEngine engine(ts_, std::move(opts));
     BmcResult r = engine.check(conjoin_properties(ts_, properties));
     EngineResult out;
@@ -130,6 +136,9 @@ class KInductionEngineAdapter final : public Engine {
     opts.stop = options_.stop;
     opts.exchange = options_.exchange_mailbox;
     opts.exchange_slot = options_.exchange_slot;
+    opts.sat_backend = options_.sat_backend;
+    opts.sat_inprocess = options_.sat_inprocess;
+    opts.drat_path = options_.drat_path;
     KInductionEngine engine(ts_, std::move(opts));
     InductionResult r = engine.prove_all(properties);
     EngineResult out;
@@ -170,6 +179,10 @@ class PdrEngineAdapter final : public Engine {
     opts.ternary_lifting = options_.pdr_ternary_lifting;
     opts.seed_candidates = options_.pdr_seed_candidates;
     opts.candidate_lemmas = options_.pdr_candidate_lemmas;
+    opts.candidate_strikes = options_.pdr_candidate_strikes;
+    opts.sat_backend = options_.sat_backend;
+    opts.sat_inprocess = options_.sat_inprocess;
+    opts.drat_path = options_.drat_path;
     pdr::PdrEngine engine(ts_, std::move(opts));
     pdr::PdrResult r = engine.prove_all(properties);
     EngineResult out;

@@ -93,6 +93,21 @@ struct EngineOptions {
   /// cancellation. The portfolio sets the flag once a member returns a
   /// conclusive verdict, which is what cancels the losing engines.
   std::shared_ptr<std::atomic<bool>> stop;
+  /// SAT backend every engine solves through (see sat::make_backend);
+  /// "internal" = the in-tree CDCL core, the only built-in.
+  std::string sat_backend = "internal";
+  /// SAT inprocessing (subsumption/strengthening, bounded variable
+  /// elimination, vivification) plus the LBD-tiered learnt-clause policy.
+  /// Off pins the solver bit-for-bit to the plain-CDCL behavior.
+  bool sat_inprocess = true;
+  /// When non-empty, SAT solvers log DRAT proofs under this path base
+  /// (`<path>.cnf` + `<path>.drat`, engine-specific suffixes when one run
+  /// spawns several solvers). An UNSAT run's proof validates with
+  /// scripts/check_drat.py. Meant for single-engine runs.
+  std::string drat_path;
+  /// PDR only: spurious-blocked offenses a candidate ("may") clause is
+  /// allowed before retraction. See PdrOptions::candidate_strikes.
+  std::size_t pdr_candidate_strikes = 2;
 
   // --- portfolio only -------------------------------------------------------
   /// Member engines, in launch (threaded) / slice (time-sliced) order.

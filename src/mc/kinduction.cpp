@@ -22,15 +22,21 @@ InductionResult KInductionEngine::prove_all(const std::vector<ir::NodeRef>& prop
   // earlier frames, making this *mutual* induction).
   const ir::NodeRef prop = conjoin_properties(ts_, properties);
 
-  sat::Solver base_solver;
+  const std::unique_ptr<sat::Backend> base_ptr = sat::make_backend(options_.sat_backend);
+  sat::Backend& base_solver = *base_ptr;
   base_solver.set_conflict_budget(options_.conflict_budget);
   base_solver.set_stop_flag(options_.stop.get());
+  base_solver.set_inprocessing(options_.sat_inprocess);
+  if (!options_.drat_path.empty()) base_solver.start_proof(options_.drat_path + "_base");
   Unroller base(ts_, base_solver);
   base.assert_init();
 
-  sat::Solver step_solver;
+  const std::unique_ptr<sat::Backend> step_ptr = sat::make_backend(options_.sat_backend);
+  sat::Backend& step_solver = *step_ptr;
   step_solver.set_conflict_budget(options_.conflict_budget);
   step_solver.set_stop_flag(options_.stop.get());
+  step_solver.set_inprocessing(options_.sat_inprocess);
+  if (!options_.drat_path.empty()) step_solver.start_proof(options_.drat_path + "_step");
   Unroller step(ts_, step_solver);  // no init: arbitrary start state
 
   // Invariants asserted on every materialized frame of both cases: the

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mc/exchange.hpp"
@@ -49,6 +50,11 @@ struct KInductionOptions {
   /// would be unsound (see exchange.hpp). nullptr = off.
   std::shared_ptr<LemmaMailbox> exchange;
   std::size_t exchange_slot = 0;
+  /// SAT backend name (see sat::make_backend) and inprocessing toggle.
+  std::string sat_backend = "internal";
+  bool sat_inprocess = true;
+  /// When non-empty, log DRAT proofs to `<drat_path>_base` / `<drat_path>_step`.
+  std::string drat_path;
 };
 
 class KInductionEngine {

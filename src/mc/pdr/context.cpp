@@ -32,8 +32,10 @@ void QueryContext::bootstrap() {
   unr_ = std::make_unique<Unroller>(ts_, solver());
 
   // Level-0 activation literal, gating the init-value equalities so the same
-  // solver answers both init-relative and frame-relative queries.
-  const sat::Lit init_gate = sat::mk_lit(solver().new_var());
+  // solver answers both init-relative and frame-relative queries. Gates are
+  // minted through new_gate(), which freezes them: they are future
+  // assumptions, so inprocessing must never eliminate them.
+  const sat::Lit init_gate = new_gate();
   activations_.assign(1, init_gate);
   unr_->extend_to(1);
   for (const auto& s : ts_.states()) {
@@ -65,7 +67,7 @@ void QueryContext::rebuild() {
   bootstrap();
   may_.clear();  // the old gates died with the old solver
   for (std::size_t level = 1; level < snapshot.levels.size(); ++level) {
-    activations_.push_back(sat::mk_lit(solver().new_var()));
+    activations_.push_back(new_gate());
   }
   for (std::size_t level = 1; level < snapshot.levels.size(); ++level) {
     for (const Cube& cube : snapshot.levels[level]) assert_blocked(cube, level);
@@ -89,7 +91,7 @@ void QueryContext::sync() {
 void QueryContext::apply_event(const FrameDb::Event& event) {
   switch (event.kind) {
     case FrameDb::Event::Kind::PushLevel:
-      activations_.push_back(sat::mk_lit(solver().new_var()));
+      activations_.push_back(new_gate());
       break;
     case FrameDb::Event::Kind::Block:
       assert_blocked(event.cube, event.level);
@@ -131,7 +133,7 @@ void QueryContext::assert_may(const Cube& cube, std::size_t id) {
   // Frame 0 only: a may clause strengthens the predecessor frame of a query
   // exactly like a blocked clause would, but behind its own gate so it can
   // be retracted (and excluded from clean re-runs) independently.
-  const sat::Lit gate = sat::mk_lit(solver().new_var());
+  const sat::Lit gate = new_gate();
   std::vector<sat::Lit> clause{~gate};
   for (const StateLit& l : cube) clause.push_back(~cube_lit(0, l));
   solver().add_clause(std::move(clause));
@@ -211,10 +213,11 @@ void QueryContext::retract_violated_candidates() {
     }
     if (violated) hit.push_back(id);
   }
-  // Retract through the database: the RetractMay event replays into every
-  // mirror (including this one) at its next sync. Counting happens in the
-  // database, so concurrent workers never double-count one candidate.
-  for (const std::size_t id : hit) db_.retract_may(id);
+  // Strike through the database: sub-limit strikes are bookkeeping only; a
+  // repeat offender's RetractMay event replays into every mirror (including
+  // this one) at its next sync. Counting happens in the database, so
+  // concurrent workers never double-count one candidate.
+  for (const std::size_t id : hit) db_.strike_may(id);
 }
 
 sat::LBool QueryContext::solve_frontier_bad(std::size_t frontier) {
@@ -276,14 +279,16 @@ void QueryContext::lift_bad(Obligation& o) {
   GENFV_TRACE_SPAN("pdr", "lift_bad");
   if (!options_.ternary_lifting) return;
   if (ternary_ == nullptr) ternary_ = std::make_unique<TernarySim>(ts_);
-  lifted_bits_ += lift_obligation(*ternary_, ts_, o, nullptr, property_);
+  lifted_bits_ += lift_obligation(*ternary_, ts_, o, nullptr, property_,
+                                  &lifted_input_bits_);
 }
 
 void QueryContext::lift_pred(Obligation& o, const Cube& successor) {
   GENFV_TRACE_SPAN("pdr", "lift_pred");
   if (!options_.ternary_lifting) return;
   if (ternary_ == nullptr) ternary_ = std::make_unique<TernarySim>(ts_);
-  lifted_bits_ += lift_obligation(*ternary_, ts_, o, &successor, nullptr);
+  lifted_bits_ += lift_obligation(*ternary_, ts_, o, &successor, nullptr,
+                                  &lifted_input_bits_);
 }
 
 sat::LBool QueryContext::intersects_init(const Cube& cube) {
@@ -320,7 +325,13 @@ sat::LBool QueryContext::relative_query(const Cube& cube, std::size_t level,
   return answer;
 }
 
-sat::Lit QueryContext::new_gate() { return sat::mk_lit(solver().new_var()); }
+sat::Lit QueryContext::new_gate() {
+  // Gates are assumed, retired and re-referenced across solves: freeze them
+  // so variable elimination never touches them.
+  const sat::Var v = solver().new_var();
+  solver().freeze(v);
+  return sat::mk_lit(v);
+}
 
 void QueryContext::retire_gate(sat::Lit gate) {
   solver().add_clause(~gate);

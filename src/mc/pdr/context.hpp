@@ -61,8 +61,8 @@ class QueryContext {
                sat::SolverPool& pool, FrameDb& db);
 
   const ir::TransitionSystem& system() const noexcept { return ts_; }
-  sat::Solver& solver() { return pool_.at(solver_handle_); }
-  sat::Solver& init_solver() { return pool_.at(init_handle_); }
+  sat::Backend& solver() { return pool_.at(solver_handle_); }
+  sat::Backend& init_solver() { return pool_.at(init_handle_); }
   Unroller& unroller() { return *unr_; }
   Unroller& init_unroller() { return *init_unr_; }
 
@@ -110,8 +110,10 @@ class QueryContext {
   void lift_pred(Obligation& o, const Cube& successor);
 
   /// State-bit literals dropped by this context's lifting — feeds
-  /// EngineStats::lifted_bits.
+  /// EngineStats::lifted_bits. Input bits proven irrelevant by the trailing
+  /// input pass feed EngineStats::lifted_input_bits.
   std::size_t lifted_bits() const noexcept { return lifted_bits_; }
+  std::size_t lifted_input_bits() const noexcept { return lifted_input_bits_; }
 
   /// SAT(init ∧ cube)? — does the cube contain an initial state.
   /// Never assumes may clauses: initiation checks must be exact.
@@ -208,6 +210,7 @@ class QueryContext {
   /// Lazily-constructed per-worker ternary simulator (ternary_lifting only).
   std::unique_ptr<TernarySim> ternary_;
   std::size_t lifted_bits_ = 0;
+  std::size_t lifted_input_bits_ = 0;
 
   std::size_t retired_gates_since_rebuild_ = 0;
   std::size_t retired_gates_total_ = 0;

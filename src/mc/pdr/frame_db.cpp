@@ -81,6 +81,10 @@ std::optional<std::size_t> FrameDb::seed_may(Cube cube) {
 
 bool FrameDb::remove_may(std::size_t id, std::size_t* counter) {
   util::MutexLock lock(mu_);
+  return remove_may_locked(id, counter);
+}
+
+bool FrameDb::remove_may_locked(std::size_t id, std::size_t* counter) {
   const auto before = may_.size();
   std::erase_if(may_, [&](const MayClause& m) { return m.id == id; });
   if (may_.size() == before) return false;
@@ -92,6 +96,21 @@ bool FrameDb::remove_may(std::size_t id, std::size_t* counter) {
 }
 
 bool FrameDb::retract_may(std::size_t id) { return remove_may(id, &may_retracted_); }
+
+bool FrameDb::strike_may(std::size_t id) {
+  util::MutexLock lock(mu_);
+  for (MayClause& m : may_) {
+    if (m.id != id) continue;
+    if (++m.strikes < candidate_strikes_) return false;  // keep it, on notice
+    return remove_may_locked(id, &may_retracted_);
+  }
+  return false;  // already retracted/graduated
+}
+
+void FrameDb::set_candidate_strikes(std::size_t limit) {
+  util::MutexLock lock(mu_);
+  candidate_strikes_ = std::max<std::size_t>(1, limit);
+}
 
 bool FrameDb::graduate_may(std::size_t id) { return remove_may(id, &may_graduated_); }
 

@@ -70,6 +70,8 @@ class FrameDb {
     Cube cube;
     std::size_t id = 0;
     bool init_ok = false;
+    /// Spurious-blocked offenses so far (see strike_may).
+    std::size_t strikes = 0;
   };
 
   /// A consistent copy of the whole database, used for solver rebuilds: the
@@ -121,9 +123,21 @@ class FrameDb {
   /// Seed `cube` as a candidate. Returns its id, or nullopt for duplicates.
   std::optional<std::size_t> seed_may(Cube cube);
 
-  /// Retract candidate `id` (spurious-obligation or initiation refutation).
-  /// Returns false when already retracted/graduated (idempotent).
+  /// Retract candidate `id` outright (initiation refutation — an immutable
+  /// fact). Returns false when already retracted/graduated (idempotent).
   bool retract_may(std::size_t id);
+
+  /// Record one spurious-blocked offense against candidate `id` and retract
+  /// it once its strikes reach the configured limit. Sub-limit strikes are
+  /// bookkeeping only (no journal event, mirrors unaffected) — a candidate
+  /// that collides once with a rare backward-reachable state keeps helping
+  /// until it proves itself a repeat offender. Returns true iff this strike
+  /// retracted the candidate.
+  bool strike_may(std::size_t id);
+
+  /// Strikes before strike_may retracts (minimum 1; default 2). Set before
+  /// workers start; see PdrOptions::candidate_strikes.
+  void set_candidate_strikes(std::size_t limit);
 
   /// Remove candidate `id` from the may set because a clean may-proof
   /// succeeded — the caller follows up with add_blocked for the cube.
@@ -168,9 +182,10 @@ class FrameDb {
 #endif
 
  private:
-  /// Shared body of retract_may/graduate_may: erase, bump `counter`,
-  /// journal a RetractMay (mirrors handle both cases identically).
+  /// Shared body of retract_may/strike_may/graduate_may: erase, bump
+  /// `counter`, journal a RetractMay (mirrors handle all cases identically).
   bool remove_may(std::size_t id, std::size_t* counter) GENFV_EXCLUDES(mu_);
+  bool remove_may_locked(std::size_t id, std::size_t* counter) GENFV_REQUIRES(mu_);
 
   /// The named mutex subsumes the old lock_timed(): util::Mutex attributes
   /// lock waits to `pdr.framedb_mutex_wait_ns` / `pdr.framedb_mutex_locks`
@@ -183,6 +198,7 @@ class FrameDb {
   std::vector<MayClause> may_ GENFV_GUARDED_BY(mu_);              ///< live candidates
   std::unordered_set<std::string> may_keys_ GENFV_GUARDED_BY(mu_);  ///< ever-seeded keys
   std::size_t next_may_id_ GENFV_GUARDED_BY(mu_) = 0;
+  std::size_t candidate_strikes_ GENFV_GUARDED_BY(mu_) = 2;
   std::size_t may_graduated_ GENFV_GUARDED_BY(mu_) = 0;
   std::size_t may_retracted_ GENFV_GUARDED_BY(mu_) = 0;
   std::vector<Event> journal_ GENFV_GUARDED_BY(mu_);

@@ -55,7 +55,10 @@ struct PdrRun {
   AbsorbFilter absorb_filter;
 
   PdrRun(const ir::TransitionSystem& ts, const PdrOptions& options, ir::NodeRef prop)
-      : pool(sat::SolverConfig{options.conflict_budget, options.stop.get()}) {
+      : pool(sat::SolverConfig{options.conflict_budget, options.stop.get(),
+                               options.sat_inprocess, options.sat_backend,
+                               options.drat_path}) {
+    db.set_candidate_strikes(options.candidate_strikes);
     const std::size_t n = std::max<std::size_t>(1, options.workers);
     contexts.reserve(n);
     contexts.push_back(std::make_unique<QueryContext>(ts, prop, options.lemmas,
@@ -144,6 +147,7 @@ PdrResult PdrEngine::prove_all(const std::vector<ir::NodeRef>& properties) {
     for (const QueryContext* ctx : contexts) {
       result.stats.retired_gates += ctx->retired_gates();
       result.stats.lifted_bits += ctx->lifted_bits();
+      result.stats.lifted_input_bits += ctx->lifted_input_bits();
     }
     result.stats.solver_rebuilds += run.pool.rebuilds();
     result.stats.candidates_seeded += run.db.may_seeded();

@@ -33,6 +33,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mc/exchange.hpp"
@@ -107,6 +108,17 @@ struct PdrOptions {
   /// never rebuilds — rebuilds keep verdicts but perturb SAT models, i.e.
   /// the exact frame trajectory.
   std::size_t rebuild_gate_limit = 0;
+  /// Strikes before a may-candidate is retracted: a candidate implicated in
+  /// a spurious "blocked" answer is only dropped after this many offenses,
+  /// tolerating one-off collisions with rare backward-reachable states.
+  /// 1 = retract on first offense (the legacy policy).
+  std::size_t candidate_strikes = 2;
+  /// SAT backend name (see sat::make_backend) and inprocessing toggle,
+  /// stamped onto every solver the run's pool creates.
+  std::string sat_backend = "internal";
+  bool sat_inprocess = true;
+  /// When non-empty, pool solvers log DRAT proofs under this path base.
+  std::string drat_path;
 };
 
 struct PdrResult {

@@ -240,6 +240,24 @@ void TernarySim::set_state_bit(std::uint32_t state, std::uint32_t bit, bool valu
   memo_.clear();
 }
 
+void TernarySim::set_input_bit_unknown(std::uint32_t input, std::uint32_t bit) {
+  TernaryWord& word = env_.at(ts_.inputs().at(input));
+  word.known &= ~(1ULL << bit);
+  word.value &= ~(1ULL << bit);
+  memo_.clear();
+}
+
+void TernarySim::set_input_bit(std::uint32_t input, std::uint32_t bit, bool value) {
+  TernaryWord& word = env_.at(ts_.inputs().at(input));
+  word.known |= 1ULL << bit;
+  if (value) {
+    word.value |= 1ULL << bit;
+  } else {
+    word.value &= ~(1ULL << bit);
+  }
+  memo_.clear();
+}
+
 TernaryWord TernarySim::state_word(std::uint32_t state) const {
   return env_.at(ts_.states().at(state).var);
 }
@@ -287,7 +305,7 @@ TernaryWord TernarySim::evaluate(ir::NodeRef root) {
 
 std::size_t lift_obligation(TernarySim& sim, const ir::TransitionSystem& ts,
                             Obligation& o, const Cube* successor,
-                            ir::NodeRef property) {
+                            ir::NodeRef property, std::size_t* lifted_inputs) {
   GENFV_ASSERT(successor != nullptr || property != nullptr,
                "lifting needs a successor cube or a property goal");
   sim.load(o.state_values, o.input_values);
@@ -325,6 +343,25 @@ std::size_t lift_obligation(TernarySim& sim, const ir::TransitionSystem& ts,
   }
   if (kept.empty()) return 0;  // degenerate: keep the full concrete cube
   o.cube = std::move(kept);
+
+  // Input pass — after the state pass, because forcing is monotone in the X
+  // set: an input bit that survives here is irrelevant given exactly the
+  // state bits just kept. The obligation's recorded inputs stay concrete
+  // (counterexample re-simulation needs them); only the count is reported.
+  if (lifted_inputs != nullptr) {
+    for (std::size_t i = 0; i < ts.inputs().size(); ++i) {
+      const unsigned width = ts.inputs()[i]->width();
+      for (unsigned b = 0; b < width; ++b) {
+        const bool concrete = ((o.input_values[i] >> b) & 1) != 0;
+        sim.set_input_bit_unknown(static_cast<std::uint32_t>(i), b);
+        if (forced()) {
+          ++*lifted_inputs;
+          continue;
+        }
+        sim.set_input_bit(static_cast<std::uint32_t>(i), b, concrete);
+      }
+    }
+  }
   return dropped;
 }
 

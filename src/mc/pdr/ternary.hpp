@@ -90,6 +90,10 @@ class TernarySim {
   void set_state_bit_unknown(std::uint32_t state, std::uint32_t bit);
   void set_state_bit(std::uint32_t state, std::uint32_t bit, bool value);
 
+  /// Make bit `bit` of input `input` unknown / concrete again.
+  void set_input_bit_unknown(std::uint32_t input, std::uint32_t bit);
+  void set_input_bit(std::uint32_t input, std::uint32_t bit, bool value);
+
   TernaryWord state_word(std::uint32_t state) const;
 
   /// Evaluate `root` under the current environment. Every Input/State leaf
@@ -115,8 +119,18 @@ class TernarySim {
 /// Every environment constraint must additionally stay forced to 1 in both
 /// shapes. `o.state_values` keeps the concrete witness; only `o.cube`
 /// shrinks (never to empty). Returns the number of literals dropped.
+///
+/// After the state pass, an *input* pass re-runs the same probe over the
+/// recorded input bits: each bit that can go X with the goal still forced is
+/// provably irrelevant to this transition. The count lands in
+/// `*lifted_inputs` (when non-null). `o.input_values` stays fully concrete —
+/// counterexample chains are rebuilt by re-simulating through the recorded
+/// inputs, so the witness must survive lifting — which is also why the input
+/// pass must run after the state pass: forcing is monotone in the X set, and
+/// X-ing inputs first would only mask state bits the cube genuinely needs.
 std::size_t lift_obligation(TernarySim& sim, const ir::TransitionSystem& ts,
                             Obligation& o, const Cube* successor,
-                            ir::NodeRef property);
+                            ir::NodeRef property,
+                            std::size_t* lifted_inputs = nullptr);
 
 }  // namespace genfv::mc::pdr

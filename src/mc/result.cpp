@@ -28,6 +28,11 @@ void EngineStats::absorb(const sat::SolverStats& solver) {
   propagations += solver.propagations;
   restarts += solver.restarts;
   learnt_clauses += solver.learnt_clauses;
+  inprocessings += solver.inprocessings;
+  subsumed_clauses += solver.subsumed_clauses;
+  strengthened_clauses += solver.strengthened_clauses;
+  eliminated_vars += solver.eliminated_vars;
+  vivified_clauses += solver.vivified_clauses;
 }
 
 void EngineStats::publish_metrics(const std::string& prefix) const {
@@ -41,6 +46,12 @@ void EngineStats::publish_metrics(const std::string& prefix) const {
   reg.counter(prefix + "retired_gates").add(retired_gates);
   reg.counter(prefix + "solver_rebuilds").add(solver_rebuilds);
   reg.counter(prefix + "lifted_bits").add(lifted_bits);
+  reg.counter(prefix + "lifted_input_bits").add(lifted_input_bits);
+  reg.counter(prefix + "inprocessings").add(inprocessings);
+  reg.counter(prefix + "subsumed_clauses").add(subsumed_clauses);
+  reg.counter(prefix + "strengthened_clauses").add(strengthened_clauses);
+  reg.counter(prefix + "eliminated_vars").add(eliminated_vars);
+  reg.counter(prefix + "vivified_clauses").add(vivified_clauses);
   reg.counter(prefix + "candidates_seeded").add(candidates_seeded);
   reg.counter(prefix + "candidates_graduated").add(candidates_graduated);
   reg.counter(prefix + "candidates_retracted").add(candidates_retracted);

@@ -46,8 +46,18 @@ struct EngineStats {
   std::uint64_t retired_gates = 0;
   std::uint64_t solver_rebuilds = 0;
   /// PDR ternary lifting: state-bit literals dropped from extracted cubes
-  /// before generalization (PdrOptions::ternary_lifting).
+  /// before generalization (PdrOptions::ternary_lifting), and input bits
+  /// freed to X by the input-lifting pass that follows it.
   std::uint64_t lifted_bits = 0;
+  std::uint64_t lifted_input_bits = 0;
+  /// SAT inprocessing (sat/inprocess.hpp), summed over absorbed solvers:
+  /// sessions run, clauses subsumed / strengthened / vivified, variables
+  /// eliminated by BVE.
+  std::uint64_t inprocessings = 0;
+  std::uint64_t subsumed_clauses = 0;
+  std::uint64_t strengthened_clauses = 0;
+  std::uint64_t eliminated_vars = 0;
+  std::uint64_t vivified_clauses = 0;
   /// PDR candidate seeding (PdrOptions::seed_candidates): candidate clauses
   /// admitted as "may" clauses, graduated into real frame clauses by the
   /// may-proof pass, and retracted (refuted at init or implicated in a
@@ -77,6 +87,12 @@ struct EngineStats {
     retired_gates += other.retired_gates;
     solver_rebuilds += other.solver_rebuilds;
     lifted_bits += other.lifted_bits;
+    lifted_input_bits += other.lifted_input_bits;
+    inprocessings += other.inprocessings;
+    subsumed_clauses += other.subsumed_clauses;
+    strengthened_clauses += other.strengthened_clauses;
+    eliminated_vars += other.eliminated_vars;
+    vivified_clauses += other.vivified_clauses;
     candidates_seeded += other.candidates_seeded;
     candidates_graduated += other.candidates_graduated;
     candidates_retracted += other.candidates_retracted;

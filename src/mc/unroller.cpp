@@ -4,31 +4,44 @@
 
 namespace genfv::mc {
 
-Unroller::Unroller(const ir::TransitionSystem& ts, sat::Solver& solver)
+Unroller::Unroller(const ir::TransitionSystem& ts, sat::Backend& solver)
     : ts_(ts), solver_(solver), blaster_(solver) {
   ts_.validate();
   extend_to(0);
+}
+
+void Unroller::freeze_bits(const bitblast::Bits& bits) {
+  for (const sat::Lit p : bits) solver_.freeze(sat::var(p));
 }
 
 void Unroller::build_frame(std::size_t frame) {
   GENFV_ASSERT(frame == frames_.size(), "frames must be built in order");
   bitblast::BlastCache cache;
 
+  // Leaf bits are the engines' durable handles into the solver — trace
+  // extraction, induction clauses and PDR cubes all reference them across
+  // many solves — so they are frozen against variable elimination.
+
   // Inputs: fresh variables every frame.
   for (const ir::NodeRef in : ts_.inputs()) {
-    cache.emplace(in, blaster_.fresh_vector(in->width()));
+    const auto [it, inserted] = cache.emplace(in, blaster_.fresh_vector(in->width()));
+    freeze_bits(it->second);
   }
 
   if (frame == 0) {
     // Frame-0 states: fresh, unconstrained until assert_init().
     for (const auto& s : ts_.states()) {
-      cache.emplace(s.var, blaster_.fresh_vector(s.var->width()));
+      const auto [it, inserted] =
+          cache.emplace(s.var, blaster_.fresh_vector(s.var->width()));
+      freeze_bits(it->second);
     }
   } else {
     // Functional unrolling: next-state expressions of the previous frame.
     auto& prev = frames_[frame - 1];
     for (const auto& s : ts_.states()) {
-      cache.emplace(s.var, blaster_.blast(s.next, prev));
+      const bitblast::Bits bits = blaster_.blast(s.next, prev);
+      freeze_bits(bits);
+      cache.emplace(s.var, std::move(bits));
     }
   }
   frames_.push_back(std::move(cache));
@@ -62,7 +75,9 @@ sat::Lit Unroller::lit_at(ir::NodeRef expr, std::size_t frame) {
 
 const bitblast::Bits& Unroller::bits_at(ir::NodeRef expr, std::size_t frame) {
   GENFV_ASSERT(frame < frames_.size(), "frame not materialized");
-  return blaster_.blast(expr, frames_[frame]);
+  const bitblast::Bits& bits = blaster_.blast(expr, frames_[frame]);
+  freeze_bits(bits);
+  return bits;
 }
 
 void Unroller::assert_at(ir::NodeRef expr, std::size_t frame) {

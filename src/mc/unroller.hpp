@@ -21,10 +21,10 @@ namespace genfv::mc {
 
 class Unroller {
  public:
-  Unroller(const ir::TransitionSystem& ts, sat::Solver& solver);
+  Unroller(const ir::TransitionSystem& ts, sat::Backend& solver);
 
   const ir::TransitionSystem& system() const noexcept { return ts_; }
-  sat::Solver& solver() noexcept { return solver_; }
+  sat::Backend& solver() noexcept { return solver_; }
   bitblast::BitBlaster& blaster() noexcept { return blaster_; }
 
   /// Number of frames currently materialized (frame indices 0..count-1).
@@ -37,7 +37,9 @@ class Unroller {
   void assert_init();
 
   /// Literal/bits of an arbitrary expression evaluated at `frame`
-  /// (the frame must already exist).
+  /// (the frame must already exist). Returned bits are frozen: the caller
+  /// holds them as handles it may re-reference (assumptions, new clauses),
+  /// so the backend must never eliminate them.
   sat::Lit lit_at(ir::NodeRef expr, std::size_t frame);
   const bitblast::Bits& bits_at(ir::NodeRef expr, std::size_t frame);
 
@@ -56,9 +58,10 @@ class Unroller {
 
  private:
   void build_frame(std::size_t frame);
+  void freeze_bits(const bitblast::Bits& bits);
 
   const ir::TransitionSystem& ts_;
-  sat::Solver& solver_;
+  sat::Backend& solver_;
   bitblast::BitBlaster blaster_;
   /// Per-frame blast cache; leaf bindings seeded at frame construction.
   std::vector<bitblast::BlastCache> frames_;

@@ -1,0 +1,27 @@
+#include "sat/backend.hpp"
+
+#include "sat/solver.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace genfv::sat {
+
+Lit Backend::true_lit() {
+  if (true_var_ == kUndefVar) {
+    true_var_ = new_var(/*decision=*/false);
+    freeze(true_var_);
+    const bool ok = add_clause(mk_lit(true_var_));
+    GENFV_ASSERT(ok, "asserting the constant-true literal cannot fail");
+  }
+  return mk_lit(true_var_);
+}
+
+std::unique_ptr<Backend> make_backend(const std::string& name) {
+  if (name == "internal") return std::make_unique<Solver>();
+  throw UsageError("unknown SAT backend '" + name + "' (known: " +
+                   util::join(backend_names(), ", ") + ")");
+}
+
+std::vector<std::string> backend_names() { return {"internal"}; }
+
+}  // namespace genfv::sat

@@ -61,7 +61,7 @@ std::string to_dimacs(const Cnf& cnf) {
   return out.str();
 }
 
-bool load_cnf(const Cnf& cnf, Solver& solver) {
+bool load_cnf(const Cnf& cnf, Backend& solver) {
   while (solver.num_vars() < cnf.num_vars) solver.new_var();
   for (const auto& clause : cnf.clauses) {
     std::vector<Lit> lits;

@@ -13,7 +13,7 @@
 
 namespace genfv::sat {
 
-class Solver;
+class Backend;
 
 /// A raw CNF: clauses over 1-based DIMACS variables (negative = negated).
 struct Cnf {
@@ -27,9 +27,9 @@ Cnf parse_dimacs(const std::string& text);
 /// Serialize to DIMACS text.
 std::string to_dimacs(const Cnf& cnf);
 
-/// Load `cnf` into `solver` (creates variables as needed); returns the
-/// literal mapping is implicit: DIMACS var i -> solver var i-1.
+/// Load `cnf` into `solver` (creates variables as needed); the literal
+/// mapping is implicit: DIMACS var i -> solver var i-1.
 /// Returns false if the solver became UNSAT while loading.
-bool load_cnf(const Cnf& cnf, Solver& solver);
+bool load_cnf(const Cnf& cnf, Backend& solver);
 
 }  // namespace genfv::sat

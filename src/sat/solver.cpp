@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sat/drat.hpp"
+#include "sat/inprocess.hpp"
 #include "sat/luby.hpp"
 #include "util/status.hpp"
 #include "util/telemetry.hpp"
@@ -17,6 +19,8 @@ Var Solver::new_var(bool decision) {
   assigns_.push_back(LBool::Undef);
   polarity_.push_back(1);  // like MiniSat: first branch assigns "false"
   decision_.push_back(decision ? 1 : 0);
+  frozen_.push_back(0);
+  eliminated_.push_back(0);
   reason_.push_back(nullptr);
   level_.push_back(0);
   activity_.push_back(0.0);
@@ -28,18 +32,51 @@ Var Solver::new_var(bool decision) {
   return v;
 }
 
-Lit Solver::true_lit() {
-  if (true_var_ == kUndefVar) {
-    true_var_ = new_var(/*decision=*/false);
-    const bool ok = add_clause(mk_lit(true_var_));
-    GENFV_ASSERT(ok, "asserting the constant-true literal cannot fail");
+bool Solver::start_proof(const std::string& path_base) {
+  GENFV_ASSERT(num_vars() == 0 && clauses_.empty() && learnts_.empty(),
+               "start_proof requires a pristine solver");
+  drat_ = std::make_unique<DratWriter>(path_base);
+  if (!drat_->ok()) {
+    drat_.reset();
+    return false;
   }
-  return mk_lit(true_var_);
+  return true;
+}
+
+void Solver::mark_unsat() {
+  ok_ = false;
+  if (drat_ != nullptr && !empty_clause_logged_) {
+    drat_->add_empty();
+    empty_clause_logged_ = true;
+    // The derivation is complete at this point — make the certificate
+    // durable now rather than at solver teardown.
+    drat_->flush();
+  }
 }
 
 bool Solver::add_clause(std::vector<Lit> lits) {
+  add_clause_impl(std::move(lits), ClauseOrigin::kInput);
+  return ok_;
+}
+
+Solver::Clause* Solver::add_clause_impl(std::vector<Lit> lits, ClauseOrigin origin) {
   GENFV_ASSERT(decision_level() == 0, "clauses may only be added at level 0");
-  if (!ok_) return false;
+  if (drat_ != nullptr) {
+    if (origin == ClauseOrigin::kInput) {
+      drat_->input_clause(lits);
+    } else if (origin == ClauseOrigin::kDerived) {
+      drat_->add(lits);
+    }
+  }
+  if (origin != ClauseOrigin::kRestored && !elim_stack_.empty()) {
+    for (const Lit p : lits) {
+      if (is_eliminated(var(p))) {
+        restore_eliminated();
+        break;
+      }
+    }
+  }
+  if (!ok_) return nullptr;
 
   // Normalize: sort, drop duplicates and false literals, detect tautologies
   // and already-satisfied clauses.
@@ -49,7 +86,7 @@ bool Solver::add_clause(std::vector<Lit> lits) {
   Lit prev = kUndefLit;
   for (const Lit p : lits) {
     GENFV_ASSERT(var(p) >= 0 && var(p) < num_vars(), "literal out of range");
-    if (value(p) == LBool::True || p == ~prev) return true;  // satisfied / tautology
+    if (value(p) == LBool::True || p == ~prev) return nullptr;  // satisfied / tautology
     if (value(p) != LBool::False && p != prev) {
       cleaned.push_back(p);
       prev = p;
@@ -57,20 +94,76 @@ bool Solver::add_clause(std::vector<Lit> lits) {
   }
 
   if (cleaned.empty()) {
-    ok_ = false;
-    return false;
+    mark_unsat();
+    return nullptr;
   }
   if (cleaned.size() == 1) {
     unchecked_enqueue(cleaned[0]);
-    ok_ = (propagate() == nullptr);
-    return ok_;
+    if (propagate() != nullptr) mark_unsat();
+    return nullptr;
   }
 
   auto clause = std::make_unique<Clause>();
   clause->lits = std::move(cleaned);
   attach_clause(clause.get());
   clauses_.push_back(std::move(clause));
-  return true;
+  return clauses_.back().get();
+}
+
+void Solver::restore_eliminated() {
+  if (elim_stack_.empty()) return;
+  GENFV_ASSERT(decision_level() == 0, "restore runs between solves");
+  stats_.restored_vars += elim_stack_.size();
+  std::vector<ElimEntry> stack;
+  stack.swap(elim_stack_);
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    const auto v = static_cast<std::size_t>(it->v);
+    eliminated_[v] = 0;
+    decision_[v] = it->was_decision ? 1 : 0;
+    if (decision_[v] != 0 && value(it->v) == LBool::Undef && !order_heap_.contains(it->v)) {
+      order_heap_.insert(it->v);
+    }
+  }
+  // The stored clauses are already part of the proof's active set (they were
+  // never deleted from it), so re-adding emits no DRAT traffic.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    for (auto& cl : it->clauses) {
+      if (!ok_) return;
+      add_clause_impl(std::move(cl), ClauseOrigin::kRestored);
+    }
+  }
+}
+
+void Solver::extend_model() {
+  const auto lit_true = [this](Lit p) {
+    return xor_sign(model_[static_cast<std::size_t>(var(p))], sign(p)) == LBool::True;
+  };
+  // Reverse stack order: an entry's clauses only mention variables that were
+  // never eliminated or that a later entry (already processed) covers.
+  for (auto it = elim_stack_.rbegin(); it != elim_stack_.rend(); ++it) {
+    LBool val = LBool::False;
+    for (const auto& cl : it->clauses) {
+      bool satisfied = false;
+      Lit mine = kUndefLit;
+      for (const Lit p : cl) {
+        if (var(p) == it->v) {
+          mine = p;
+          continue;
+        }
+        if (lit_true(p)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied && mine != kUndefLit) {
+        // BVE kept every resolvent, so all clauses unsatisfied-by-others
+        // agree on the polarity they need from the eliminated variable.
+        val = sign(mine) ? LBool::False : LBool::True;
+        break;
+      }
+    }
+    model_[static_cast<std::size_t>(it->v)] = val;
+  }
 }
 
 void Solver::attach_clause(Clause* c) {
@@ -172,6 +265,22 @@ void Solver::cla_bump_activity(Clause& c) {
   }
 }
 
+std::uint32_t Solver::compute_lbd(const std::vector<Lit>& lits) {
+  ++lbd_stamp_;
+  if (lbd_seen_.size() <= static_cast<std::size_t>(decision_level())) {
+    lbd_seen_.resize(static_cast<std::size_t>(decision_level()) + 1, 0);
+  }
+  std::uint32_t count = 0;
+  for (const Lit p : lits) {
+    const int l = level_of(var(p));
+    if (l > 0 && lbd_seen_[static_cast<std::size_t>(l)] != lbd_stamp_) {
+      lbd_seen_[static_cast<std::size_t>(l)] = lbd_stamp_;
+      ++count;
+    }
+  }
+  return count;
+}
+
 void Solver::analyze(Clause* conflict, std::vector<Lit>& out_learnt, int& out_btlevel) {
   out_learnt.clear();
   out_learnt.push_back(kUndefLit);  // slot for the asserting literal
@@ -183,7 +292,15 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& out_learnt, int& out_bt
   Clause* c = conflict;
   do {
     GENFV_ASSERT(c != nullptr, "conflict analysis walked past a decision");
-    if (c->learnt) cla_bump_activity(*c);
+    if (c->learnt) {
+      cla_bump_activity(*c);
+      // Age the glue: a learnt clause re-entering analysis gets its LBD
+      // recomputed and keeps the minimum (glucose-style aging).
+      if (inprocess_on_ && c->lbd > kCoreLbd) {
+        const std::uint32_t lbd = compute_lbd(c->lits);
+        if (lbd < c->lbd) c->lbd = lbd;
+      }
+    }
     for (std::size_t j = (p == kUndefLit) ? 0 : 1; j < c->lits.size(); ++j) {
       const Lit q = c->lits[j];
       const auto vq = static_cast<std::size_t>(var(q));
@@ -272,6 +389,16 @@ void Solver::analyze_final(Lit failed_assumption) {
     seen_[v] = 0;
   }
   seen_[static_cast<std::size_t>(var(failed_assumption))] = 0;
+
+  // The negated core is RUP (propagating the core assumptions replays the
+  // trail into this conflict), so UNSAT-under-assumption answers are
+  // certifiable lemmas too.
+  if (drat_ != nullptr) {
+    std::vector<Lit> clause;
+    clause.reserve(core_.size());
+    for (const Lit p : core_) clause.push_back(~p);
+    drat_->add(clause);
+  }
 }
 
 void Solver::cancel_until(int level) {
@@ -306,30 +433,55 @@ bool Solver::locked(const Clause* c) const noexcept {
 }
 
 void Solver::reduce_db() {
-  // Sort learnts by (size > 2, activity): glue-ish clauses survive.
   std::vector<Clause*> sorted;
   sorted.reserve(learnts_.size());
-  for (const auto& c : learnts_) sorted.push_back(c.get());
-  std::sort(sorted.begin(), sorted.end(), [](const Clause* a, const Clause* b) {
-    const bool a_big = a->lits.size() > 2;
-    const bool b_big = b->lits.size() > 2;
-    if (a_big != b_big) return a_big;  // big clauses first (delete candidates)
-    return a->activity < b->activity;
-  });
-
-  std::vector<const Clause*> doomed;
   const std::size_t target = learnts_.size() / 2;
-  for (const Clause* c : sorted) {
-    if (doomed.size() >= target) break;
-    if (c->lits.size() > 2 && !locked(c)) doomed.push_back(c);
+  std::size_t doomed = 0;
+
+  if (inprocess_on_) {
+    // LBD tiers: core clauses (lbd <= kCoreLbd) and binaries are immortal;
+    // the rest die worst-glue-first, activity as the tie-break.
+    for (const auto& c : learnts_) {
+      if (c->lits.size() > 2 && c->lbd > kCoreLbd && !locked(c.get())) {
+        sorted.push_back(c.get());
+      }
+    }
+    std::sort(sorted.begin(), sorted.end(), [](const Clause* a, const Clause* b) {
+      if (a->lbd != b->lbd) return a->lbd > b->lbd;  // worst glue first
+      return a->activity < b->activity;
+    });
+    for (Clause* c : sorted) {
+      if (doomed >= target) break;
+      c->dead = true;
+      ++doomed;
+    }
+  } else {
+    // Legacy order: sort learnts by (size > 2, activity); glue-ish survive.
+    for (const auto& c : learnts_) sorted.push_back(c.get());
+    std::sort(sorted.begin(), sorted.end(), [](const Clause* a, const Clause* b) {
+      const bool a_big = a->lits.size() > 2;
+      const bool b_big = b->lits.size() > 2;
+      if (a_big != b_big) return a_big;  // big clauses first (delete candidates)
+      return a->activity < b->activity;
+    });
+    for (Clause* c : sorted) {
+      if (doomed >= target) break;
+      if (c->lits.size() > 2 && !locked(c)) {
+        c->dead = true;
+        ++doomed;
+      }
+    }
   }
 
-  for (const Clause* c : doomed) detach_clause(const_cast<Clause*>(c));
-  auto is_doomed = [&doomed](const std::unique_ptr<Clause>& c) {
-    return std::find(doomed.begin(), doomed.end(), c.get()) != doomed.end();
-  };
-  learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(), is_doomed), learnts_.end());
-  stats_.deleted_clauses += doomed.size();
+  for (const auto& c : learnts_) {
+    if (!c->dead) continue;
+    if (drat_ != nullptr) drat_->remove(c->lits);
+    detach_clause(c.get());
+  }
+  learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(),
+                                [](const std::unique_ptr<Clause>& c) { return c->dead; }),
+                 learnts_.end());
+  stats_.deleted_clauses += doomed;
 }
 
 LBool Solver::search(int conflicts_before_restart, const std::vector<Lit>& assumptions) {
@@ -342,11 +494,18 @@ LBool Solver::search(int conflicts_before_restart, const std::vector<Lit>& assum
       ++stats_.conflicts;
       ++conflict_count;
       if (decision_level() == 0) {
-        ok_ = false;
+        mark_unsat();
         return LBool::False;
       }
       int backtrack_level = 0;
       analyze(conflict, learnt, backtrack_level);
+      const std::uint32_t lbd = compute_lbd(learnt);
+      if (drat_ != nullptr) drat_->add(learnt);
+      if (util::telemetry_on()) {
+        static util::Histogram& lbd_hist =
+            util::metrics().histogram("sat.lbd", /*first_bound=*/1, /*buckets=*/16);
+        lbd_hist.observe(lbd);
+      }
       // Never backjump into the assumption prefix below a still-needed
       // assumption decision: cancel_until handles replay because the
       // decision loop below re-enqueues assumptions in order.
@@ -357,6 +516,7 @@ LBool Solver::search(int conflicts_before_restart, const std::vector<Lit>& assum
       } else {
         auto clause = std::make_unique<Clause>();
         clause->learnt = true;
+        clause->lbd = lbd;
         clause->lits = learnt;
         attach_clause(clause.get());
         cla_bump_activity(*clause);
@@ -434,15 +594,36 @@ LBool Solver::solve(const std::vector<Lit>& assumptions) {
   return status;
 }
 
+void Solver::simplify_now() {
+  GENFV_ASSERT(decision_level() == 0, "inprocessing runs between restarts, at level 0");
+  if (!ok_) return;
+  Inprocessor(*this).run();
+  last_inprocess_conflicts_ = stats_.conflicts;
+}
+
 LBool Solver::solve_core(const std::vector<Lit>& assumptions) {
   model_.clear();
   core_.clear();
   ++stats_.solves;
+
+  // Assumption variables become part of the caller-visible interface: pin
+  // them against elimination for good, restoring first if a previous session
+  // already eliminated one.
+  if (!elim_stack_.empty()) {
+    for (const Lit p : assumptions) {
+      if (is_eliminated(var(p))) {
+        restore_eliminated();
+        break;
+      }
+    }
+  }
+  for (const Lit p : assumptions) freeze(var(p));
+
   if (!ok_) return LBool::False;
 
   cancel_until(0);
   if (propagate() != nullptr) {
-    ok_ = false;
+    mark_unsat();
     return LBool::False;
   }
 
@@ -456,12 +637,29 @@ LBool Solver::solve_core(const std::vector<Lit>& assumptions) {
         stats_.conflicts - conflicts_at_solve_start_ >=
             static_cast<std::uint64_t>(conflict_budget_);
     if (budget_exhausted || interrupted()) break;
+    // A session's cost scales with the database (occurrence lists over
+    // every clause, BVE over every variable), so the conflict interval
+    // between sessions scales with it too: the huge low-conflict CNFs of
+    // deep BMC unrollings would otherwise spend more time simplifying than
+    // solving, while the small hot databases of PDR queries want the short
+    // fixed floor.
+    const std::uint64_t inprocess_interval = std::max(
+        kInprocessInterval, static_cast<std::uint64_t>(clauses_.size()) / 4);
+    if (inprocess_on_ &&
+        stats_.conflicts - last_inprocess_conflicts_ >= inprocess_interval) {
+      simplify_now();
+      if (!ok_) {
+        status = LBool::False;
+        break;
+      }
+    }
     const double base = luby(2.0, restarts) * 100.0;
     status = search(static_cast<int>(base), assumptions);
   }
 
   if (status == LBool::True) {
     model_ = assigns_;
+    if (!elim_stack_.empty()) extend_model();
   }
   cancel_until(0);
   return status;

@@ -1,36 +1,52 @@
 #include "sat/solver_pool.hpp"
 
+#include <utility>
+
 #include "util/lock_order.hpp"
 #include "util/status.hpp"
 #include "util/telemetry.hpp"
 
 namespace genfv::sat {
 
-SolverPool::SolverPool(SolverConfig config) : config_(config) {}
+SolverPool::SolverPool(SolverConfig config) : config_(std::move(config)) {}
 
-std::unique_ptr<Solver> SolverPool::make_solver() const {
-  auto solver = std::make_unique<Solver>();
+std::unique_ptr<Backend> SolverPool::make_solver(std::size_t handle) const {
+  auto solver = make_backend(config_.backend);
   solver->set_conflict_budget(config_.conflict_budget);
   solver->set_stop_flag(config_.stop);
+  solver->set_inprocessing(config_.inprocess);
+  if (!config_.drat_base.empty()) {
+    // Proof logging must start on a pristine solver; uniquify per handle and
+    // per rebuild generation so concurrent/successive solvers never collide.
+    std::string base = config_.drat_base;
+    if (handle != 0) base += "-p" + std::to_string(handle);
+    std::uint64_t generation = 0;
+    {
+      util::MutexLock lock(mu_);
+      generation = rebuilds_;
+    }
+    if (generation != 0) base += "-r" + std::to_string(generation);
+    solver->start_proof(base);
+  }
   return solver;
 }
 
 std::size_t SolverPool::acquire() {
-  solvers_.push_back(make_solver());
+  solvers_.push_back(make_solver(solvers_.size()));
   return solvers_.size() - 1;
 }
 
-Solver& SolverPool::at(std::size_t handle) {
+Backend& SolverPool::at(std::size_t handle) {
   GENFV_ASSERT(handle < solvers_.size(), "solver handle out of range");
   return *solvers_[handle];
 }
 
-const Solver& SolverPool::at(std::size_t handle) const {
+const Backend& SolverPool::at(std::size_t handle) const {
   GENFV_ASSERT(handle < solvers_.size(), "solver handle out of range");
   return *solvers_[handle];
 }
 
-Solver& SolverPool::rebuild(std::size_t handle) {
+Backend& SolverPool::rebuild(std::size_t handle) {
   GENFV_ASSERT(handle < solvers_.size(), "solver handle out of range");
   GENFV_TRACE_SPAN("sat", "pool_rebuild");
   // Rebuild invalidates the handle's solver and takes the accumulator lock;
@@ -46,7 +62,7 @@ Solver& SolverPool::rebuild(std::size_t handle) {
     retired_ += solvers_[handle]->stats();
     ++rebuilds_;
   }
-  solvers_[handle] = make_solver();
+  solvers_[handle] = make_solver(handle);
   return *solvers_[handle];
 }
 

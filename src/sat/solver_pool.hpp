@@ -28,9 +28,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "sat/solver.hpp"
+#include "sat/backend.hpp"
 #include "util/thread_safety.hpp"
 
 namespace genfv::sat {
@@ -41,8 +42,16 @@ struct SolverConfig {
   /// Best-effort conflict cap per solve(); -1 = unlimited.
   std::int64_t conflict_budget = -1;
   /// Cooperative cancellation flag (read-only, relaxed); may be nullptr.
-  /// Must outlive the pool — see Solver::set_stop_flag.
+  /// Must outlive the pool — see Backend::set_stop_flag.
   const std::atomic<bool>* stop = nullptr;
+  /// Enable inprocessing on backends that support it (default on).
+  bool inprocess = true;
+  /// Backend to construct (see sat::make_backend); "internal" = in-tree CDCL.
+  std::string backend = "internal";
+  /// When non-empty, every solver the pool creates logs a DRAT proof to
+  /// `<drat_base>-p<handle>[-r<rebuild#>]`. Meant for single-solver runs;
+  /// the suffixes keep multi-handle pools from clobbering one file.
+  std::string drat_base;
 };
 
 class SolverPool {
@@ -58,15 +67,15 @@ class SolverPool {
 
   std::size_t size() const noexcept { return solvers_.size(); }
 
-  Solver& at(std::size_t handle);
-  const Solver& at(std::size_t handle) const;
+  Backend& at(std::size_t handle);
+  const Backend& at(std::size_t handle) const;
 
   /// Replace `handle`'s solver with a fresh configured instance. The retired
   /// solver's lifetime stats are folded into the pool accumulator first, so
   /// they are never lost; its clauses, variables and models are dropped.
   /// References to the old solver are invalidated. Safe to call from the
   /// worker owning `handle` while other workers use theirs.
-  Solver& rebuild(std::size_t handle);
+  Backend& rebuild(std::size_t handle);
 
   /// Number of rebuild() calls over the pool's lifetime.
   std::uint64_t rebuilds() const;
@@ -78,10 +87,10 @@ class SolverPool {
   SolverStats total_stats() const;
 
  private:
-  std::unique_ptr<Solver> make_solver() const;
+  std::unique_ptr<Backend> make_solver(std::size_t handle) const;
 
   SolverConfig config_;
-  std::vector<std::unique_ptr<Solver>> solvers_;
+  std::vector<std::unique_ptr<Backend>> solvers_;
   /// Guards the cross-handle accumulators below (several workers may retire
   /// their solvers concurrently); per-handle solver access is unguarded.
   mutable util::Mutex mu_{"sat.solver_pool"};

@@ -8,6 +8,7 @@
 #include "util/status.hpp"
 
 #include "bitblast/bitblaster.hpp"
+#include "sat/solver.hpp"
 #include "sim/interpreter.hpp"
 #include "util/rng.hpp"
 

@@ -7,6 +7,7 @@
 #include "util/status.hpp"
 
 #include "mc/bmc.hpp"
+#include "sat/solver.hpp"
 #include "mc/kinduction.hpp"
 #include "sim/random_sim.hpp"
 

@@ -23,6 +23,7 @@
 #include "mc/pdr/pdr.hpp"
 #include "mc/pdr/ternary.hpp"
 #include "ir/printer.hpp"
+#include "sat/solver.hpp"
 #include "sat/solver_pool.hpp"
 #include "sim/interpreter.hpp"
 #include "sva/compiler.hpp"
@@ -214,6 +215,45 @@ TEST(PdrFrameDb, EpochSyncIntoTwoIndependentContexts) {
   std::vector<sat::Lit> assumptions;
   for (const StateLit& l : cube) assumptions.push_back(c.cube_lit(0, l));
   EXPECT_EQ(c.solver().solve(assumptions), sat::LBool::False);
+}
+
+TEST(PdrFrameDb, StrikesRetractCandidatesOnlyAtTheLimit) {
+  FrameDb db;
+  db.set_candidate_strikes(3);
+  const Cube cube{{0, 0, false}};
+  const auto id = db.seed_may(cube);
+  ASSERT_TRUE(id.has_value());
+  const std::uint64_t epoch_after_seed = db.epoch();
+
+  // Two sub-limit strikes: candidate stays live, mirrors see nothing.
+  EXPECT_FALSE(db.strike_may(*id));
+  EXPECT_FALSE(db.strike_may(*id));
+  EXPECT_EQ(db.may_clauses().size(), 1u);
+  EXPECT_EQ(db.may_clauses()[0].strikes, 2u);
+  EXPECT_EQ(db.epoch(), epoch_after_seed);
+  EXPECT_EQ(db.may_retracted(), 0u);
+
+  // The third strike retracts and journals a RetractMay for the mirrors.
+  EXPECT_TRUE(db.strike_may(*id));
+  EXPECT_TRUE(db.may_clauses().empty());
+  EXPECT_EQ(db.may_retracted(), 1u);
+  std::vector<FrameDb::Event> events;
+  db.events_since(epoch_after_seed, &events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FrameDb::Event::Kind::RetractMay);
+
+  // Striking a retracted candidate is a no-op, and the cube stays refused.
+  EXPECT_FALSE(db.strike_may(*id));
+  EXPECT_FALSE(db.seed_may(cube).has_value());
+}
+
+TEST(PdrFrameDb, StrikeLimitFloorsAtOne) {
+  FrameDb db;
+  db.set_candidate_strikes(0);  // clamped to 1: first offense retracts
+  const auto id = db.seed_may(Cube{{0, 1, true}});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(db.strike_may(*id));
+  EXPECT_TRUE(db.may_clauses().empty());
 }
 
 TEST(PdrObligations, LowestLevelFirst) {
@@ -754,6 +794,71 @@ TEST(PdrTernary, LiftDropsIrrelevantStateBits) {
   }
   EXPECT_EQ(lift_obligation(sim, ts, pred, &successor, nullptr), 4u);
   for (const StateLit& l : pred.cube) EXPECT_EQ(l.state, 0u);
+}
+
+TEST(PdrTernary, LiftCountsIrrelevantInputBits) {
+  // next(a) = a ignores the input entirely, so every input bit is provably
+  // irrelevant to the bad state a == 5; the input pass counts all 4 while
+  // the recorded concrete input values stay untouched (CEX re-simulation
+  // depends on them).
+  ir::TransitionSystem ts;
+  auto& nm = ts.nm();
+  const NodeRef a = ts.add_state("a", 4);
+  (void)ts.add_input("i", 4);
+  ts.set_init(a, nm.mk_const(0, 4));
+  ts.set_next(a, a);
+  const NodeRef prop = nm.mk_ne(a, nm.mk_const(5, 4));
+
+  TernarySim sim(ts);
+  Obligation o;
+  o.state_values = {5};
+  o.input_values = {9};
+  for (std::uint32_t bit = 0; bit < 4; ++bit) {
+    o.cube.push_back({0, bit, ((5u >> bit) & 1) == 0});
+  }
+  std::size_t lifted_inputs = 0;
+  lift_obligation(sim, ts, o, nullptr, prop, &lifted_inputs);
+  EXPECT_EQ(lifted_inputs, 4u);
+  ASSERT_EQ(o.input_values.size(), 1u);
+  EXPECT_EQ(o.input_values[0], 9u);  // concrete witness survives
+}
+
+TEST(PdrTernary, LiftKeepsInputBitsThatForceTheSuccessor) {
+  // next(a) = i and next(b) = b: the successor literal a' == 5 is forced
+  // *only* by the input bits (none may lift), while b' == 2 is forced only
+  // by b's state bits — so all of a's state bits drop and all of b's stay.
+  // The split proves the input pass probes forcing, not state relevance.
+  ir::TransitionSystem ts;
+  auto& nm = ts.nm();
+  const NodeRef a = ts.add_state("a", 4);
+  const NodeRef b = ts.add_state("b", 4);
+  const NodeRef i = ts.add_input("i", 4);
+  ts.set_init(a, nm.mk_const(0, 4));
+  ts.set_init(b, nm.mk_const(0, 4));
+  ts.set_next(a, i);
+  ts.set_next(b, b);
+
+  TernarySim sim(ts);
+  Obligation pred;
+  pred.state_values = {3, 2};
+  pred.input_values = {5};
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    for (std::uint32_t bit = 0; bit < 4; ++bit) {
+      pred.cube.push_back({s, bit, ((pred.state_values[s] >> bit) & 1) == 0});
+    }
+  }
+  Cube successor;
+  for (std::uint32_t bit = 0; bit < 4; ++bit) {
+    successor.push_back({0, bit, ((5u >> bit) & 1) == 0});
+    successor.push_back({1, bit, ((2u >> bit) & 1) == 0});
+  }
+  std::size_t lifted_inputs = 0;
+  const std::size_t dropped =
+      lift_obligation(sim, ts, pred, &successor, nullptr, &lifted_inputs);
+  EXPECT_EQ(dropped, 4u);  // all of a's state bits
+  EXPECT_EQ(lifted_inputs, 0u);
+  for (const StateLit& l : pred.cube) EXPECT_EQ(l.state, 1u);
+  EXPECT_EQ(pred.input_values[0], 5u);
 }
 
 TEST(PdrTernary, LiftRespectsEnvironmentConstraints) {

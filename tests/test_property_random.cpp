@@ -16,6 +16,7 @@
 #include "mc/bmc.hpp"
 #include "mc/kinduction.hpp"
 #include "mc/pdr/pdr.hpp"
+#include "sat/solver.hpp"
 #include "sim/random_sim.hpp"
 #include "util/rng.hpp"
 

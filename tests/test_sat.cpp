@@ -5,10 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "sat/backend.hpp"
 #include "sat/dimacs.hpp"
 #include "sat/solver.hpp"
 #include "sat/solver_pool.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace genfv::sat {
 namespace {
@@ -359,7 +365,7 @@ TEST(SolverPoolTest, RebuildFoldsRetiredStats) {
   const std::uint64_t solves_before = pool.total_stats().solves;
   EXPECT_GE(solves_before, 1u);
 
-  Solver& fresh = pool.rebuild(h);
+  Backend& fresh = pool.rebuild(h);
   EXPECT_EQ(&fresh, &pool.at(h));
   EXPECT_EQ(fresh.num_vars(), 0);  // genuinely fresh
   EXPECT_EQ(pool.rebuilds(), 1u);
@@ -372,6 +378,396 @@ TEST(SolverPoolTest, RebuildFoldsRetiredStats) {
   EXPECT_EQ(pool.total_stats().solves, solves_before + 1);
 }
 
+// --- inprocessing soundness ---------------------------------------------------
+
+/// Random CNF generator shared by the inprocessing fuzz tests: wide enough
+/// clause/variable mix to give subsumption, strengthening and elimination
+/// real work, small enough for brute force.
+std::vector<std::vector<int>> random_cnf(util::Xoshiro256& rng, int num_vars) {
+  const int num_clauses = num_vars + static_cast<int>(rng.below(
+                                         static_cast<std::uint64_t>(4 * num_vars)));
+  std::vector<std::vector<int>> clauses;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<int> clause;
+    const int len = 1 + static_cast<int>(rng.below(4));  // 1..4 literals
+    for (int l = 0; l < len; ++l) {
+      const int v = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(num_vars)));
+      clause.push_back(rng.chance(0.5) ? v : -v);
+    }
+    clauses.push_back(std::move(clause));
+  }
+  return clauses;
+}
+
+bool load_raw(Solver& s, int num_vars, const std::vector<std::vector<int>>& clauses) {
+  while (s.num_vars() < num_vars) (void)s.new_var();
+  bool ok = true;
+  for (const auto& clause : clauses) {
+    std::vector<Lit> lits;
+    for (const int l : clause) lits.push_back(mk_lit(std::abs(l) - 1, l < 0));
+    ok = s.add_clause(std::move(lits)) && ok;
+  }
+  return ok;
+}
+
+/// The model (extended through the elimination stack) must satisfy the
+/// *original* clause list, not just the simplified database.
+void expect_model_satisfies(const Solver& s,
+                            const std::vector<std::vector<int>>& clauses) {
+  for (const auto& clause : clauses) {
+    bool ok = false;
+    for (const int l : clause) {
+      if (s.model_value(mk_lit(std::abs(l) - 1, l < 0)) == LBool::True) {
+        ok = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(ok) << "extended model violates an original clause";
+  }
+}
+
+class InprocessFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InprocessFuzz, OnOffAndForcedSimplifyAgreeWithBruteForce) {
+  // Three solvers over each instance: inprocessing off (the pinned baseline
+  // path), on (cadence-scheduled — these instances are too small to hit the
+  // conflict cadence, so this mostly checks the LBD-tier path), and on with
+  // an explicit simplify_now() session (forces BVE/subsumption/vivification
+  // through every clause). All must agree with brute force, and every SAT
+  // model must extend over eliminated variables back to the original CNF.
+  util::Xoshiro256 rng(GetParam());
+  for (int instance = 0; instance < 30; ++instance) {
+    const int num_vars = 4 + static_cast<int>(rng.below(9));  // 4..12
+    const auto clauses = random_cnf(rng, num_vars);
+    const bool expected = brute_force_sat(num_vars, clauses);
+
+    Solver off;
+    off.set_inprocessing(false);
+    Solver on;
+    Solver forced;
+    const bool off_ok = load_raw(off, num_vars, clauses);
+    const bool on_ok = load_raw(on, num_vars, clauses);
+    const bool forced_ok = load_raw(forced, num_vars, clauses);
+    ASSERT_EQ(off_ok, on_ok);
+    ASSERT_EQ(off_ok, forced_ok);
+    if (!off_ok) {
+      ASSERT_FALSE(expected);
+      continue;
+    }
+    if (!forced.inconsistent()) forced.simplify_now();
+
+    ASSERT_EQ(off.solve() == LBool::True, expected) << "instance " << instance;
+    ASSERT_EQ(on.solve() == LBool::True, expected) << "instance " << instance;
+    ASSERT_EQ(forced.inconsistent() ? LBool::False : forced.solve(),
+              expected ? LBool::True : LBool::False)
+        << "instance " << instance;
+    if (expected) {
+      expect_model_satisfies(on, clauses);
+      expect_model_satisfies(forced, clauses);
+    }
+    EXPECT_EQ(off.stats().inprocessings, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InprocessFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+class InprocessIncrementalFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InprocessIncrementalFuzz, FrozenAssumptionsSurviveSimplifySessions) {
+  // The incremental contract inprocessing must not break: interleave clause
+  // batches, explicit simplify sessions and assumption solves, and compare
+  // every answer against a plain solver with inprocessing off. Assumption
+  // variables are frozen by solve(); a variable the simplifier eliminated
+  // anyway is restored on re-import when a later batch mentions it.
+  util::Xoshiro256 rng(GetParam());
+  for (int instance = 0; instance < 10; ++instance) {
+    const int num_vars = 6 + static_cast<int>(rng.below(6));  // 6..11
+    Solver simplified;
+    Solver baseline;
+    baseline.set_inprocessing(false);
+    while (simplified.num_vars() < num_vars) (void)simplified.new_var();
+    while (baseline.num_vars() < num_vars) (void)baseline.new_var();
+
+    bool consistent = true;
+    for (int round = 0; round < 4 && consistent; ++round) {
+      const auto batch = random_cnf(rng, num_vars);
+      for (const auto& clause : batch) {
+        std::vector<Lit> lits;
+        for (const int l : clause) lits.push_back(mk_lit(std::abs(l) - 1, l < 0));
+        const bool a = simplified.add_clause(lits);
+        const bool b = baseline.add_clause(std::move(lits));
+        ASSERT_EQ(a, b) << "level-0 divergence in round " << round;
+        consistent = a;
+        if (!consistent) break;
+      }
+      if (!consistent) break;
+      simplified.simplify_now();
+      if (simplified.inconsistent()) {
+        // The session may find the level-0 conflict before baseline's next
+        // solve does; the baseline must then answer UNSAT too.
+        ASSERT_EQ(baseline.solve(), LBool::False);
+        consistent = false;
+        break;
+      }
+
+      std::vector<Lit> assumptions;
+      for (int v = 0; v < num_vars; ++v) {
+        if (rng.chance(0.25)) {
+          assumptions.push_back(mk_lit(static_cast<Var>(v), rng.chance(0.5)));
+        }
+      }
+      ASSERT_EQ(simplified.solve(assumptions), baseline.solve(assumptions))
+          << "round " << round;
+      ASSERT_EQ(simplified.solve(), baseline.solve()) << "round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InprocessIncrementalFuzz,
+                         ::testing::Values(17, 29, 43, 71));
+
+TEST(Inprocess, EliminatedVariableIsRestoredOnImport) {
+  // x (var 2) appears only in two-clause chains and is a prime elimination
+  // target; after simplify_now() removes it, a later clause mentioning x
+  // must transparently restore the elimination stack and stay sound.
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var x = s.new_var();
+  ASSERT_TRUE(s.add_clause(pos(a), pos(x)));
+  ASSERT_TRUE(s.add_clause(neg(x), pos(b)));
+  s.freeze(a);
+  s.freeze(b);
+  s.simplify_now();
+  ASSERT_TRUE(s.is_eliminated(x)) << "setup no longer eliminates x";
+  EXPECT_GE(s.stats().eliminated_vars, 1u);
+
+  // Re-import: force x true and a false; the restored chain implies b.
+  ASSERT_TRUE(s.add_clause(pos(x)));
+  ASSERT_TRUE(s.add_clause(neg(a)));
+  EXPECT_FALSE(s.is_eliminated(x));
+  EXPECT_GE(s.stats().restored_vars, 1u);
+  ASSERT_EQ(s.solve(), LBool::True);
+  EXPECT_EQ(s.model_value(b), LBool::True);
+  EXPECT_EQ(s.model_value(x), LBool::True);
+}
+
+TEST(Inprocess, FrozenVariablesAreNeverEliminated) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var x = s.new_var();
+  s.freeze(x);
+  ASSERT_TRUE(s.add_clause(pos(a), pos(x)));
+  ASSERT_TRUE(s.add_clause(neg(x), pos(b)));
+  s.simplify_now();
+  EXPECT_FALSE(s.is_eliminated(x));
+  // An assumption solve on the frozen variable still works directly.
+  ASSERT_EQ(s.solve({neg(x), neg(a)}), LBool::False);
+  ASSERT_EQ(s.solve({pos(x), neg(b)}), LBool::False);
+  ASSERT_EQ(s.solve({pos(x), pos(b)}), LBool::True);
+}
+
+TEST(Inprocess, SubsumptionAndStrengtheningShrinkTheDatabase) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  const Var d = s.new_var();
+  for (const Var v : {a, b, c, d}) s.freeze(v);
+  ASSERT_TRUE(s.add_clause(pos(a), pos(b)));                  // subsumes the next
+  ASSERT_TRUE(s.add_clause({pos(a), pos(b), pos(c)}));
+  ASSERT_TRUE(s.add_clause({neg(a), pos(b), pos(d)}));        // strengthened by #1
+  const std::size_t before = s.num_clauses();
+  s.simplify_now();
+  EXPECT_GE(s.stats().subsumed_clauses, 1u);
+  EXPECT_GE(s.stats().strengthened_clauses, 1u);
+  EXPECT_LT(s.num_clauses(), before);
+  // Semantics preserved: (a|b) & (b|d after strengthening).
+  ASSERT_EQ(s.solve({neg(b), neg(d)}), LBool::False);
+  ASSERT_EQ(s.solve({neg(a), neg(b)}), LBool::False);
+  ASSERT_EQ(s.solve({pos(a), pos(b)}), LBool::True);
+}
+
+// --- DRAT proofs ---------------------------------------------------------------
+
+/// Minimal forward RUP checker mirroring scripts/check_drat.py: naive
+/// counting propagation is plenty for test-sized proofs, and sharing no
+/// code with the solver keeps the check independent.
+struct RupChecker {
+  std::vector<std::vector<int>> active;
+
+  static bool unit_propagates_to_conflict(std::vector<std::vector<int>> clauses,
+                                          std::vector<int> assignment) {
+    bool changed = true;
+    auto value = [&](int lit) -> int {
+      for (const int a : assignment) {
+        if (a == lit) return 1;
+        if (a == -lit) return -1;
+      }
+      return 0;
+    };
+    while (changed) {
+      changed = false;
+      for (const auto& clause : clauses) {
+        int unassigned = 0;
+        int last = 0;
+        bool satisfied = false;
+        for (const int lit : clause) {
+          const int v = value(lit);
+          if (v == 1) {
+            satisfied = true;
+            break;
+          }
+          if (v == 0) {
+            ++unassigned;
+            last = lit;
+          }
+        }
+        if (satisfied) continue;
+        if (unassigned == 0) return true;  // conflict
+        if (unassigned == 1) {
+          assignment.push_back(last);
+          changed = true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool check_add(const std::vector<int>& clause) {
+    std::vector<int> negated;
+    for (const int lit : clause) negated.push_back(-lit);
+    if (!unit_propagates_to_conflict(active, negated)) return false;
+    active.push_back(clause);
+    return true;
+  }
+
+  bool check_delete(const std::vector<int>& clause) {
+    std::vector<int> key = clause;
+    std::sort(key.begin(), key.end());
+    for (auto it = active.begin(); it != active.end(); ++it) {
+      std::vector<int> have = *it;
+      std::sort(have.begin(), have.end());
+      if (have == key) {
+        active.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Drat, UnsatProofIsRupValidAndDerivesEmptyClause) {
+  const std::string base = testing::TempDir() + "genfv_drat_ph43";
+  Solver s;
+  ASSERT_TRUE(s.start_proof(base));
+  // Pigeonhole 4-into-3: small, genuinely UNSAT, needs real learning.
+  const int pigeons = 4;
+  const int holes = 3;
+  std::vector<std::vector<int>> clauses;
+  auto v = [&](int p, int h) { return p * holes + h + 1; };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<int> at_least;
+    for (int h = 0; h < holes; ++h) at_least.push_back(v(p, h));
+    clauses.push_back(at_least);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        clauses.push_back({-v(p1, h), -v(p2, h)});
+      }
+    }
+  }
+  ASSERT_TRUE(load_raw(s, pigeons * holes, clauses));
+  s.simplify_now();
+  ASSERT_EQ(s.inconsistent() ? LBool::False : s.solve(), LBool::False);
+
+  // Replay: the logged .cnf must match what we added, and every .drat add
+  // must be RUP against the growing active set, ending in the empty clause.
+  const Cnf logged = parse_dimacs(slurp(base + ".cnf"));
+  ASSERT_EQ(logged.clauses.size(), clauses.size());
+  RupChecker checker;
+  checker.active = logged.clauses;
+
+  bool empty_derived = false;
+  std::istringstream proof(slurp(base + ".drat"));
+  std::string line;
+  std::size_t steps = 0;
+  while (std::getline(proof, line)) {
+    std::istringstream fields(line);
+    std::string first;
+    fields >> first;
+    if (first.empty() || first == "c") continue;
+    const bool deletion = first == "d";
+    std::vector<int> lits;
+    int lit = 0;
+    if (!deletion) lits.push_back(std::stoi(first));
+    while (fields >> lit && lit != 0) lits.push_back(lit);
+    if (!deletion && !lits.empty() && lits.back() == 0) lits.pop_back();
+    if (!deletion && lits.size() == 1 && lits[0] == 0) lits.clear();
+    ++steps;
+    if (deletion) {
+      ASSERT_TRUE(checker.check_delete(lits)) << "bad deletion: " << line;
+    } else {
+      ASSERT_TRUE(checker.check_add(lits)) << "non-RUP step: " << line;
+      if (lits.empty()) {
+        empty_derived = true;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(steps, 0u);
+  EXPECT_TRUE(empty_derived) << "UNSAT run never logged the empty clause";
+}
+
+TEST(Drat, SatRunLogsInputsButNoEmptyClause) {
+  const std::string base = testing::TempDir() + "genfv_drat_sat";
+  {
+    // Scoped: the .cnf is finalized when the solver (and its writer) die.
+    Solver s;
+    ASSERT_TRUE(s.start_proof(base));
+    const Var a = s.new_var();
+    const Var b = s.new_var();
+    ASSERT_TRUE(s.add_clause(pos(a), pos(b)));
+    ASSERT_TRUE(s.add_clause(neg(a), pos(b)));
+    ASSERT_EQ(s.solve(), LBool::True);
+  }
+  const Cnf logged = parse_dimacs(slurp(base + ".cnf"));
+  EXPECT_EQ(logged.clauses.size(), 2u);
+  // No proof line is the lone "0" empty-clause add.
+  std::istringstream proof(slurp(base + ".drat"));
+  std::string line;
+  while (std::getline(proof, line)) EXPECT_NE(line, "0");
+}
+
+// --- backend registry -----------------------------------------------------------
+
+TEST(BackendRegistry, InternalIsDefaultAndUnknownNamesThrow) {
+  const std::vector<std::string> names = backend_names();
+  ASSERT_FALSE(names.empty());
+  EXPECT_NE(std::find(names.begin(), names.end(), "internal"), names.end());
+
+  const std::unique_ptr<Backend> backend = make_backend("internal");
+  ASSERT_NE(backend, nullptr);
+  EXPECT_NE(dynamic_cast<Solver*>(backend.get()), nullptr);
+  const Var v = backend->new_var();
+  ASSERT_TRUE(backend->add_clause(pos(v)));
+  EXPECT_EQ(backend->solve(), LBool::True);
+  EXPECT_EQ(backend->model_value(v), LBool::True);
+
+  EXPECT_THROW((void)make_backend("cadical-from-the-future"), UsageError);
+}
+
 TEST(SolverPoolTest, ConfigAppliesToRebuiltSolvers) {
   std::atomic<bool> stop{true};
   SolverPool pool(SolverConfig{-1, &stop});
@@ -380,7 +776,7 @@ TEST(SolverPoolTest, ConfigAppliesToRebuiltSolvers) {
   const Var v = pool.at(h).new_var();
   ASSERT_TRUE(pool.at(h).add_clause(pos(v), neg(v)));
   EXPECT_EQ(pool.at(h).solve(), LBool::Undef);
-  Solver& fresh = pool.rebuild(h);
+  Backend& fresh = pool.rebuild(h);
   const Var w = fresh.new_var();
   ASSERT_TRUE(fresh.add_clause(pos(w), neg(w)));
   EXPECT_EQ(fresh.solve(), LBool::Undef);

@@ -13,6 +13,11 @@
 ///       Shorthand for `prove --rtl <file>`.
 ///   genfv_cli demo <design> [options]
 ///       Run a built-in zoo design through the selected flow.
+///   genfv_cli sat <file.cnf> [options]
+///       Solve a DIMACS CNF with the SAT backend directly (no model
+///       checking). Prints "s SATISFIABLE" / "s UNSATISFIABLE"; honours
+///       --sat-backend, --sat-inprocess and --drat-out, which makes it the
+///       harness the DRAT-certificate CI check drives (scripts/check_drat.py).
 ///   genfv_cli designs
 ///       List the built-in design zoo.
 ///   genfv_cli models
@@ -35,6 +40,18 @@
 ///   --seed-candidates on|off         seed PDR frames with unproven candidate
 ///                                    lemmas under the may-proof discipline
 ///                                    (default: off; see docs/lemmas.md)
+///   --pdr-strikes <n>                retract a seeded candidate after it is
+///                                    struck by <n> refuting obligations
+///                                    (default: 2; min 1; see docs/lemmas.md)
+///   --sat-backend <name>             SAT backend for every engine solver
+///                                    (default: internal — the in-tree CDCL
+///                                    core; see docs/sat.md)
+///   --sat-inprocess on|off           inprocessing between restarts plus the
+///                                    LBD-tiered learnt-clause DB (default:
+///                                    on; off pins the plain-CDCL behavior)
+///   --drat-out <path>                log DRAT proofs: each solver writes
+///                                    <path>[-p..][-r..].cnf/.drat; check
+///                                    with scripts/check_drat.py (docs/sat.md)
 ///   --property "<sva>"               may repeat; an `<engine>:` prefix (e.g.
 ///                                    "pdr:count <= 8") overrides the engine
 ///                                    for that property (plain flow only)
@@ -49,9 +66,10 @@
 ///   --max-k <n>                      step bound: BMC depth / induction k /
 ///                                    PDR frames (default: 8)
 ///   --no-screen                      disable the simulation review screen
-///   --dump-aiger <file.aag>          bit-blast the design and write it as an
-///                                    ASCII AIGER 1.9 file (corpus generation;
-///                                    docs/frontends.md)
+///   --dump-aiger <file.aag|file.aig> bit-blast the design and write it as an
+///                                    AIGER 1.9 file — ASCII, or binary when
+///                                    the extension is .aig (corpus
+///                                    generation; docs/frontends.md)
 ///   --dump-ts <file>                 serialize the elaborated system
 ///   --vcd <file>                     dump the last step-CEX (plain flow) as VCD
 ///   --trace-out <file.json>          record trace spans across the whole run
@@ -79,6 +97,9 @@
 #include "ir/printer.hpp"
 #include "ir/serialize.hpp"
 #include "mc/engine.hpp"
+#include "sat/backend.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
 #include "sim/vcd.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
@@ -100,6 +121,10 @@ struct CliOptions {
   std::size_t pdr_workers = 0;  ///< 0 = auto (mc::auto_pdr_workers per design)
   bool pdr_ternary = false;
   bool seed_candidates = false;
+  std::size_t pdr_strikes = 2;
+  std::string sat_backend = "internal";
+  bool sat_inprocess = true;
+  std::string drat_out;
   std::string model = "gpt-4o";
   std::uint64_t seed = 42;
   std::size_t max_k = 8;
@@ -123,10 +148,12 @@ struct CliOptions {
                "  genfv_cli prove --rtl <file.aag|aig|btor|btor2> [--property \"[engine:]<name>\"]\n"
                "  genfv_cli <file.aag|aig|btor|btor2|sv> [options]   (prove shorthand)\n"
                "  genfv_cli demo <design> [options]\n"
+               "  genfv_cli sat <file.cnf> [--sat-backend <name>] [--drat-out <path>]\n"
                "  genfv_cli designs | models\n"
                "options: --flow cex|helper|direct|plain  --engine bmc|kind|pdr|portfolio\n"
                "         --exchange on|off  --pdr-workers <n>|auto  --pdr-ternary on|off\n"
-               "         --seed-candidates on|off\n"
+               "         --seed-candidates on|off  --pdr-strikes <n>\n"
+               "         --sat-backend <name>  --sat-inprocess on|off  --drat-out <path>\n"
                "         --emit-lemmas <file>  --use-lemmas <file>\n"
                "         --model <name>  --seed <n>  --max-k <n>  --no-screen\n"
                "         --dump-ts <file>  --dump-aiger <file.aag>  --vcd <file>  --verbose\n"
@@ -142,8 +169,9 @@ CliOptions parse_args(int argc, char** argv) {
   opts.command = argv[1];
   int i = 2;
   // Bare-file shorthand: `genfv_cli foo.aag` == `genfv_cli prove --rtl foo.aag`.
-  if (opts.command != "prove" && opts.command != "demo" && opts.command != "designs" &&
-      opts.command != "models" && opts.command.rfind("--", 0) != 0 &&
+  if (opts.command != "prove" && opts.command != "demo" && opts.command != "sat" &&
+      opts.command != "designs" && opts.command != "models" &&
+      opts.command.rfind("--", 0) != 0 &&
       opts.command.find('.') != std::string::npos) {
     opts.rtl_path = opts.command;
     opts.command = "prove";
@@ -151,6 +179,10 @@ CliOptions parse_args(int argc, char** argv) {
   if (opts.command == "demo") {
     if (i >= argc) usage("demo requires a design name");
     opts.design = argv[i++];
+  }
+  if (opts.command == "sat") {
+    if (i >= argc) usage("sat requires a DIMACS CNF file");
+    opts.rtl_path = argv[i++];
   }
   // Support both "--opt value" and "--opt=value".
   std::string inline_value;
@@ -226,6 +258,18 @@ CliOptions parse_args(int argc, char** argv) {
       else if (value == "off") opts.seed_candidates = false;
       else usage("--seed-candidates takes 'on' or 'off'");
     }
+    else if (arg == "--pdr-strikes") {
+      opts.pdr_strikes = std::stoull(need_value("--pdr-strikes"));
+      if (opts.pdr_strikes == 0) usage("--pdr-strikes takes a strike limit >= 1");
+    }
+    else if (arg == "--sat-backend") opts.sat_backend = need_value("--sat-backend");
+    else if (arg == "--sat-inprocess") {
+      const std::string value = need_value("--sat-inprocess");
+      if (value == "on") opts.sat_inprocess = true;
+      else if (value == "off") opts.sat_inprocess = false;
+      else usage("--sat-inprocess takes 'on' or 'off'");
+    }
+    else if (arg == "--drat-out") opts.drat_out = need_value("--drat-out");
     else if (arg == "--model") opts.model = need_value("--model");
     else if (arg == "--seed") opts.seed = std::stoull(need_value("--seed"));
     else if (arg == "--max-k") opts.max_k = std::stoull(need_value("--max-k"));
@@ -340,6 +384,10 @@ int run_plain(flow::VerificationTask& task, const CliOptions& opts) {
   base.pdr_workers = opts.pdr_workers;
   base.pdr_ternary_lifting = opts.pdr_ternary;
   base.pdr_seed_candidates = opts.seed_candidates;
+  base.pdr_candidate_strikes = opts.pdr_strikes;
+  base.sat_backend = opts.sat_backend;
+  base.sat_inprocess = opts.sat_inprocess;
+  base.drat_path = opts.drat_out;
   if (!opts.use_lemmas_path.empty()) {
     base.lemmas = ingest_lemma_file(task, opts.use_lemmas_path, opts.max_k);
   }
@@ -421,7 +469,10 @@ int run_task(flow::VerificationTask& task, const CliOptions& opts) {
     write_file(opts.dump_ts_path, ir::serialize(task.ts));
   }
   if (!opts.dump_aiger_path.empty()) {
-    write_file(opts.dump_aiger_path, frontend::write_aiger(task.ts));
+    const std::string& path = opts.dump_aiger_path;
+    const bool binary = path.size() >= 4 && path.compare(path.size() - 4, 4, ".aig") == 0;
+    write_file(path, binary ? frontend::write_aiger_binary(task.ts)
+                            : frontend::write_aiger(task.ts));
   }
   if (opts.flow == "plain") return run_plain(task, opts);
   for (const auto& e : opts.property_engines) {
@@ -436,6 +487,10 @@ int run_task(flow::VerificationTask& task, const CliOptions& opts) {
   options.pdr_workers = opts.pdr_workers;
   options.pdr_ternary = opts.pdr_ternary;
   options.pdr_seed_candidates = opts.seed_candidates;
+  options.pdr_candidate_strikes = opts.pdr_strikes;
+  options.engine.sat_backend = opts.sat_backend;
+  options.engine.sat_inprocess = opts.sat_inprocess;
+  options.engine.drat_path = opts.drat_out;
   if (!opts.use_lemmas_path.empty()) {
     options.engine.lemmas = ingest_lemma_file(task, opts.use_lemmas_path, opts.max_k);
   }
@@ -502,6 +557,41 @@ void select_targets(flow::VerificationTask& task, const std::vector<std::string>
   task.target_indices = std::move(selected);
 }
 
+/// `genfv_cli sat <file.cnf>` — solve a DIMACS CNF directly through the
+/// pluggable backend. This is the smallest possible harness around the SAT
+/// core: the CI DRAT check runs it with --drat-out and validates the
+/// resulting certificate with scripts/check_drat.py.
+int cmd_sat(const CliOptions& opts) {
+  const sat::Cnf cnf = sat::parse_dimacs(read_file(opts.rtl_path));
+  const std::unique_ptr<sat::Backend> backend = sat::make_backend(opts.sat_backend);
+  backend->set_inprocessing(opts.sat_inprocess);
+  if (!opts.drat_out.empty() && !backend->start_proof(opts.drat_out)) {
+    std::fprintf(stderr, "error: backend '%s' cannot write a proof to '%s'\n",
+                 opts.sat_backend.c_str(), opts.drat_out.c_str());
+    return 2;
+  }
+  sat::LBool verdict = sat::LBool::Undef;
+  if (!sat::load_cnf(cnf, *backend)) {
+    verdict = sat::LBool::False;
+  } else {
+    // A standalone solve has no assumptions to protect, so let the in-tree
+    // solver run one deterministic inprocessing session up front — the same
+    // passes the incremental path runs between restarts.
+    if (auto* solver = dynamic_cast<sat::Solver*>(backend.get());
+        solver != nullptr && opts.sat_inprocess) {
+      solver->simplify_now();
+    }
+    verdict = backend->inconsistent() ? sat::LBool::False : backend->solve();
+  }
+  switch (verdict) {
+    case sat::LBool::True: std::printf("s SATISFIABLE\n"); return 0;
+    case sat::LBool::False: std::printf("s UNSATISFIABLE\n"); return 0;
+    case sat::LBool::Undef: break;
+  }
+  std::printf("s UNKNOWN\n");
+  return 1;
+}
+
 int cmd_designs() {
   std::printf("%-18s %-10s %-12s %s\n", "name", "category", "key insight", "description");
   for (const auto& d : designs::all_designs()) {
@@ -552,6 +642,7 @@ int main(int argc, char** argv) {
   try {
     if (opts.command == "designs") rc = cmd_designs();
     else if (opts.command == "models") rc = cmd_models();
+    else if (opts.command == "sat") rc = cmd_sat(opts);
     else if (opts.command == "demo") {
       auto task = designs::make_task(opts.design);
       rc = run_task(task, opts);
