@@ -29,6 +29,7 @@
 #include "bench_common.hpp"
 #include "flow/session.hpp"
 #include "mc/engine.hpp"
+#include "serve/proof_cache.hpp"
 #include "util/telemetry.hpp"
 
 namespace genfv {
@@ -202,6 +203,122 @@ void run_experiment(bench::JsonRecords* json, const std::string& corpus_dir) {
               "clause propagation across a concurrent solver pool.\n\n");
 }
 
+/// The proof-cache experiment behind genfv_serve (docs/serve.md): for every
+/// zoo design PDR proves at its budget, compare a cold run against (a) an
+/// exact cache hit replayed through one-step recertification and (b) a
+/// near-miss warm start on an edited copy of the design, where the cached
+/// clauses enter PDR as retractable candidates. Rows carry kind="pdr-cache"
+/// so the PDR sharding/lifting/inprocessing reports in
+/// scripts/check_shootout.py ignore them; the checker instead gates the
+/// warm rows directly (verdict parity everywhere, >=5x fewer conflicts on
+/// the recertified hits for at least two designs, candidates seeded on
+/// every warm-edit row).
+void run_cache_experiment(bench::JsonRecords* json) {
+  bench::print_header(
+      "E9: structural proof cache — cold runs vs warm re-verification",
+      "Kumar-Gadde §V incremental flows, docs/serve.md",
+      "An exact struct_hash hit re-certifies the stored invariant with one "
+      "induction step instead of re-discovering it; a near miss seeds PDR "
+      "with the surviving clauses as retractable candidates.");
+
+  util::Table table({"design", "engine", "verdict", "depth", "SAT calls",
+                     "conflicts", "seeded", "time"});
+
+  // Only designs PDR proves at its budget can populate the cache
+  // (ProofCache::store refuses anything but a Proven invariant), so the
+  // budgets here differ from the main matrix: gray_counter, lfsr16 and
+  // fifo_ctrl need deeper frame limits than kMaxSteps before PDR closes
+  // their proofs — which also makes them the rows where recertification
+  // pays off the hardest (fifo_ctrl: tens of thousands of cold conflicts
+  // against one induction step). dual_accumulator keeps its reduced budget.
+  const std::vector<DesignSource> sources = {
+      {"sequencer", ""},        {"token_ring", ""}, {"updown_pair", ""},
+      {"gray_counter", "", 16}, {"lfsr16", "", 16}, {"dual_accumulator", "", 6},
+      {"fifo_ctrl", "", 24}};
+  serve::ProofCache cache({/*dir=*/"", /*near_threshold=*/0.4});
+
+  const auto emit = [&](const std::string& design, const char* label,
+                        const mc::EngineResult& r, const std::string& outcome,
+                        double similarity) {
+    table.add_row({design, label, mc::to_string(r.verdict),
+                   std::to_string(r.depth), std::to_string(r.stats.sat_calls),
+                   std::to_string(r.stats.conflicts),
+                   std::to_string(r.stats.candidates_seeded),
+                   util::format_duration(r.stats.seconds)});
+    if (json != nullptr) {
+      json->record()
+          .field("design", design)
+          .field("engine", std::string(label))
+          .field("kind", std::string("pdr-cache"))
+          .field("workers", static_cast<std::uint64_t>(1))
+          .field("cache", outcome)
+          .field("similarity", similarity)
+          .field("verdict", mc::to_string(r.verdict))
+          .field("depth", static_cast<std::uint64_t>(r.depth))
+          .field("wall_ms", r.stats.seconds * 1e3)
+          .field("sat_calls", static_cast<std::uint64_t>(r.stats.sat_calls))
+          .field("conflicts", r.stats.conflicts)
+          .field("candidates_seeded", r.stats.candidates_seeded)
+          .field("candidates_graduated", r.stats.candidates_graduated);
+    }
+  };
+
+  for (const DesignSource& source : sources) {
+    mc::EngineOptions options;
+    options.max_steps = source.max_steps;
+
+    // Cold: discover the proof from scratch and store its invariant.
+    auto cold = designs::make_task(source.name);
+    auto engine = mc::make_engine(mc::EngineKind::Pdr, cold.ts, options);
+    const mc::EngineResult cold_result = engine->prove_all(cold.target_exprs());
+    const bool stored =
+        cache.store(source.name, cold.ts, cold.target_exprs(), cold_result);
+    emit(source.name, "pdr-cache cold+store", cold_result,
+         stored ? "stored" : "store-failed", 1.0);
+
+    // Warm, unmodified: a fresh elaboration of the same design must be an
+    // exact hit, and the stored invariant must recertify in one induction
+    // step — that conflict gap is the cache's reason to exist.
+    auto warm = designs::make_task(source.name);
+    const auto hit = cache.lookup(warm.ts, warm.target_exprs());
+    if (hit.outcome == serve::CacheOutcome::Exact) {
+      const mc::EngineResult recert =
+          serve::recertify(warm.ts, warm.target_exprs(), *hit.entry, options);
+      emit(source.name, "pdr-cache warm", recert, serve::to_string(hit.outcome),
+           hit.similarity);
+    } else {
+      emit(source.name, "pdr-cache warm", cold_result, "unexpected-" + serve::to_string(hit.outcome),
+           hit.similarity);
+    }
+
+    // Warm, edited: graft an extra register onto a fresh elaboration so the
+    // system hash changes but every original state signature still matches —
+    // the near-miss shape a source edit produces. The surviving clauses ride
+    // into PDR as candidates (may-proof discipline, docs/lemmas.md).
+    auto edited = designs::make_task(source.name);
+    ir::TransitionSystem& ts = edited.ts;
+    const ir::NodeRef probe = ts.add_state("edit$probe", 4);
+    ts.set_init(probe, ts.nm().mk_const(0, 4));
+    ts.set_next(probe, probe);
+    const auto near = cache.lookup(ts, edited.target_exprs());
+    mc::EngineOptions warm_options = options;
+    if (near.outcome == serve::CacheOutcome::Near) {
+      warm_options.pdr_seed_candidates = true;
+      warm_options.pdr_candidate_lemmas = serve::surviving_clauses(ts, *near.entry);
+    }
+    auto warm_engine = mc::make_engine(mc::EngineKind::Pdr, ts, warm_options);
+    const mc::EngineResult edit_result = warm_engine->prove_all(edited.target_exprs());
+    emit(source.name, "pdr-cache warm-edit", edit_result, serve::to_string(near.outcome),
+         near.similarity);
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("The warm rows answer from the cache: an exact hit trades the "
+              "whole IC3 frame trajectory for a single induction check over "
+              "the stored clauses, and the edited-design rows show those same "
+              "clauses surviving a source edit as seeded candidates.\n\n");
+}
+
 void BM_EngineProve(benchmark::State& state) {
   const auto kind = static_cast<mc::EngineKind>(state.range(0));
   for (auto _ : state) {
@@ -249,6 +366,7 @@ int main(int argc, char** argv) {
   }
   genfv::bench::JsonRecords json;
   genfv::run_experiment(json_path.empty() ? nullptr : &json, corpus_dir);
+  genfv::run_cache_experiment(json_path.empty() ? nullptr : &json);
   if (!json_path.empty() && !json.write(json_path)) return 1;
   if (!trace_path.empty()) {
     if (!genfv::util::write_trace_json(trace_path)) return 1;

@@ -26,27 +26,36 @@ import sys
 # property, k-induction without lemmas, PDR beyond its frame budget).
 EXPECTED_VERDICTS = {
     # design: {engine-label-prefix: verdict}
+    # The "pdr-cache" rows come from the proof-cache experiment (E9), which
+    # runs PDR at whatever per-design budget closes the proof — so a design
+    # can be "unknown" for the main-matrix "pdr" prefix (budget 12) and
+    # "proven" for its cache rows at the same time. The prefix match is
+    # label-word based ("pdr-cache warm" does not match "pdr " + suffix), so
+    # the two expectations never collide.
     "sync_counters": {"bmc": "unknown", "k-induction": "unknown", "pdr": "unknown",
                       "portfolio": "unknown"},
     "sequencer": {"bmc": "unknown", "k-induction": "unknown", "pdr": "proven",
-                  "portfolio": "proven"},
+                  "portfolio": "proven", "pdr-cache": "proven"},
     "token_ring": {"bmc": "unknown", "k-induction": "unknown", "pdr": "proven",
-                   "portfolio": "proven"},
+                   "portfolio": "proven", "pdr-cache": "proven"},
     # updown_pair: k-induction alone is stuck, but inside the exchange-on
     # portfolio it can absorb PDR clauses and win — accept either outcome for
     # the portfolio rows; the pdr rows must prove.
-    "updown_pair": {"bmc": "unknown", "k-induction": "unknown", "pdr": "proven"},
-    "lfsr16": {"bmc": "unknown", "pdr": "unknown"},
+    "updown_pair": {"bmc": "unknown", "k-induction": "unknown", "pdr": "proven",
+                    "pdr-cache": "proven"},
+    "lfsr16": {"bmc": "unknown", "pdr": "unknown", "pdr-cache": "proven"},
     "gray_counter": {"bmc": "unknown", "k-induction": "unknown", "pdr": "unknown",
-                     "portfolio": "unknown"},
-    "fifo_ctrl": {"bmc": "unknown", "k-induction": "unknown", "pdr": "unknown"},
+                     "portfolio": "unknown", "pdr-cache": "proven"},
+    "fifo_ctrl": {"bmc": "unknown", "k-induction": "unknown", "pdr": "unknown",
+                  "pdr-cache": "proven"},
     # dual_accumulator (runs at a step budget of 6, see the bench): the
     # output-equality target is not k-inductive without the stage-1 lemma,
     # but PDR mines the equality clauses itself — with or without SAT
     # inprocessing (the "pdr -inproc" ablation row matches the "pdr" prefix
     # and must prove too, just at a multiple of the conflicts).
     "dual_accumulator": {"bmc": "unknown", "k-induction": "unknown",
-                         "pdr": "proven", "portfolio": "proven"},
+                         "pdr": "proven", "portfolio": "proven",
+                         "pdr-cache": "proven"},
     # --- tests/corpus rows (bench_engine_shootout --dir tests/corpus) ------
     # Files parsed through the AIGER/BTOR2 frontends; the *_rt rows are zoo
     # designs round-tripped through the AIGER writer, and must keep the same
@@ -196,6 +205,66 @@ def main() -> int:
             failures.append(
                 f"{design} / pdr -inproc ablation: inprocessing cut conflicts "
                 f"by only {cut:.0%} (gate: >= 25%)")
+
+    # The proof-cache gate (kind == "pdr-cache", from the E9 experiment and
+    # docs/serve.md). Per design the experiment emits three rows: a cold PDR
+    # run whose invariant is stored ("pdr-cache cold+store"), an exact-hit
+    # recertification on a fresh elaboration ("pdr-cache warm"), and a
+    # near-miss warm start on an edited copy ("pdr-cache warm-edit"). Unlike
+    # the wall-clock reports this section *gates*:
+    #   * every warm row must reproduce the cold verdict — a cache may cost
+    #     work, never an answer;
+    #   * the exact-hit path must be an Exact lookup and cut SAT conflicts by
+    #     at least 5x on two or more designs (the cache's reason to exist);
+    #   * every warm-edit row must be a Near lookup that actually seeded
+    #     candidates (candidates_seeded > 0) — otherwise the incremental
+    #     path silently degraded to a cold run.
+    cache_cells = {}
+    for record in records:
+        if record.get("kind") != "pdr-cache":
+            continue
+        label = record["engine"].split(" ", 1)[1] if " " in record["engine"] else ""
+        cache_cells.setdefault(record["design"], {})[label] = record
+    warm_wins = 0
+    for design, cells in sorted(cache_cells.items()):
+        missing = {"cold+store", "warm", "warm-edit"} - cells.keys()
+        if missing:
+            failures.append(
+                f"{design} / pdr-cache: missing rows {sorted(missing)}")
+            continue
+        cold, warm, edit = cells["cold+store"], cells["warm"], cells["warm-edit"]
+        if cold.get("cache") != "stored":
+            failures.append(
+                f"{design} / pdr-cache cold+store: proof was not stored "
+                f"(cache={cold.get('cache')})")
+        for row, want in ((warm, "exact"), (edit, "near")):
+            if row.get("cache") != want:
+                failures.append(
+                    f"{design} / {row['engine']}: expected a {want} lookup, "
+                    f"got {row.get('cache')}")
+            if row["verdict"] != cold["verdict"]:
+                failures.append(
+                    f"{design} / {row['engine']}: verdict {row['verdict']} "
+                    f"!= cold verdict {cold['verdict']}")
+        ratio = (cold["conflicts"] / warm["conflicts"]
+                 if warm["conflicts"] else float("inf"))
+        if ratio >= 5.0:
+            warm_wins += 1
+        print(f"proof cache on {design}: cold {cold['conflicts']} conflicts -> "
+              f"recertify {warm['conflicts']} ({ratio:.1f}x), edited warm "
+              f"{edit['conflicts']} with {edit.get('candidates_seeded', 0)} "
+              f"seeded / {edit.get('candidates_graduated', 0)} graduated")
+        if edit.get("candidates_seeded", 0) <= 0:
+            failures.append(
+                f"{design} / pdr-cache warm-edit: near miss seeded no "
+                f"candidates — the warm start degraded to a cold run")
+    if cache_cells:
+        print(f"proof cache recertification cuts conflicts >=5x on "
+              f"{warm_wins}/{len(cache_cells)} designs")
+        if warm_wins < 2:
+            failures.append(
+                f"pdr-cache warm gate: recertification cut conflicts by >=5x "
+                f"on only {warm_wins} design(s) (gate: >= 2)")
 
     if failures:
         print("\nverdict regressions:", file=sys.stderr)

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Reference client for genfv_serve over its AF_UNIX socket (docs/serve.md).
+
+Usage:
+  serve_client.py SOCKET [options] [REQUEST ...]
+
+Each REQUEST argument is one protocol line: a JSON object with an "id" and
+an "op". With no REQUEST arguments, request lines are read from stdin.
+Requests are sent *serially* — the client waits for the response whose
+"id" matches before sending the next one — so a warm `verify` really runs
+after the cold run that populated the proof cache, and a `status` probe
+really observes the jobs submitted before it. Every received response
+line is echoed to stdout.
+
+Options:
+  --timeout SECS       per-response wait (default 120)
+  --connect-wait SECS  keep retrying the connect for up to SECS (default 10),
+                       so CI can background the daemon and call the client
+                       immediately without racing the bind
+  --require SPEC       post-condition on a response, checked after all
+                       requests complete; may repeat. SPEC is
+                         ID:KEY=VALUE   response KEY must equal VALUE
+                                        (string compare; true/false for
+                                        booleans, integral numbers as
+                                        integers)
+                         ID:KEY>NUM     numeric strictly-greater check
+                         ID:KEY<NUM     numeric strictly-less check
+                       Any failed requirement makes the client exit 1.
+
+Example (the CI smoke):
+  serve_client.py /tmp/genfv.sock \\
+      '{"id":"s","op":"status"}' --require 's:workers>0'
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+def render(value):
+    """Canonical string form of a JSON scalar for --require comparisons."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def parse_require(spec):
+    """Split an ID:KEY=VALUE / ID:KEY>NUM / ID:KEY<NUM spec."""
+    head, sep, tail = spec.partition(":")
+    if not sep:
+        raise ValueError(f"--require '{spec}': expected ID:KEY=VALUE")
+    for op in ("=", ">", "<"):
+        key, found, value = tail.partition(op)
+        if found:
+            return head, key, op, value
+    raise ValueError(f"--require '{spec}': no '=', '>' or '<' in '{tail}'")
+
+
+def check_require(responses, spec):
+    """Returns an error string, or None when the requirement holds."""
+    rid, key, op, want = parse_require(spec)
+    response = responses.get(rid)
+    if response is None:
+        return f"require {spec}: no response with id '{rid}'"
+    if key not in response:
+        return f"require {spec}: response has no field '{key}': {response}"
+    got = response[key]
+    if op == "=":
+        if render(got) != want:
+            return f"require {spec}: got {render(got)}"
+        return None
+    try:
+        number = float(got)
+    except (TypeError, ValueError):
+        return f"require {spec}: field '{key}' is not numeric: {got!r}"
+    if op == ">" and not number > float(want):
+        return f"require {spec}: got {render(got)}"
+    if op == "<" and not number < float(want):
+        return f"require {spec}: got {render(got)}"
+    return None
+
+
+def connect(path, connect_wait):
+    deadline = time.monotonic() + connect_wait
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            return sock
+        except OSError as error:
+            sock.close()
+            if time.monotonic() >= deadline:
+                raise SystemExit(f"cannot connect to {path}: {error}")
+            time.sleep(0.05)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("socket_path")
+    parser.add_argument("requests", nargs="*")
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--connect-wait", type=float, default=10.0)
+    parser.add_argument("--require", action="append", default=[])
+    args = parser.parse_args()
+
+    request_lines = args.requests or [line.rstrip("\n") for line in sys.stdin
+                                      if line.strip()]
+    # Every request must carry an id: the serial send-wait loop keys on it,
+    # exactly like a real client multiplexing one daemon would.
+    ids = []
+    for line in request_lines:
+        try:
+            ids.append(json.loads(line)["id"])
+        except (json.JSONDecodeError, TypeError, KeyError):
+            raise SystemExit(f"request is not a JSON object with an id: {line}")
+
+    sock = connect(args.socket_path, args.connect_wait)
+    sock.settimeout(args.timeout)
+    responses = {}
+    with sock, sock.makefile("r", encoding="utf-8") as reader:
+        for line, rid in zip(request_lines, ids):
+            sock.sendall(line.encode("utf-8") + b"\n")
+            while True:
+                try:
+                    received = reader.readline()
+                except socket.timeout:
+                    raise SystemExit(
+                        f"timed out after {args.timeout}s waiting for id "
+                        f"{rid!r}")
+                if not received:
+                    raise SystemExit(
+                        f"server closed the connection before answering id "
+                        f"{rid!r}")
+                print(received, end="", flush=True)
+                response = json.loads(received)
+                responses[render(response.get("id"))] = response
+                if response.get("id") == rid:
+                    break
+
+    failures = [error for spec in args.require
+                for error in [check_require(responses, spec)] if error]
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

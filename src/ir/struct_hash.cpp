@@ -1,0 +1,198 @@
+#include "ir/struct_hash.hpp"
+
+#include <string_view>
+
+namespace genfv::ir {
+namespace {
+
+// 64-bit mixing (splitmix64 finalizer). Every hash in this file funnels
+// through mix2/mix3 so a single-bit difference anywhere avalanches.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix2(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix(a ^ mix(b));
+}
+
+std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept {
+  return mix2(mix2(a, b), c);
+}
+
+std::uint64_t hash_string(std::string_view s) noexcept {
+  // FNV-1a, then mixed: only the orphan-leaf fallback path uses names.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix(h);
+}
+
+// Domain-separation tags: every category of hashed object starts from a
+// distinct constant so e.g. a property hash can never equal a system hash.
+constexpr std::uint64_t kTagInput = 0xA11CE5ULL;
+constexpr std::uint64_t kTagState = 0x57A7E5ULL;
+constexpr std::uint64_t kTagOrphan = 0x0FA70ULL;
+constexpr std::uint64_t kTagConst = 0xC0457ULL;
+constexpr std::uint64_t kTagNoInit = 0x401417ULL;
+constexpr std::uint64_t kTagSystem = 0x5E5ULL;
+constexpr std::uint64_t kTagProperty = 0x9209ULL;
+
+}  // namespace
+
+StructHasher::StructHasher(const TransitionSystem& ts) : ts_(ts) {
+  // Pre-hash the nominal leaves by declaration index so alpha-equivalent
+  // systems (same structure, different names) produce identical hashes.
+  const auto& inputs = ts.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    leaf_hash_[inputs[i]] = mix3(kTagInput, i, inputs[i]->width());
+  }
+  const auto& states = ts.states();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    leaf_hash_[states[i].var] = mix3(kTagState, i, states[i].var->width());
+  }
+}
+
+std::uint64_t StructHasher::node_hash(NodeRef node) {
+  const auto memo_it = memo_.find(node);
+  if (memo_it != memo_.end()) return memo_it->second;
+
+  std::uint64_t h = 0;
+  switch (node->op()) {
+    case Op::Const:
+      h = mix3(kTagConst, node->value(), node->width());
+      break;
+    case Op::Input:
+    case Op::State: {
+      const auto leaf_it = leaf_hash_.find(node);
+      if (leaf_it != leaf_hash_.end()) {
+        h = leaf_it->second;
+      } else {
+        // Undeclared leaf (e.g. LemmaManager auxiliary before registration):
+        // the name is the only identity it has. Tagged so it cannot collide
+        // with any declared leaf.
+        h = mix3(kTagOrphan, hash_string(node->name()), node->width());
+        h = mix2(h, static_cast<std::uint64_t>(node->op()));
+      }
+      break;
+    }
+    default: {
+      h = mix3(static_cast<std::uint64_t>(node->op()), node->width(),
+               mix2(node->hi(), node->lo()));
+      if (is_commutative(node->op())) {
+        // Combine children order-insensitively: the manager sorts commutative
+        // operands by node *id*, which depends on creation order and would
+        // otherwise leak into the key.
+        std::uint64_t bag = 0;
+        for (const NodeRef child : node->children()) bag += mix(node_hash(child));
+        h = mix2(h, bag);
+      } else {
+        for (const NodeRef child : node->children()) h = mix2(h, node_hash(child));
+      }
+      break;
+    }
+  }
+  memo_.emplace(node, h);
+  return h;
+}
+
+StateSig StructHasher::state_signature(std::size_t i) {
+  const StateVar& sv = ts_.states().at(i);
+  const std::uint64_t init = sv.init ? node_hash(sv.init) : kTagNoInit;
+  const std::uint64_t next = sv.next ? node_hash(sv.next) : kTagNoInit;
+  return StateSig{sv.var->width(), mix3(sv.var->width(), init, next)};
+}
+
+std::vector<StateSig> StructHasher::state_signatures() {
+  std::vector<StateSig> sigs;
+  sigs.reserve(ts_.states().size());
+  for (std::size_t i = 0; i < ts_.states().size(); ++i) {
+    sigs.push_back(state_signature(i));
+  }
+  return sigs;
+}
+
+std::uint64_t StructHasher::system_hash() {
+  std::uint64_t h = kTagSystem;
+  const auto& inputs = ts_.inputs();
+  h = mix2(h, inputs.size());
+  for (const NodeRef input : inputs) h = mix2(h, input->width());
+  const auto& states = ts_.states();
+  h = mix2(h, states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    h = mix2(h, state_signature(i).sig);
+  }
+  // Constraints as an order-insensitive set: reordering assumptions is not a
+  // semantic edit.
+  std::uint64_t bag = 0;
+  for (const NodeRef c : ts_.constraints()) bag += mix(node_hash(c));
+  return mix3(h, ts_.constraints().size(), bag);
+}
+
+std::uint64_t StructHasher::property_hash(NodeRef property) {
+  return mix2(kTagProperty, node_hash(property));
+}
+
+std::uint64_t struct_hash(const TransitionSystem& ts) {
+  return StructHasher(ts).system_hash();
+}
+
+namespace {
+
+StructDiff diff_against_sigs(const std::vector<StateSig>& a,
+                             StructHasher& hb, const TransitionSystem& b) {
+  StructDiff d;
+  d.states_a = a.size();
+  d.states_b = b.states().size();
+  const std::size_t common = d.states_a < d.states_b ? d.states_a : d.states_b;
+  for (std::size_t i = 0; i < common; ++i) {
+    const StateSig sb = hb.state_signature(i);
+    if (a[i].width != sb.width) continue;
+    ++d.compatible_states;
+    if (a[i].sig == sb.sig) ++d.matched_states;
+  }
+  return d;
+}
+
+}  // namespace
+
+StructDiff struct_diff(const TransitionSystem& a, const TransitionSystem& b) {
+  StructHasher ha(a);
+  StructHasher hb(b);
+  StructDiff d = diff_against_sigs(ha.state_signatures(), hb, b);
+
+  const auto& ia = a.inputs();
+  const auto& ib = b.inputs();
+  d.inputs_equal = ia.size() == ib.size();
+  if (d.inputs_equal) {
+    for (std::size_t i = 0; i < ia.size(); ++i) {
+      if (ia[i]->width() != ib[i]->width()) { d.inputs_equal = false; break; }
+    }
+  }
+
+  const auto& ca = a.constraints();
+  const auto& cb = b.constraints();
+  d.constraints_equal = ca.size() == cb.size();
+  if (d.constraints_equal) {
+    std::uint64_t bag_a = 0;
+    std::uint64_t bag_b = 0;
+    for (const NodeRef c : ca) bag_a += mix(ha.node_hash(c));
+    for (const NodeRef c : cb) bag_b += mix(hb.node_hash(c));
+    d.constraints_equal = bag_a == bag_b;
+  }
+  return d;
+}
+
+StructDiff struct_diff(const std::vector<StateSig>& a, const TransitionSystem& b) {
+  StructHasher hb(b);
+  StructDiff d = diff_against_sigs(a, hb, b);
+  d.inputs_equal = true;
+  d.constraints_equal = true;
+  return d;
+}
+
+}  // namespace genfv::ir

@@ -309,5 +309,47 @@ TEST(FlowReport, CountsByStatus) {
   EXPECT_FALSE(report.all_targets_proven());  // no targets recorded
 }
 
+TEST(FlowSession, SequentialJobsMatchFreshProcesses) {
+  // The one-shot-lifetime fix: a resident session that runs job after job
+  // must behave bit-for-bit like a fresh process per job, even when a lemma
+  // pass left residue in the transition system between jobs.
+  mc::EngineOptions options;
+  options.max_steps = 16;
+  const auto fresh_process = [&options] {
+    EngineSession session(designs::make_task("sequencer"));
+    return session.run_job(mc::EngineKind::Pdr, options);
+  };
+  const mc::EngineResult baseline = fresh_process();
+  ASSERT_EQ(baseline.verdict, mc::Verdict::Proven);
+
+  EngineSession session(designs::make_task("sequencer"));
+  const std::size_t pristine_states = session.task().ts.states().size();
+  const std::size_t pristine_properties = session.task().ts.num_properties();
+  const mc::EngineResult first = session.run_job(mc::EngineKind::Pdr, options);
+
+  // Simulate LemmaManager residue: a $past auxiliary register and a
+  // candidate property appended to the session's system after job one.
+  ir::TransitionSystem& ts = session.task().ts;
+  const ir::NodeRef aux = ts.add_state("residue$past", 4);
+  ts.set_init(aux, ts.nm().mk_const(0, 4));
+  ts.set_next(aux, aux);
+  ts.add_property({"residue_candidate", ts.nm().mk_true(),
+                   ir::PropertyRole::Candidate, ""});
+
+  const mc::EngineResult second = session.run_job(mc::EngineKind::Pdr, options);
+  EXPECT_EQ(session.jobs_run(), 2u);
+  EXPECT_EQ(ts.states().size(), pristine_states);
+  EXPECT_EQ(ts.num_properties(), pristine_properties);
+
+  for (const mc::EngineResult* result : {&first, &second}) {
+    EXPECT_EQ(result->verdict, baseline.verdict);
+    EXPECT_EQ(result->depth, baseline.depth);
+    EXPECT_EQ(result->stats.sat_calls, baseline.stats.sat_calls);
+    EXPECT_EQ(result->stats.conflicts, baseline.stats.conflicts);
+    EXPECT_EQ(result->stats.decisions, baseline.stats.decisions);
+    EXPECT_EQ(result->invariant.size(), baseline.invariant.size());
+  }
+}
+
 }  // namespace
 }  // namespace genfv::flow

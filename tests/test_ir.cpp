@@ -5,7 +5,10 @@
 
 #include "util/status.hpp"
 
+#include "ir/clone.hpp"
 #include "ir/printer.hpp"
+#include "ir/serialize.hpp"
+#include "ir/struct_hash.hpp"
 #include "ir/substitute.hpp"
 #include "ir/transition_system.hpp"
 
@@ -194,6 +197,181 @@ TEST(Printer, RendersReadableInfix) {
   EXPECT_EQ(to_string(nm.mk_bit(a, 31)), "count1[31]");
   const std::string ite = to_string(nm.mk_ite(nm.mk_input("c", 1), a, b));
   EXPECT_NE(ite.find('?'), std::string::npos);
+}
+
+// --- structural hashing (the proof-cache key) --------------------------------
+
+/// Two synchronized counters with an equality property; `salt` perturbs the
+/// increment constant, `names` swaps in different identifiers.
+TransitionSystem counters_system(std::uint64_t increment, bool renamed) {
+  TransitionSystem ts;
+  auto& nm = ts.nm();
+  const NodeRef a = ts.add_state(renamed ? "left" : "count1", 8);
+  const NodeRef b = ts.add_state(renamed ? "right" : "count2", 8);
+  const NodeRef tick = ts.add_input(renamed ? "en" : "tick", 1);
+  const NodeRef step = nm.mk_const(increment, 8);
+  ts.set_init(a, nm.mk_const(0, 8));
+  ts.set_init(b, nm.mk_const(0, 8));
+  ts.set_next(a, nm.mk_ite(tick, nm.mk_add(a, step), a));
+  ts.set_next(b, nm.mk_ite(tick, nm.mk_add(b, step), b));
+  ts.add_constraint(nm.mk_true());
+  ts.add_property({renamed ? "match" : "equal", nm.mk_eq(a, b),
+                   PropertyRole::Target, ""});
+  return ts;
+}
+
+TEST(StructHash, AlphaEquivalentSystemsCollide) {
+  TransitionSystem a = counters_system(1, false);
+  TransitionSystem b = counters_system(1, true);
+  EXPECT_EQ(struct_hash(a), struct_hash(b));
+  StructHasher ha(a);
+  StructHasher hb(b);
+  EXPECT_EQ(ha.property_hash(a.property(0).expr), hb.property_hash(b.property(0).expr));
+  EXPECT_EQ(ha.state_signatures(), hb.state_signatures());
+}
+
+TEST(StructHash, SemanticEditsChangeTheHash) {
+  TransitionSystem base = counters_system(1, false);
+  const std::uint64_t base_hash = struct_hash(base);
+
+  // Different constant in the next-state function.
+  EXPECT_NE(struct_hash(counters_system(2, false)), base_hash);
+
+  // Different operator.
+  TransitionSystem xored = counters_system(1, false);
+  const StateVar& s0 = xored.states()[0];
+  xored.set_next(s0.var, xored.nm().mk_xor(s0.var, xored.nm().mk_const(1, 8)));
+  EXPECT_NE(struct_hash(xored), base_hash);
+
+  // Different init.
+  TransitionSystem shifted = counters_system(1, false);
+  shifted.set_init(shifted.states()[0].var, shifted.nm().mk_const(1, 8));
+  EXPECT_NE(struct_hash(shifted), base_hash);
+
+  // An extra state.
+  TransitionSystem wider = counters_system(1, false);
+  const NodeRef extra = wider.add_state("extra", 1);
+  wider.set_next(extra, extra);
+  EXPECT_NE(struct_hash(wider), base_hash);
+}
+
+TEST(StructHash, StableAcrossCloneAndSerializeRoundTrip) {
+  TransitionSystem ts = counters_system(3, false);
+  const std::uint64_t original = struct_hash(ts);
+
+  SystemClone clone(ts);
+  EXPECT_EQ(struct_hash(clone.system()), original);
+
+  TransitionSystem reloaded = deserialize(serialize(ts));
+  EXPECT_EQ(struct_hash(reloaded), original);
+}
+
+TEST(StructHash, CommutativeOperandOrderDoesNotLeakCreationOrder) {
+  // NodeManager sorts commutative operands by node id, which depends on
+  // creation order. Create the shared constant before the input in one
+  // manager and after it in the other, so the normalized child order of the
+  // product differs — the structural hash must not see the difference.
+  TransitionSystem a;
+  const NodeRef xa = a.add_input("x", 8);
+  const NodeRef ka = a.nm().mk_const(3, 8);
+  const NodeRef pa = a.nm().mk_eq(a.nm().mk_mul(xa, ka), a.nm().mk_const(0, 8));
+
+  TransitionSystem b;
+  const NodeRef kb = b.nm().mk_const(3, 8);
+  const NodeRef xb = b.add_input("x", 8);
+  const NodeRef pb = b.nm().mk_eq(b.nm().mk_mul(xb, kb), b.nm().mk_const(0, 8));
+
+  StructHasher ha(a);
+  StructHasher hb(b);
+  EXPECT_EQ(ha.property_hash(pa), hb.property_hash(pb));
+}
+
+TEST(StructHash, OrphanLeavesHashByNameNotIdentity) {
+  // A leaf that is not declared in the system (e.g. an auxiliary variable a
+  // lemma pass left behind) falls back to its name, so two managers agree.
+  TransitionSystem a;
+  TransitionSystem b;
+  const NodeRef oa = a.nm().mk_input("aux$past", 4);
+  const NodeRef ob = b.nm().mk_input("aux$past", 4);
+  StructHasher ha(a);
+  StructHasher hb(b);
+  EXPECT_EQ(ha.node_hash(oa), hb.node_hash(ob));
+  EXPECT_NE(ha.node_hash(oa), ha.node_hash(a.nm().mk_input("other", 4)));
+}
+
+TEST(StructHash, DiffCountsMatchedStatesByDeclarationIndex) {
+  TransitionSystem base = counters_system(1, false);
+  TransitionSystem edited = counters_system(1, false);
+  const StateVar& s1 = edited.states()[1];
+  edited.set_next(s1.var, edited.nm().mk_sub(s1.var, edited.nm().mk_const(1, 8)));
+
+  const StructDiff diff = struct_diff(base, edited);
+  EXPECT_EQ(diff.states_a, 2u);
+  EXPECT_EQ(diff.states_b, 2u);
+  EXPECT_EQ(diff.compatible_states, 2u);
+  EXPECT_EQ(diff.matched_states, 1u);
+  EXPECT_DOUBLE_EQ(diff.similarity(), 0.5);
+
+  // The signature-vector overload (the proof-cache path) agrees.
+  StructHasher hasher(base);
+  const StructDiff from_sigs = struct_diff(hasher.state_signatures(), edited);
+  EXPECT_EQ(from_sigs.matched_states, 1u);
+  EXPECT_DOUBLE_EQ(from_sigs.similarity(), 0.5);
+
+  // Identical systems are fully matched.
+  EXPECT_DOUBLE_EQ(struct_diff(base, counters_system(1, true)).similarity(), 1.0);
+}
+
+// --- checkpoint / rollback ---------------------------------------------------
+
+TEST(TransitionSystemMark, RollbackRestoresDeclarationsAndTransitions) {
+  TransitionSystem ts = counters_system(1, false);
+  const TransitionSystem::Mark mark = ts.mark();
+  const std::uint64_t pristine_hash = struct_hash(ts);
+
+  // Simulate lemma-pass residue: auxiliary state, new input, extra property,
+  // constraint, signal, and a rewritten next function of an existing state.
+  auto& nm = ts.nm();
+  const NodeRef aux = ts.add_state("aux$past", 8);
+  ts.set_init(aux, nm.mk_const(0, 8));
+  ts.set_next(aux, ts.states()[0].var);
+  ts.add_input("fresh_in", 1);
+  ts.add_signal("probe", aux);
+  ts.add_constraint(nm.mk_eq(aux, aux));
+  ts.add_property({"candidate", nm.mk_true(), PropertyRole::Candidate, ""});
+  ts.set_next(ts.states()[0].var, ts.states()[0].var);
+
+  ts.rollback(mark);
+  EXPECT_EQ(ts.states().size(), 2u);
+  EXPECT_EQ(ts.inputs().size(), 1u);
+  EXPECT_EQ(ts.constraints().size(), 1u);
+  EXPECT_EQ(ts.num_properties(), 1u);
+  EXPECT_EQ(ts.signals().size(), 0u);
+  EXPECT_EQ(ts.lookup("aux$past"), nullptr);
+  EXPECT_EQ(ts.lookup("fresh_in"), nullptr);
+  EXPECT_EQ(struct_hash(ts), pristine_hash);
+  ts.validate();
+
+  // Idempotent.
+  ts.rollback(mark);
+  EXPECT_EQ(struct_hash(ts), pristine_hash);
+}
+
+TEST(TransitionSystemMark, ForeignMarkIsRejected) {
+  TransitionSystem a = counters_system(1, false);
+  TransitionSystem b = counters_system(2, false);
+  const TransitionSystem::Mark mark = a.mark();
+  EXPECT_THROW(b.rollback(mark), UsageError);
+
+  // A mark taken after additions is not a prefix once they are rolled away.
+  TransitionSystem c;
+  const TransitionSystem::Mark empty = c.mark();
+  const NodeRef s = c.add_state("s", 1);
+  c.set_next(s, s);
+  const TransitionSystem::Mark later = c.mark();
+  c.rollback(empty);
+  EXPECT_EQ(c.states().size(), 0u);
+  EXPECT_THROW(c.rollback(later), UsageError);
 }
 
 TEST(Printer, DescribeListsSystemParts) {
