@@ -6,7 +6,10 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstring>
+#include <exception>
+#include <filesystem>
 #include <thread>
 #include <utility>
 
@@ -174,6 +177,7 @@ void Server::dispatch(const Json& request, const Sink& send) {
     response.set("queued", static_cast<std::uint64_t>(stats.queued));
     response.set("active", static_cast<std::uint64_t>(stats.active));
     response.set("completed", stats.completed);
+    response.set("answered", jobs_answered());
     response.set("cancelled", stats.cancelled);
     response.set("deadlined", stats.deadlined);
     response.set("cache_size", static_cast<std::uint64_t>(cache_.size()));
@@ -350,8 +354,9 @@ void Server::handle_verify(const Json& request, const std::string& id_text,
     deadline_ms = deadline->as_number();
   }
 
-  // Session key: source + property filter (different filters select
-  // different target sets over the same source).
+  // Session key: everything that feeds elaboration (different keys must
+  // never share an elaborated session; a stale reuse answers for the wrong
+  // design or the wrong property set).
   const Json* design = request.get("design");
   const Json* file = request.get("file");
   const Json* rtl = request.get("rtl");
@@ -359,10 +364,32 @@ void Server::handle_verify(const Json& request, const std::string& id_text,
     job->session_key = "design:" + design->as_string();
     job->design_label = design->as_string();
   } else if (file != nullptr && file->is_string()) {
+    // Mix the file's on-disk identity (mtime + size) into the key: the
+    // regression-farm loop this server targets edits files in place between
+    // submissions, and a reused session must not pin the old content. When
+    // the stat fails the key stays path-only and checkout_session's
+    // from_file reports the located bad-file error.
     job->session_key = "file:" + file->as_string();
+    std::error_code ec;
+    const auto mtime = std::filesystem::last_write_time(file->as_string(), ec);
+    if (!ec) {
+      const std::uintmax_t size = std::filesystem::file_size(file->as_string(), ec);
+      if (!ec) {
+        job->session_key += "@" +
+                            std::to_string(mtime.time_since_epoch().count()) +
+                            "." + std::to_string(size);
+      }
+    }
     job->design_label = file->as_string();
   } else if (rtl != nullptr && rtl->is_string()) {
-    job->session_key = "rtl:" + rtl->as_string();
+    // The property list is part of the key: identical RTL verified against
+    // different property sets elaborates different target sets. The dump
+    // goes first, newline-terminated — Json::dump never emits a raw
+    // newline, so the free-form RTL text cannot forge another key.
+    const Json* properties = request.get("properties");
+    job->session_key =
+        "rtl:" + (properties != nullptr ? properties->dump() : std::string()) +
+        "\n" + rtl->as_string();
     job->design_label = "rtl";
   }
   if (const Json* property = request.get("property")) {
@@ -385,6 +412,13 @@ void Server::handle_verify(const Json& request, const std::string& id_text,
   }
 }
 
+void Server::answer(const PreparedJob& job, const Json& response) {
+  // Incremented before the send: a client holding N verify responses always
+  // reads `answered` >= N from a later status op, with no retirement lag.
+  answered_.fetch_add(1, std::memory_order_relaxed);
+  job.send(response.dump());
+}
+
 void Server::run_verify_job(const std::shared_ptr<PreparedJob>& job,
                             JobControl& control) {
   const auto start = std::chrono::steady_clock::now();
@@ -399,7 +433,7 @@ void Server::run_verify_job(const std::shared_ptr<PreparedJob>& job,
     response.set("stopped", stop_reason_name(control.stop_reason()));
     response.set("wall_ms", job_wall_ms(start));
     return_session(job->session_key, job->session);
-    job->send(response.dump());
+    answer(*job, response);
     return;
   }
 
@@ -438,14 +472,19 @@ void Server::run_verify_job(const std::shared_ptr<PreparedJob>& job,
         response.set("candidates_seeded", std::uint64_t{0});
         response.set("wall_ms", job_wall_ms(start));
         return_session(job->session_key, job->session);
-        job->send(response.dump());
+        answer(*job, response);
         return;
       }
-      // The entry failed its independent re-certification (corrupted store,
-      // hash collision, or a cancel mid-check): never trust it, drop it,
-      // fall through to a cold run.
-      cache_.invalidate(lookup.entry->sys_hash, lookup.entry->prop_hash);
-      cache_status = "rejected";
+      // The entry failed its independent re-certification. Only a check
+      // that ran to completion refutes it (corrupted store, hash
+      // collision): drop those. A check interrupted by the stop flag
+      // (cancel/deadline trips options.stop mid-induction) says nothing
+      // about the entry — keep it for the next request and fall through
+      // to the cold/stopped path.
+      if (!control.stopped()) {
+        cache_.invalidate(lookup.entry->sys_hash, lookup.entry->prop_hash);
+        cache_status = "rejected";
+      }
       lookup = CacheLookup{};
     }
 
@@ -492,9 +531,18 @@ void Server::run_verify_job(const std::shared_ptr<PreparedJob>& job,
   } catch (const Error& e) {
     response = error_response(job->id, "job-failed", e.what());
     response.set("wall_ms", job_wall_ms(start));
+  } catch (const std::exception& e) {
+    // Engine code throws genfv Error, but the stdlib underneath it may not
+    // (bad_alloc, filesystem): a worker thread must still answer the
+    // request and return the session, never std::terminate the daemon.
+    response = error_response(job->id, "internal", e.what());
+    response.set("wall_ms", job_wall_ms(start));
+  } catch (...) {
+    response = error_response(job->id, "internal", "unrecognized exception");
+    response.set("wall_ms", job_wall_ms(start));
   }
   return_session(job->session_key, job->session);
-  job->send(response.dump());
+  answer(*job, response);
 }
 
 void Server::run_stdio(std::istream& in, std::ostream& out) {
@@ -514,12 +562,22 @@ void Server::run_stdio(std::istream& in, std::ostream& out) {
 
 namespace {
 
-/// Per-connection state shared between the accept loop (which may shut the
-/// socket down) and the reader thread.
+/// Per-connection state shared between the accept loop (which reaps it and
+/// may shut the socket down), the reader thread, and any in-flight job's
+/// sink. shared_ptr-owned: a job submitted just before the client hung up
+/// keeps the state (and fd) alive until its response is delivered; the last
+/// owner closes the fd.
 struct Connection {
   int fd = -1;
   util::Mutex send_mu{"serve.conn_send"};
   std::thread reader;
+  /// Set by the reader as its last action; tells the accept loop this
+  /// connection is ready to be joined and dropped.
+  std::atomic<bool> done{false};
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
 };
 
 void send_all(int fd, const std::string& data) {
@@ -551,25 +609,41 @@ void Server::run_socket(const std::string& path) {
   }
   GENFV_LOG(Info, "serve") << "listening on " << path;
 
-  std::vector<std::unique_ptr<Connection>> connections;
+  std::vector<std::shared_ptr<Connection>> connections;
+  const auto reap_finished = [&connections] {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        (*it)->reader.join();
+        // Dropping our reference closes the fd — unless a still-running job
+        // holds the sink, in which case the fd lives until that response.
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
   while (!shutting_down()) {
+    // A resident daemon serves many short-lived clients: sweep hung-up
+    // connections every loop iteration or each one leaks a joinable thread
+    // and (once its jobs finish) an fd until shutdown.
+    reap_finished();
     pollfd pfd{listen_fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);
     if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) continue;
-    auto conn = std::make_unique<Connection>();
+    auto conn = std::make_shared<Connection>();
     conn->fd = fd;
-    Connection* raw = conn.get();
-    conn->reader = std::thread([this, raw] {
-      const Sink sink = [raw](const std::string& line) {
-        util::MutexLock lock(raw->send_mu);
-        send_all(raw->fd, line + "\n");
+    conn->reader = std::thread([this, conn] {
+      const Sink sink = [conn](const std::string& line) {
+        util::MutexLock lock(conn->send_mu);
+        send_all(conn->fd, line + "\n");
       };
       std::string buffer;
       char chunk[4096];
       for (;;) {
-        const ssize_t n = ::recv(raw->fd, chunk, sizeof chunk, 0);
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
         if (n <= 0) break;
         buffer.append(chunk, static_cast<std::size_t>(n));
         std::size_t newline;
@@ -579,6 +653,7 @@ void Server::run_socket(const std::string& path) {
           handle_line(line, sink);
         }
       }
+      conn->done.store(true, std::memory_order_release);
     });
     connections.push_back(std::move(conn));
   }
@@ -588,10 +663,8 @@ void Server::run_socket(const std::string& path) {
   // sockets down to unblock the reader threads' recv.
   begin_shutdown();
   for (const auto& conn : connections) ::shutdown(conn->fd, SHUT_RDWR);
-  for (const auto& conn : connections) {
-    conn->reader.join();
-    ::close(conn->fd);
-  }
+  for (const auto& conn : connections) conn->reader.join();
+  connections.clear();
   ::close(listen_fd);
   ::unlink(path.c_str());
 }

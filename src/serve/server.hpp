@@ -22,12 +22,14 @@
 /// participated ("cache": "miss" | "hit" | "near" | "rejected" | "off").
 ///
 /// Session reuse: tasks are expensive to elaborate, so finished jobs return
-/// their `flow::EngineSession` to a per-source idle pool keyed on the
-/// request source (+ property filter); a resubmission checks the session out
-/// instead of re-elaborating. Sessions move between threads but are only
-/// ever *used* by one job at a time (the checkout hand-off is the
-/// synchronization point); concurrent jobs on one source each get their own
-/// session.
+/// their `flow::EngineSession` to a per-source idle pool; a resubmission
+/// checks the session out instead of re-elaborating. The pool key covers
+/// everything that feeds elaboration: the source (design name; file path +
+/// on-disk mtime/size, so an edited file re-elaborates; RTL text + the full
+/// 'properties' list) plus the 'property' filter. Sessions move between
+/// threads but are only ever *used* by one job at a time (the checkout
+/// hand-off is the synchronization point); concurrent jobs on one source
+/// each get their own session.
 
 #include <atomic>
 #include <cstdint>
@@ -106,6 +108,13 @@ class Server {
   std::uint64_t cache_hits() const noexcept { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t cache_near_hits() const noexcept { return near_.load(std::memory_order_relaxed); }
   std::uint64_t cache_misses() const noexcept { return misses_.load(std::memory_order_relaxed); }
+  /// Verify responses emitted. Unlike the pool's `completed` (which counts a
+  /// job only once the worker retires it, so it can lag a just-received
+  /// response by one), this is incremented *before* the response is sent: a
+  /// client that has N verify responses in hand always reads `answered` >= N.
+  std::uint64_t jobs_answered() const noexcept {
+    return answered_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct PreparedJob;
@@ -113,6 +122,8 @@ class Server {
   void dispatch(const Json& request, const Sink& send);
   void handle_verify(const Json& request, const std::string& id, const Sink& send);
   void run_verify_job(const std::shared_ptr<PreparedJob>& job, JobControl& control);
+  /// Count + emit a verify job's response (see jobs_answered).
+  void answer(const PreparedJob& job, const Json& response);
 
   std::shared_ptr<flow::EngineSession> checkout_session(const std::string& key,
                                                         const Json& request);
@@ -125,6 +136,7 @@ class Server {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> near_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> answered_{0};
   util::Mutex sessions_mu_{"serve.sessions"};
   std::map<std::string, std::vector<std::shared_ptr<flow::EngineSession>>> idle_sessions_
       GENFV_GUARDED_BY(sessions_mu_);

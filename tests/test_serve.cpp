@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -276,8 +279,10 @@ TEST(ServeProtocol, VerifyStatusShutdownRoundTrip) {
   server.handle_line(R"({"id":"s1","op":"status"})", log.sink());
   const Json s1 = log.wait_for("\"s1\"");
   // A job's response is sent before the worker retires it, so "completed"
-  // may lag the last response by one.
+  // may lag the last response by one; "answered" never lags a response we
+  // already hold.
   EXPECT_GE(number_field(s1, "completed"), 2.0);
+  EXPECT_EQ(number_field(s1, "answered"), 3.0);
   EXPECT_EQ(number_field(s1, "cache_hits"), 1.0);
   EXPECT_EQ(number_field(s1, "cache_misses"), 1.0);
   EXPECT_EQ(number_field(s1, "cache_size"), 1.0);
@@ -318,6 +323,79 @@ TEST(ServeProtocol, RtlSourceWithNamedPropertyFilter) {
   const Json response = log.wait_for("\"rtl1\"");
   EXPECT_TRUE(bool_field(response, "ok"));
   EXPECT_EQ(string_field(response, "verdict"), "proven");
+}
+
+TEST(ServeProtocol, SameRtlDifferentPropertySetsDoNotShareSessions) {
+  ServerOptions options;
+  options.workers = 1;
+  ResponseLog log;  // outlives the server: ~Server drains jobs into the sink
+  Server server(options);
+
+  const designs::DesignInfo& info = designs::design_by_name("sequencer");
+  Json request;
+  request.set("id", "withprops");
+  request.set("op", "verify");
+  request.set("rtl", info.rtl);
+  JsonArray properties;
+  for (const flow::TargetSpec& target : info.targets) {
+    Json p;
+    p.set("name", target.name);
+    p.set("sva", target.sva);
+    properties.push_back(p);
+  }
+  request.set("properties", Json(properties));
+  request.set("max_k", 16);
+  server.handle_line(request.dump(), log.sink());
+  EXPECT_EQ(string_field(log.wait_for("\"withprops\""), "verdict"), "proven");
+
+  // Same RTL, no property list: the idle session from the first request
+  // (elaborated *with* its properties) must not be checked out — this
+  // request elaborates fresh and fails with no-targets instead of
+  // answering for a property set it never asked about.
+  Json bare;
+  bare.set("id", "noprops");
+  bare.set("op", "verify");
+  bare.set("rtl", info.rtl);
+  server.handle_line(bare.dump(), log.sink());
+  const Json without = log.wait_for("\"noprops\"");
+  EXPECT_FALSE(bool_field(without, "ok"));
+  EXPECT_EQ(string_field(without, "error"), "no-targets");
+}
+
+TEST(ServeProtocol, EditedFileOnDiskIsReElaborated) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/latch.aag";
+  // Safe: the latch holds 0 forever and the bad literal is the latch itself.
+  std::ofstream(path) << "aag 1 0 1 0 0 1\n2 2\n2\n";
+
+  ServerOptions options;
+  options.workers = 1;
+  options.cache = false;  // isolate session reuse from the proof cache
+  ResponseLog log;  // outlives the server: ~Server drains jobs into the sink
+  Server server(options);
+
+  Json safe;
+  safe.set("id", "safe");
+  safe.set("op", "verify");
+  safe.set("file", path);
+  safe.set("max_k", 4);
+  server.handle_line(safe.dump(), log.sink());
+  EXPECT_EQ(string_field(log.wait_for("\"safe\""), "verdict"), "proven");
+
+  // Edit the file in place — the regression-farm loop this server exists
+  // for. The bad literal is now the latch's negation, which holds at init;
+  // the resubmission must elaborate the new content, not reuse the stale
+  // session of the old one.
+  std::this_thread::sleep_for(10ms);
+  std::ofstream(path, std::ios::trunc)
+      << "aag 1 0 1 0 0 1\n2 2\n3\nc\nedited\n";
+  Json edited;
+  edited.set("id", "edited");
+  edited.set("op", "verify");
+  edited.set("file", path);
+  edited.set("max_k", 4);
+  server.handle_line(edited.dump(), log.sink());
+  EXPECT_EQ(string_field(log.wait_for("\"edited\""), "verdict"), "falsified");
 }
 
 // --- worker pool -------------------------------------------------------------
@@ -687,6 +765,47 @@ TEST(ServeCache, WarmSeedingKeepsEveryZooVerdict) {
   EXPECT_GE(proven, 2u);
 }
 
+TEST(ServeCache, InterruptedRecertificationNeverDestroysTheEntry) {
+  ServerOptions options;
+  options.workers = 1;
+  ResponseLog log;  // outlives the server: ~Server drains jobs into the sink
+  Server server(options);
+
+  server.handle_line(
+      R"({"id":"cold","op":"verify","design":"sequencer","max_k":16})",
+      log.sink());
+  ASSERT_EQ(string_field(log.wait_for("\"cold\""), "verdict"), "proven");
+  ASSERT_EQ(server.cache().size(), 1u);
+
+  // Jobs whose deadline trips mid-recertification fail the induction check
+  // through the stop flag, not on the merits: an interrupted check is not a
+  // refutation and must not invalidate the persisted proof. The deadline
+  // spread brackets the sub-millisecond recertification window; whether a
+  // given deadline lands while queued, mid-check, or after the hit
+  // completes, the entry survives.
+  const double deadlines_ms[] = {0.05, 0.1, 0.2, 0.3, 0.5, 1.0, 2.0, 4.0};
+  int i = 0;
+  for (const double deadline_ms : deadlines_ms) {
+    Json request;
+    request.set("id", "d" + std::to_string(i));
+    request.set("op", "verify");
+    request.set("design", "sequencer");
+    request.set("max_k", 16);
+    request.set("deadline_ms", deadline_ms);
+    server.handle_line(request.dump(), log.sink());
+    log.wait_for("\"d" + std::to_string(i) + "\"");
+    EXPECT_EQ(server.cache().size(), 1u) << "deadline_ms=" << deadline_ms;
+    ++i;
+  }
+
+  server.handle_line(
+      R"({"id":"warm","op":"verify","design":"sequencer","max_k":16})",
+      log.sink());
+  const Json warm = log.wait_for("\"warm\"");
+  EXPECT_EQ(string_field(warm, "verdict"), "proven");
+  EXPECT_EQ(string_field(warm, "cache"), "hit");
+}
+
 // --- end-to-end incremental re-verification ----------------------------------
 
 TEST(ServeIncremental, OneExpressionEditWarmStartsFromSurvivingClauses) {
@@ -757,6 +876,86 @@ TEST(ServeIncremental, OneExpressionEditWarmStartsFromSurvivingClauses) {
   if (cold_conflicts > 0.0) {
     EXPECT_LT(number_field(warm, "conflicts"), cold_conflicts);
   }
+}
+
+// --- socket transport --------------------------------------------------------
+
+/// Connect to the daemon's AF_UNIX socket, send one request line, read one
+/// response line, hang up. Returns "" on any failure (callers assert).
+std::string socket_round_trip(const std::string& path, const std::string& request) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    return "";
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string line = request + "\n";
+  if (::send(fd, line.data(), line.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(line.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string buffer;
+  char chunk[512];
+  while (buffer.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return buffer.substr(0, buffer.find('\n'));
+}
+
+std::size_t open_fd_count() {
+  std::size_t count = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++count;
+  }
+  return count;
+}
+
+TEST(ServeSocket, HungUpClientsAreReapedNotLeaked) {
+  ScopedTempDir dir;
+  const std::string sock = dir.path() + "/serve.sock";
+  ServerOptions options;
+  options.workers = 1;
+  Server server(options);
+  std::thread transport([&server, &sock] { server.run_socket(sock); });
+
+  // Wait for the listener, priming one connection to absorb one-time fds.
+  std::string primer;
+  for (int attempt = 0; attempt < 250 && primer.empty(); ++attempt) {
+    std::this_thread::sleep_for(20ms);
+    primer = socket_round_trip(sock, R"({"id":0,"op":"status"})");
+  }
+  ASSERT_FALSE(primer.empty()) << "daemon never answered on " << sock;
+
+  // Each accept-loop iteration (<= 200ms apart) sweeps hung-up connections.
+  std::this_thread::sleep_for(600ms);
+  const std::size_t baseline = open_fd_count();
+
+  constexpr int kClients = 20;
+  for (int c = 1; c <= kClients; ++c) {
+    Json request;
+    request.set("id", c);
+    request.set("op", "status");
+    EXPECT_FALSE(socket_round_trip(sock, request.dump()).empty()) << c;
+  }
+  std::this_thread::sleep_for(600ms);
+  // A resident daemon must not hold one fd per dead client until shutdown.
+  EXPECT_LE(open_fd_count(), baseline + 4) << "connection fds leaked";
+
+  server.begin_shutdown();
+  transport.join();
 }
 
 // --- concurrent clients (TSan rides the *MultiWorker* filter) ----------------
